@@ -1,0 +1,72 @@
+"""SYN4 -- cost and output of the downward interpretation.
+
+Two sweeps:
+
+- **alternatives**: a view defined by m rules has (at least) m independent
+  translations for an insertion request; cost and translation count grow
+  with m ("in general, several translations may exist").
+- **domain**: validating a non-ground request instantiates over the finite
+  domain; cost grows with the domain size.
+"""
+
+import pytest
+
+from repro.datalog import DeductiveDatabase
+from repro.datalog.parser import parse_rule
+from repro.interpretations import DownwardInterpreter, want_insert
+
+RULE_COUNTS = [1, 2, 4, 8]
+DOMAIN_SIZES = [4, 8, 16, 32]
+
+
+def _multi_rule_db(m: int) -> DeductiveDatabase:
+    db = DeductiveDatabase()
+    for index in range(m):
+        db.declare_base(f"B{index}", 1)
+        db.add_rule(parse_rule(f"V(x) <- B{index}(x)."))
+    db.add_fact("B0", "Seed")
+    return db
+
+
+@pytest.mark.parametrize("m", RULE_COUNTS)
+def test_bench_syn4_alternatives(benchmark, m):
+    db = _multi_rule_db(m)
+    interpreter = DownwardInterpreter(db)
+
+    result = benchmark(interpreter.interpret, want_insert("V", "New"))
+
+    assert len(result.translations) == m, (
+        "one translation per defining rule expected"
+    )
+    print(f"\nSYN4a rules={m}  translations={len(result.translations)}  "
+          f"descents={result.stats.descents}")
+
+
+def _domain_db(size: int) -> DeductiveDatabase:
+    db = DeductiveDatabase()
+    db.declare_base("B", 1)
+    db.declare_base("G", 1)
+    db.add_rule(parse_rule("V(x) <- B(x) & not G(x)."))
+    for index in range(size):
+        db.add_fact("G", f"C{index}")
+    return db
+
+
+@pytest.mark.parametrize("domain", DOMAIN_SIZES)
+def test_bench_syn4_domain_instantiation(benchmark, domain):
+    from repro.datalog.rules import Atom, Literal
+    from repro.datalog.terms import Variable
+
+    db = _domain_db(domain)
+    interpreter = DownwardInterpreter(db)
+    # Non-ground request: ∃x achievable ιV(x); every domain constant is a
+    # candidate instantiation of the ιB(x) base event.
+    request = Literal(Atom("ins$V", (Variable("x"),)), True)
+
+    result = benchmark(interpreter.interpret, request)
+
+    assert result.is_satisfiable
+    print(f"\nSYN4b domain={domain:3d}  translations={len(result.translations):4d}  "
+          f"enumerations={result.stats.enumerations}")
+    # Shape: the number of alternatives tracks the domain size.
+    assert len(result.translations) >= domain

@@ -1,0 +1,114 @@
+"""Experiments EX3.1-EX5.3 -- every worked example of the paper, timed.
+
+Each benchmark runs one example's computation and asserts the exact
+symbolic result the paper derives by hand.  (The correctness assertions are
+duplicated from tests/test_paper_examples.py on purpose: the benchmark
+harness must stand alone.)
+"""
+
+import pytest
+
+from repro.datalog import DeductiveDatabase
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import Constant
+from repro.events.events import Transaction, delete, insert, parse_transaction
+from repro.events.naming import display_literal
+from repro.events.transition import compile_transition_rule
+from repro.interpretations import (
+    DownwardInterpreter,
+    UpwardInterpreter,
+    forbid_insert,
+    want_delete,
+    want_insert,
+)
+
+B = (Constant("B"),)
+
+
+@pytest.fixture
+def pqr_db():
+    return DeductiveDatabase.from_source("""
+        Q(A). Q(B). R(B).
+        P(x) <- Q(x) & not R(x).
+    """)
+
+
+@pytest.fixture
+def employment_db():
+    db = DeductiveDatabase.from_source("""
+        La(Dolors). U_benefit(Dolors).
+        Unemp(x) <- La(x) & not Works(x).
+        Ic1 <- Unemp(x) & not U_benefit(x).
+    """)
+    db.declare_base("Works", 1)
+    return db
+
+
+def test_bench_example_3_1(benchmark):
+    """Transition rule of P(x) <- Q(x) ∧ ¬R(x): the four paper disjuncts."""
+    rule = parse_rule("P(x) <- Q(x) & not R(x).")
+    transition = benchmark(compile_transition_rule, rule)
+    rendered = [" ∧ ".join(display_literal(l) for l in d)
+                for d in transition.disjuncts]
+    assert rendered == [
+        "Q(x) ∧ ¬δQ(x) ∧ ¬R(x) ∧ ¬ιR(x)",
+        "Q(x) ∧ ¬δQ(x) ∧ δR(x)",
+        "ιQ(x) ∧ ¬R(x) ∧ ¬ιR(x)",
+        "ιQ(x) ∧ δR(x)",
+    ]
+    print("\n" + str(transition))
+
+
+def test_bench_example_4_1(benchmark, pqr_db):
+    """Upward: T = {δR(B)} induces exactly {ιP(B)}."""
+    interpreter = UpwardInterpreter(pqr_db)
+    transaction = parse_transaction("{δR(B)}")
+    result = benchmark(interpreter.interpret, transaction)
+    assert result.insertions == {"P": frozenset({B})}
+    assert result.deletions == {}
+    print(f"\nupward({transaction}) = {result}")
+
+
+def test_bench_example_4_2(benchmark, pqr_db):
+    """Downward: ιP(B) is satisfied exactly by δR(B) ∧ ¬δQ(B)."""
+    interpreter = DownwardInterpreter(pqr_db)
+    result = benchmark(interpreter.interpret, want_insert("P", "B"))
+    (translation,) = result.translations
+    assert translation.transaction == Transaction([delete("R", "B")])
+    assert translation.constraints == frozenset({delete("Q", "B")})
+    print(f"\ndownward(ιP(B)) = {result}")
+
+
+def test_bench_example_5_1(benchmark, employment_db):
+    """IC checking: T = {δU_benefit(Dolors)} violates Ic1."""
+    from repro.problems import check_transaction
+
+    interpreter = UpwardInterpreter(employment_db)
+    transaction = parse_transaction("{delete U_benefit(Dolors)}")
+    result = benchmark(check_transaction, employment_db, transaction,
+                       interpreter)
+    assert not result.ok
+    assert result.violated_constraints() == ("Ic1",)
+    print(f"\ncheck({transaction}) = {result}")
+
+
+def test_bench_example_5_2(benchmark, employment_db):
+    """View updating: δUnemp(Dolors) -> {δLa(Dolors)} or {ιWorks(Dolors)}."""
+    interpreter = DownwardInterpreter(employment_db)
+    result = benchmark(interpreter.interpret, want_delete("Unemp", "Dolors"))
+    assert set(result.transactions()) == {
+        Transaction([delete("La", "Dolors")]),
+        Transaction([insert("Works", "Dolors")]),
+    }
+    print(f"\ndownward(δUnemp(Dolors)) = {result}")
+
+
+def test_bench_example_5_3(benchmark, employment_db):
+    """Side-effect prevention: the unique result {ιLa(Maria), ιWorks(Maria)}."""
+    interpreter = DownwardInterpreter(employment_db)
+    requests = [insert("La", "Maria"), forbid_insert("Unemp", "Maria")]
+    result = benchmark(interpreter.interpret, requests)
+    assert len(result.translations) == 1
+    assert result.translations[0].transaction == Transaction([
+        insert("La", "Maria"), insert("Works", "Maria")])
+    print(f"\ndownward({{ιLa(Maria), ¬ιUnemp(Maria)}}) = {result}")

@@ -1,0 +1,53 @@
+"""SYN2 -- incremental integrity checking vs. full re-check.
+
+Section 5.1.1's point is that checking is *incremental*: the upward
+interpretation of ``ιIc`` touches only what the transaction can affect.
+The baseline evaluates every constraint from scratch on the updated
+database.  Sweep: number of stored facts, with constraints and transaction
+size fixed.
+"""
+
+import pytest
+
+from repro.interpretations import UpwardInterpreter
+from repro.problems import check_transaction
+from repro.problems.ic_checking import full_check
+from repro.workloads import constraint_network, random_transaction
+
+SIZES = [200, 500, 1000, 2000]
+
+
+def _workload(n_facts: int):
+    db = constraint_network(n_constraints=5, n_facts=n_facts,
+                            domain_size=max(20, n_facts // 4), seed=3)
+    transaction = random_transaction(db, n_events=3, insert_ratio=0.9, seed=4)
+    return db, transaction
+
+
+@pytest.mark.parametrize("n_facts", SIZES)
+def test_bench_syn2_checking(benchmark, measure, n_facts):
+    db, transaction = _workload(n_facts)
+    interpreter = UpwardInterpreter(db)
+    interpreter.old_extension("Ic")  # set-up: old state materialised once
+
+    result = benchmark(check_transaction, db, transaction, interpreter)
+
+    incremental_time = measure(
+        lambda: check_transaction(db, transaction, interpreter))
+
+    def baseline():
+        updated = transaction.apply_to(db)
+        return full_check(updated)
+
+    full_time = measure(baseline)
+    violations_after = baseline()
+    assert result.ok == (not violations_after), (
+        "incremental and full checking must agree"
+    )
+
+    speedup = full_time / incremental_time if incremental_time else float("inf")
+    print(f"\nSYN2 n_facts={n_facts:5d}  incremental={incremental_time * 1e3:7.2f} ms  "
+          f"full={full_time * 1e3:7.2f} ms  speedup={speedup:5.1f}x  "
+          f"verdict={'ok' if result.ok else 'violation'}")
+    if n_facts >= 500:
+        assert incremental_time < full_time

@@ -1,0 +1,59 @@
+"""SYN7 -- repair-loop convergence on increasingly broken databases.
+
+Sweep the number of simultaneous constraint violations; the per-violation
+repair loop must converge in exactly one round per violation (the
+employment constraints are independent), with cost linear in the number of
+violations -- where the one-shot global ``δIc`` repair is exponential
+(that cliff is asserted too).
+"""
+
+import pytest
+
+from repro.core import repair_to_consistency
+from repro.datalog.errors import ComplexityLimitExceeded
+from repro.problems import is_consistent, repair_database
+from repro.problems.ic_checking import full_check
+from repro.workloads import employment_database
+
+VIOLATION_COUNTS = [2, 5, 10, 20]
+
+
+def _broken(n_violations: int):
+    db = employment_database(n_violations, employed_ratio=0.0,
+                             benefit_ratio=1.0, seed=8)
+    # Everyone is unemployed with a benefit; removing n benefits creates
+    # exactly n independent violations.
+    for row in sorted(db.facts_of("U_benefit"), key=str)[:n_violations]:
+        db.remove_fact("U_benefit", row[0].value)
+    return db
+
+
+@pytest.mark.parametrize("n_violations", VIOLATION_COUNTS)
+def test_bench_syn7_repair_loop(benchmark, n_violations):
+    db = _broken(n_violations)
+    assert len(full_check(db).get("Ic1", ())) == n_violations
+
+    result = benchmark(repair_to_consistency, db)
+
+    assert result.consistent
+    assert result.rounds == n_violations
+    assert is_consistent(result.db)
+    print(f"\nSYN7 violations={n_violations:2d}  rounds={result.rounds}  "
+          f"events={result.total_events()}")
+
+
+def test_bench_syn7_global_repair_cliff(benchmark):
+    """The faithful global δIc repair handles 3 violations fine ...
+
+    ... and hits the complexity guard well before 12 (it enumerates the
+    cross-product of per-violation repairs).  This is the motivation for
+    the per-violation loop above.
+    """
+    small = _broken(3)
+    result = benchmark(repair_database, small)
+    assert result.is_repairable
+    print(f"\nSYN7 global repair, 3 violations: {len(result.repairs)} complete repairs")
+
+    big = _broken(12)
+    with pytest.raises(ComplexityLimitExceeded):
+        repair_database(big)

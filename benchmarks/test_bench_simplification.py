@@ -1,0 +1,53 @@
+"""SYN5 -- ablation: [Oli91]-simplified vs. literal event rules.
+
+The paper notes the event rules "can be intensively simplified".  The
+simplified compiler inlines insertion event rules per transition disjunct
+and drops event-free and contradictory disjuncts.  Results must be
+identical; the simplified program evaluates fewer/cheaper rules under the
+flat strategy.
+"""
+
+import pytest
+
+from repro.events.event_rules import EventCompiler
+from repro.interpretations import UpwardInterpreter, UpwardOptions
+from repro.workloads import employment_database, random_transaction
+
+
+@pytest.mark.parametrize("simplify", [True, False],
+                         ids=["simplified", "literal"])
+def test_bench_syn5_upward(benchmark, simplify):
+    db = employment_database(300, seed=6)
+    transaction = random_transaction(db, n_events=4, seed=7)
+    interpreter = UpwardInterpreter(
+        db, simplify=simplify, options=UpwardOptions(strategy="flat"))
+
+    result = benchmark(interpreter.interpret, transaction)
+
+    # Cross-check against the opposite compilation.
+    other = UpwardInterpreter(
+        db, simplify=not simplify,
+        options=UpwardOptions(strategy="flat")).interpret(transaction)
+    assert result.insertions == other.insertions
+    assert result.deletions == other.deletions
+    print(f"\nSYN5 simplify={simplify}  induced={result}")
+
+
+def test_bench_syn5_compile_sizes(benchmark):
+    db = employment_database(50, seed=6)
+
+    def compile_both():
+        literal = EventCompiler(simplify=False).compile(db)
+        simplified = EventCompiler(simplify=True).compile(db)
+        return literal, simplified
+
+    literal, simplified = benchmark(compile_both)
+    literal_disjuncts = sum(
+        len(t.disjuncts) for ts in literal.transition_rules.values() for t in ts)
+    simplified_disjuncts = sum(
+        len(t.disjuncts) for ts in simplified.transition_rules.values() for t in ts)
+    print(f"\nSYN5 transition disjuncts: literal={literal_disjuncts}  "
+          f"simplified={simplified_disjuncts}")
+    print(f"SYN5 flat rules: literal={len(literal.upward_rules)}  "
+          f"simplified={len(simplified.upward_rules)}")
+    assert simplified_disjuncts <= literal_disjuncts

@@ -1,0 +1,34 @@
+"""SYN10 -- upward strategy ablation: hybrid (incremental) vs. flat.
+
+Both strategies are faithful §4.1 implementations (their agreement is
+property-tested); they differ in cost model.  The flat strategy evaluates
+the whole transition program -- materialising every ``new$P`` extension per
+transaction -- while the hybrid one drives delta-sized joins.  The gap is
+the incremental dividend, measured at the strategy level.
+"""
+
+import pytest
+
+from repro.interpretations import UpwardInterpreter, UpwardOptions
+from repro.workloads import employment_database, random_transaction
+
+SIZES = [100, 300, 900]
+
+
+@pytest.mark.parametrize("strategy", ["hybrid", "flat"])
+@pytest.mark.parametrize("n_people", SIZES)
+def test_bench_syn10_strategy(benchmark, n_people, strategy):
+    db = employment_database(n_people, seed=19)
+    transaction = random_transaction(db, n_events=3, seed=20)
+    interpreter = UpwardInterpreter(
+        db, options=UpwardOptions(strategy=strategy))
+    interpreter.old_extension("Unemp")  # materialise old state up front
+
+    result = benchmark(interpreter.interpret, transaction)
+
+    other = "flat" if strategy == "hybrid" else "hybrid"
+    cross = UpwardInterpreter(
+        db, options=UpwardOptions(strategy=other)).interpret(transaction)
+    assert result.insertions == cross.insertions
+    assert result.deletions == cross.deletions
+    print(f"\nSYN10 n={n_people} strategy={strategy} induced={result}")

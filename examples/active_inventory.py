@@ -1,0 +1,76 @@
+"""An active database: triggers, cascades and an undo journal.
+
+Inventory management where low-stock conditions automatically reorder,
+powered by the upward interpretation deciding which conditions changed
+(Section 5.1.2 turned into an active-rule engine), with a journal providing
+exact undo.
+
+Run:  python examples/active_inventory.py
+"""
+
+from repro import DeductiveDatabase, Transaction, delete, insert
+from repro.core import ActiveDatabase, Journal
+
+
+def build_inventory() -> DeductiveDatabase:
+    return DeductiveDatabase.from_source("""
+        Stock(Widget, 8). Stock(Gear, 2). Stock(Bolt, 40).
+        Threshold(Widget, 5). Threshold(Gear, 5). Threshold(Bolt, 10).
+
+        LowStock(p) <- Stock(p, n) & Threshold(p, m) & Lt(n, m).
+        WellStocked(p) <- Stock(p, n) & Threshold(p, m) & Geq(n, m).
+    """)
+
+
+def main() -> None:
+    db = build_inventory()
+    active = ActiveDatabase(db)
+
+    reorders: list[str] = []
+
+    def reorder(row, _transaction) -> Transaction:
+        product = row[0].value
+        reorders.append(product)
+        current = next(iter(
+            n.value for p, n in
+            ((r[0], r[1]) for r in db.facts_of("Stock")) if p.value == product
+        ))
+        print(f"  -> trigger: reordering {product} (stock {current})")
+        return Transaction([delete("Stock", product, current),
+                            insert("Stock", product, current + 50)])
+
+    active.on_activate("LowStock", action=reorder, name="auto-reorder")
+    active.on_deactivate("LowStock",
+                         action=lambda row, t: print(
+                             f"  -> trigger: {row[0]} back to normal") or None,
+                         name="all-clear")
+
+    print("initial low stock:", db.query("LowStock(p)"))
+
+    # Gear is already low but pre-existing states don't fire triggers --
+    # only *transitions* do (the event rules define transitions).  Sell
+    # enough widgets to cross the threshold:
+    print("\nselling 5 widgets…")
+    trace = active.execute(Transaction([
+        delete("Stock", "Widget", 8), insert("Stock", "Widget", 3)]))
+    for firing in trace.firings:
+        print(f"  fired: {firing}")
+    print(f"rounds: {trace.rounds};  widget stock now: "
+          f"{db.query('Stock(Widget, n)')}")
+    assert reorders == ["Widget"]
+    assert db.query("LowStock(Widget)") == []
+
+    # --- journaled manual adjustments with undo ---------------------------------
+    print("\njournaled session:")
+    journal = Journal(db)
+    journal.commit(Transaction([insert("Stock", "Cam", 4),
+                                insert("Threshold", "Cam", 2)]))
+    journal.commit(Transaction([delete("Stock", "Bolt", 40)]))
+    print("  after commits, bolt stock:", db.query("Stock(Bolt, n)"))
+    journal.undo()  # oops, bring the bolts back
+    print("  after undo,    bolt stock:", db.query("Stock(Bolt, n)"))
+    assert db.has_fact("Stock", "Bolt", 40)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: the paper's running example, end to end.
+
+Builds the database of Examples 3.1 / 4.1 / 4.2, shows the compiled
+transition and event rules, and runs both interpretations.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DeductiveDatabase,
+    EventCompiler,
+    UpdateProcessor,
+    parse_transaction,
+    want_insert,
+)
+
+
+def main() -> None:
+    # A deductive database D = (F, DR, IC): three facts, one derived
+    # predicate P defined as Q minus R.
+    db = DeductiveDatabase.from_source("""
+        Q(A). Q(B). R(B).
+        P(x) <- Q(x) & not R(x).
+    """)
+
+    # --- Section 3: transition and event rules ---------------------------------
+    program = EventCompiler().compile(db)
+    print("Compiled transition and event rules (Example 3.1):\n")
+    print(program.describe())
+
+    processor = UpdateProcessor(db)
+
+    # --- Section 4.1: the upward interpretation (Example 4.1) ------------------
+    transaction = parse_transaction("{delete R(B)}")
+    induced = processor.upward(transaction)
+    print(f"\nUpward: transaction {transaction} induces {induced}")
+    assert str(induced) == "{ιP(B)}"
+
+    # --- Section 4.2: the downward interpretation (Example 4.2) ----------------
+    request = want_insert("P", "B")
+    translations = processor.downward(request)
+    print(f"Downward: request ιP(B) is satisfied by {translations}")
+    (translation,) = translations.translations
+    assert str(translation.transaction) == "{δR(B)}"
+
+    # The two interpretations are inverses: applying the translation induces
+    # exactly the requested event.
+    check = processor.upward(translation.transaction)
+    print(f"Round-trip: applying {translation.transaction} induces {check}")
+
+
+if __name__ == "__main__":
+    main()

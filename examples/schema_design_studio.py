@@ -1,0 +1,66 @@
+"""Design-time analysis of a schema: satisfiability, reachability, evolution.
+
+The paper points out (5.2.1, 5.2.3) that the downward interpretation doubles
+as a *design tool*: validate that views are populatable, check whether the
+constraints can ever be violated, and assess the impact of adding or
+removing deductive rules (5.3) -- all before any data is live.
+
+Run:  python examples/schema_design_studio.py
+"""
+
+from repro import DeductiveDatabase, UpdateProcessor, apply_schema_update
+from repro.datalog.parser import parse_rule
+
+
+def main() -> None:
+    # A draft course-enrolment schema, with a deliberately impossible view.
+    db = DeductiveDatabase.from_source("""
+        Student(Ada). Student(Alan).
+        Course(Logic). Course(Databases).
+        Enrolled(Ada, Logic).
+
+        Classmate(x, y) <- Enrolled(x, c) & Enrolled(y, c).
+        % 'Ghost' can never hold: it requires an enrolment that is not there.
+        Ghost(x) <- Enrolled(x, c) & not Enrolled(x, c).
+
+        % every enrolment must be of a known student in a known course
+        Ic1(s, c) <- Enrolled(s, c) & not Student(s).
+        Ic2(s, c) <- Enrolled(s, c) & not Course(c).
+    """)
+    studio = UpdateProcessor(db)
+    studio.declare_view("Classmate")
+    studio.declare_view("Ghost")
+
+    # --- view validation (5.2.1) -------------------------------------------------
+    classmate = studio.validate_view("Classmate")
+    ghost = studio.validate_view("Ghost")
+    print(f"Classmate view: {classmate}")
+    print(f"Ghost view:     {ghost}")
+    assert classmate.is_valid and not ghost.is_valid
+
+    # --- ensuring IC satisfaction (5.2.3) ------------------------------------------
+    reachable = studio.can_reach_inconsistency()
+    print(f"\ncan the constraints be violated? {reachable.satisfiable}")
+    if reachable.witnesses:
+        print(f"  e.g. via {reachable.witnesses[0]}")
+
+    # --- schema evolution (5.3) -----------------------------------------------------
+    # Tighten the schema: classmates must be distinct people (built-in Neq).
+    # The rule replacement induces deletions on the view without touching
+    # any fact.
+    old_rule = parse_rule("Classmate(x, y) <- Enrolled(x, c) & Enrolled(y, c).")
+    new_rule = parse_rule(
+        "Classmate(x, y) <- Enrolled(x, c) & Enrolled(y, c) & Neq(x, y)."
+    )
+    evolved = apply_schema_update(db, add_rules=[new_rule],
+                                  remove_rules=[old_rule])
+    print(f"\nrule replacement induces: {evolved.induced}")
+    print(f"keeps consistency: {evolved.keeps_consistency}")
+
+    # The evolved schema is immediately analysable again.
+    evolved_studio = UpdateProcessor(evolved.db)
+    print(f"evolved schema consistent: {evolved_studio.is_consistent()}")
+
+
+if __name__ == "__main__":
+    main()

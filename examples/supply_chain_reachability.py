@@ -1,0 +1,78 @@
+"""Recursive views: reachability analysis over a supply-chain network.
+
+The recursive ``Supplies`` closure exercises the hybrid upward strategy's
+recursive-component handling and the depth-bounded downward interpretation:
+when a link is cut, which downstream dependencies disappear?  And which
+links could be added to restore a route?
+
+Run:  python examples/supply_chain_reachability.py
+"""
+
+from repro import (
+    DeductiveDatabase,
+    DownwardInterpreter,
+    DownwardOptions,
+    Transaction,
+    UpwardInterpreter,
+    delete,
+    want_insert,
+)
+
+
+def build_network() -> DeductiveDatabase:
+    return DeductiveDatabase.from_source("""
+        % direct shipping links between facilities
+        Link(Mine, Smelter). Link(Smelter, Plant).
+        Link(Plant, Depot). Link(Depot, Store).
+        Link(Smelter, Backup). Link(Backup, Plant).
+
+        % transitive supply relation
+        Supplies(x, y) <- Link(x, y).
+        Supplies(x, y) <- Link(x, z) & Supplies(z, y).
+
+        % a facility is isolated from the mine when no supply route reaches it
+        Cut(y) <- Facility(y) & not Supplies(Mine, y).
+        Facility(Smelter). Facility(Plant). Facility(Depot). Facility(Store).
+    """)
+
+
+def main() -> None:
+    db = build_network()
+    upward = UpwardInterpreter(db)
+
+    print("initial supply closure from Mine:",
+          sorted(t[1].value for t in upward.old_extension("Supplies")
+                 if t[0].value == "Mine"))
+
+    # --- upward over recursion: cut the Plant→Depot link -----------------------
+    cut = Transaction([delete("Link", "Plant", "Depot")])
+    induced = upward.interpret(cut)
+    lost = sorted(f"{a}→{b}" for a, b in
+                  ((x.value, y.value) for x, y in induced.deletions_of("Supplies")))
+    print(f"\ncutting Plant→Depot destroys routes: {lost}")
+    print(f"newly isolated facilities: "
+          f"{sorted(r[0].value for r in induced.insertions_of('Cut'))}")
+
+    # --- the redundant route survives -------------------------------------------
+    redundant = Transaction([delete("Link", "Smelter", "Plant")])
+    induced = upward.interpret(redundant)
+    print(f"\ncutting Smelter→Plant (Backup route exists) destroys: "
+          f"{sorted(map(str, induced.deletions_of('Supplies'))) or 'nothing'}")
+
+    # --- downward over recursion (depth-bounded) ---------------------------------
+    # After the Plant→Depot cut, how could Store become supplied again?
+    # Recursion makes the search space infinite: the depth bound turns it
+    # into a bounded plan search (deeper bounds admit longer repair routes
+    # but the negative-event bookkeeping grows combinatorially).
+    broken = cut.apply_to(db)
+    downward = DownwardInterpreter(
+        broken, options=DownwardOptions(max_depth=6, on_depth_limit="prune"))
+    plans = downward.interpret(want_insert("Supplies", "Mine", "Store"))
+    print(f"\nways to restore Mine→Store (depth-bounded search):")
+    for index, translation in enumerate(plans.translations[:5], start=1):
+        print(f"  {index}. {translation.transaction}")
+    assert plans.is_satisfiable
+
+
+if __name__ == "__main__":
+    main()

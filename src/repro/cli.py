@@ -1,0 +1,294 @@
+"""Command-line driver for the update-processing system.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro table                         # print Table 4.1
+    python -m repro describe db.dl                # transition & event rules
+    python -m repro check db.dl -t "delete R(B)"  # integrity checking
+    python -m repro upward db.dl -t "delete R(B)" # induced derived events
+    python -m repro translate db.dl -r "ins P(B)" # view updating
+    python -m repro repair db.dl                  # repair an inconsistent db
+    python -m repro monitor db.dl -t "..." -c Cond1,Cond2
+
+Database files use the parser grammar (see ``repro.datalog.parser``);
+transactions use ``insert P(A), delete Q(B)``; requests use
+``ins P(A)`` / ``del P(A)``, prefixed with ``not`` for negative requests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core import UpdateProcessor, repair_to_consistency
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.errors import DatalogError
+from repro.datalog.parser import parse_atom
+from repro.datalog.rules import Atom, Literal
+from repro.events.event_rules import EventCompiler
+from repro.events.events import parse_transaction
+from repro.events.naming import del_name, ins_name
+from repro.problems import render_table_4_1
+
+
+def _load(path: str) -> DeductiveDatabase:
+    return DeductiveDatabase.from_source(Path(path).read_text())
+
+
+def parse_request(text: str) -> Literal:
+    """Parse ``"ins P(A)"`` / ``"del P(A)"`` / ``"not ins P(A)"``."""
+    text = text.strip()
+    positive = True
+    if text.startswith("not "):
+        positive = False
+        text = text[4:].strip()
+    if text.startswith("ins "):
+        name_of = ins_name
+        text = text[4:]
+    elif text.startswith("del "):
+        name_of = del_name
+        text = text[4:]
+    else:
+        raise DatalogError(
+            f"request must start with 'ins' or 'del' (optionally 'not'): {text!r}"
+        )
+    target = parse_atom(text.strip())
+    return Literal(Atom(name_of(target.predicate), target.args), positive)
+
+
+def _cmd_table(_: argparse.Namespace) -> int:
+    print(render_table_4_1())
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    program = EventCompiler(simplify=args.simplify).compile(db)
+    print(program.describe())
+    return 0
+
+
+def _cmd_upward(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    processor = UpdateProcessor(db)
+    transaction = parse_transaction(args.transaction)
+    result = processor.upward(transaction)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(f"transaction {transaction} induces {result}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    processor = UpdateProcessor(db)
+    transaction = parse_transaction(args.transaction)
+    result = processor.check(transaction)
+    print(result)
+    return 0 if result.ok else 1
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    processor = UpdateProcessor(db)
+    requests = [parse_request(piece) for piece in args.request]
+    result = processor.downward(requests)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0 if result.is_satisfiable else 1
+    if result.already_satisfied and not result.translations:
+        print("already satisfied")
+        return 0
+    if not result.is_satisfiable:
+        print("no translation")
+        return 1
+    for index, translation in enumerate(result.translations, start=1):
+        print(f"{index}. {translation}")
+    return 0
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    result = repair_to_consistency(db, granularity=args.granularity)
+    if not result.consistent:
+        print(f"gave up after {result.rounds} rounds")
+        return 1
+    for index, transaction in enumerate(result.applied, start=1):
+        print(f"round {index}: {transaction}")
+    print(f"consistent after {result.rounds} round(s)")
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    processor = UpdateProcessor(db)
+    transaction = parse_transaction(args.transaction)
+    conditions = [c.strip() for c in args.conditions.split(",") if c.strip()]
+    changes = processor.monitor(transaction, conditions)
+    print(changes)
+    return 0
+
+
+REPL_HELP = """commands:
+  ? <atom>                 query, e.g. ? Unemp(x)
+  + <atom>                 insert a base fact (integrity-checked)
+  - <atom>                 delete a base fact (integrity-checked)
+  apply <transaction>      e.g. apply insert A(X), delete B(Y)
+  check <transaction>      integrity-check without applying
+  translate <request>      e.g. translate del Unemp(Dolors)
+  undo                     roll back the last applied transaction
+  rules | facts | table    inspect the database / the classification
+  help | quit
+"""
+
+
+def _cmd_repl(args: argparse.Namespace) -> int:
+    """An interactive session over a database file."""
+    from repro.core.history import Journal
+    from repro.events.events import Event, Transaction
+    from repro.events.naming import EventKind
+
+    db = _load(args.database)
+    processor = UpdateProcessor(db)
+    journal = Journal(db)
+    print(f"loaded {args.database}: {db.fact_count()} facts, "
+          f"{len(db.rules)} rules, {len(db.constraints)} constraints")
+    print("type 'help' for commands")
+
+    def apply_checked(transaction: Transaction) -> None:
+        if db.constraints and processor.is_consistent():
+            verdict = processor.check(transaction)
+            if not verdict.ok:
+                print(f"rejected: {verdict}")
+                return
+        journal.commit(transaction)
+        processor.refresh()
+        print(f"applied {transaction}")
+
+    while True:
+        try:
+            line = input("repro> ").strip()
+        except EOFError:
+            break
+        if not line:
+            continue
+        try:
+            if line in ("quit", "exit"):
+                break
+            elif line == "help":
+                print(REPL_HELP, end="")
+            elif line == "table":
+                print(render_table_4_1())
+            elif line == "rules":
+                for rule_ in db.all_rules():
+                    print(f"  {rule_}")
+            elif line == "facts":
+                for predicate, row in sorted(db.iter_facts(),
+                                             key=lambda p: (p[0], str(p[1]))):
+                    rendered = ", ".join(str(t) for t in row)
+                    print(f"  {predicate}({rendered})" if row else f"  {predicate}")
+            elif line.startswith("?"):
+                for row in db.query(line[1:].strip()):
+                    print(f"  {row}")
+            elif line.startswith("+") or line.startswith("-"):
+                target = parse_atom(line[1:].strip())
+                kind = EventKind.INSERTION if line[0] == "+" \
+                    else EventKind.DELETION
+                apply_checked(Transaction(
+                    [Event(kind, target.predicate, tuple(target.args))]))
+            elif line.startswith("apply "):
+                apply_checked(parse_transaction(line[len("apply "):]))
+            elif line.startswith("check "):
+                print(processor.check(parse_transaction(line[len("check "):])))
+            elif line.startswith("translate "):
+                pieces = line[len("translate "):].split(";")
+                result = processor.downward(
+                    [parse_request(piece) for piece in pieces])
+                if not result.is_satisfiable:
+                    print("no translation")
+                for index, translation in enumerate(result.translations, 1):
+                    print(f"  {index}. {translation}")
+            elif line == "undo":
+                undone = journal.undo()
+                processor.refresh()
+                print(f"undid {undone[0].transaction}")
+            else:
+                print(f"unknown command: {line!r} (try 'help')")
+        except DatalogError as error:
+            print(f"error: {error}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Deductive database updating problems via event rules "
+                    "(Teniente & Urpí, ICDE 1995).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("table", help="print Table 4.1").set_defaults(run=_cmd_table)
+
+    describe = commands.add_parser("describe",
+                                   help="print transition and event rules")
+    describe.add_argument("database")
+    describe.add_argument("--simplify", action="store_true")
+    describe.set_defaults(run=_cmd_describe)
+
+    upward = commands.add_parser("upward", help="induced derived events")
+    upward.add_argument("database")
+    upward.add_argument("-t", "--transaction", required=True)
+    upward.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    upward.set_defaults(run=_cmd_upward)
+
+    check = commands.add_parser("check", help="integrity checking (5.1.1)")
+    check.add_argument("database")
+    check.add_argument("-t", "--transaction", required=True)
+    check.set_defaults(run=_cmd_check)
+
+    translate = commands.add_parser(
+        "translate", help="view updating / downward interpretation")
+    translate.add_argument("database")
+    translate.add_argument("-r", "--request", action="append", required=True,
+                           help="e.g. 'ins P(B)' (repeatable)")
+    translate.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    translate.set_defaults(run=_cmd_translate)
+
+    repair = commands.add_parser("repair", help="repair an inconsistent database")
+    repair.add_argument("database")
+    repair.add_argument("--granularity", choices=["violation", "global"],
+                        default="violation")
+    repair.set_defaults(run=_cmd_repair)
+
+    monitor = commands.add_parser("monitor", help="condition monitoring (5.1.2)")
+    monitor.add_argument("database")
+    monitor.add_argument("-t", "--transaction", required=True)
+    monitor.add_argument("-c", "--conditions", required=True,
+                         help="comma-separated condition predicates")
+    monitor.set_defaults(run=_cmd_monitor)
+
+    repl = commands.add_parser("repl", help="interactive session")
+    repl.add_argument("database")
+    repl.set_defaults(run=_cmd_repl)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.run(args)
+    except (DatalogError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

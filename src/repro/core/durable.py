@@ -1,0 +1,126 @@
+"""Durable storage: snapshot plus write-ahead event log, with recovery.
+
+Events are the natural unit of durability for a deductive database: the
+intensional part changes rarely (snapshot it), the extensional part changes
+through transactions (log their events).  :class:`DurableDatabase` wraps a
+:class:`~repro.datalog.database.DeductiveDatabase` with
+
+- a **snapshot** file in the parser's concrete syntax,
+- an **event log** with one committed transaction per line
+  (``insert P(A), delete Q(B)`` -- the transaction parser's own syntax),
+- crash recovery: load the snapshot, replay the log;
+- :meth:`checkpoint`: fold the log into a fresh snapshot and truncate it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.errors import TransactionError
+from repro.events.events import Transaction, parse_transaction
+
+SNAPSHOT_NAME = "snapshot.dl"
+LOG_NAME = "events.log"
+
+
+class DurableDatabase:
+    """A deductive database persisted under a directory.
+
+    Open (or create) with :meth:`open`; route all fact updates through
+    :meth:`commit`.  Rule changes require :meth:`checkpoint` (they rewrite
+    the snapshot).
+    """
+
+    def __init__(self, db: DeductiveDatabase, directory: Path):
+        self._db = db
+        self._directory = directory
+        self._log_path = directory / LOG_NAME
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def open(cls, directory, initial: DeductiveDatabase | None = None
+             ) -> "DurableDatabase":
+        """Open a durable database, recovering from snapshot + log.
+
+        For a fresh directory, ``initial`` (or an empty database) becomes
+        the first snapshot.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        snapshot_path = directory / SNAPSHOT_NAME
+        log_path = directory / LOG_NAME
+        if snapshot_path.exists():
+            if initial is not None:
+                raise TransactionError(
+                    f"{directory} already holds a database; open it without "
+                    f"'initial' or choose a fresh directory"
+                )
+            db = DeductiveDatabase.from_source(snapshot_path.read_text())
+            if log_path.exists():
+                for line in log_path.read_text().splitlines():
+                    line = line.strip()
+                    if not line:
+                        continue
+                    for event in parse_transaction(line):
+                        if event.is_insertion:
+                            db.add_fact(event.predicate, *event.args)
+                        else:
+                            db.remove_fact(event.predicate, *event.args)
+        else:
+            db = initial.copy() if initial is not None else DeductiveDatabase()
+            snapshot_path.write_text(str(db) + "\n")
+            log_path.write_text("")
+        return cls(db, directory)
+
+    @property
+    def db(self) -> DeductiveDatabase:
+        """The live in-memory database."""
+        return self._db
+
+    @property
+    def directory(self) -> Path:
+        """The storage directory."""
+        return self._directory
+
+    # -- writes ---------------------------------------------------------------
+
+    def commit(self, transaction: Transaction) -> Transaction:
+        """Durably apply a transaction; returns the effective events.
+
+        The effective (normalised) transaction is appended to the log
+        *before* being applied in memory, so a crash between the two leaves
+        a replayable log.  Replaying an already-applied effective event is
+        idempotent under set semantics, so recovery is safe either way.
+        """
+        transaction.check_base_only(self._db)
+        effective = transaction.normalized(self._db)
+        if effective.events:
+            rendered = ", ".join(sorted(
+                ("insert " if e.is_insertion else "delete ") + str(e.atom())
+                for e in effective
+            ))
+            with self._log_path.open("a") as log:
+                log.write(rendered + "\n")
+        for event in effective:
+            if event.is_insertion:
+                self._db.add_fact(event.predicate, *event.args)
+            else:
+                self._db.remove_fact(event.predicate, *event.args)
+        return effective
+
+    def checkpoint(self) -> None:
+        """Fold the event log into a fresh snapshot and truncate the log."""
+        snapshot_path = self._directory / SNAPSHOT_NAME
+        temporary = snapshot_path.with_suffix(".tmp")
+        temporary.write_text(str(self._db) + "\n")
+        temporary.replace(snapshot_path)
+        self._log_path.write_text("")
+
+    def log_length(self) -> int:
+        """Number of committed transactions since the last checkpoint."""
+        if not self._log_path.exists():
+            return 0
+        return sum(1 for line in self._log_path.read_text().splitlines()
+                   if line.strip())

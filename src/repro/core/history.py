@@ -1,0 +1,102 @@
+"""Transaction history and undo.
+
+A journal over a deductive database: every committed transaction is
+recorded, and because transactions are sets of *effective* events
+(insertions of previously-absent facts, deletions of previously-present
+ones), each has an exact inverse -- undo is just applying the opposite
+events in reverse order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.errors import TransactionError
+from repro.events.events import Event, Transaction
+
+
+def inverse_of(transaction: Transaction) -> Transaction:
+    """The exact inverse of an *effective* transaction."""
+    return Transaction(event.opposite() for event in transaction)
+
+
+@dataclass
+class JournalEntry:
+    """One committed transaction with its precomputed inverse."""
+
+    sequence: int
+    transaction: Transaction
+    inverse: Transaction
+
+    def __str__(self) -> str:
+        return f"#{self.sequence} {self.transaction}"
+
+
+class Journal:
+    """Write-ahead journal with undo over one database.
+
+    Route all writes through :meth:`commit`; :meth:`undo` rolls back the
+    most recent entries.  Transactions are normalised before commit, so the
+    recorded events are exactly the effective ones and inverses are exact.
+    """
+
+    def __init__(self, db: DeductiveDatabase):
+        self._db = db
+        self._entries: list[JournalEntry] = []
+        self._sequence = 0
+
+    @property
+    def db(self) -> DeductiveDatabase:
+        """The journaled database."""
+        return self._db
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> tuple[JournalEntry, ...]:
+        """The committed entries, oldest first."""
+        return tuple(self._entries)
+
+    def commit(self, transaction: Transaction) -> JournalEntry:
+        """Apply an effective transaction and record it."""
+        transaction.check_base_only(self._db)
+        effective = transaction.normalized(self._db)
+        for event in effective:
+            if event.is_insertion:
+                self._db.add_fact(event.predicate, *event.args)
+            else:
+                self._db.remove_fact(event.predicate, *event.args)
+        self._sequence += 1
+        entry = JournalEntry(self._sequence, effective, inverse_of(effective))
+        self._entries.append(entry)
+        return entry
+
+    def undo(self, steps: int = 1) -> tuple[JournalEntry, ...]:
+        """Roll back the last *steps* transactions (most recent first)."""
+        if steps < 1:
+            raise ValueError("steps must be positive")
+        if steps > len(self._entries):
+            raise TransactionError(
+                f"cannot undo {steps} transactions; journal holds "
+                f"{len(self._entries)}"
+            )
+        undone: list[JournalEntry] = []
+        for _ in range(steps):
+            entry = self._entries.pop()
+            for event in entry.inverse:
+                if event.is_insertion:
+                    self._db.add_fact(event.predicate, *event.args)
+                else:
+                    self._db.remove_fact(event.predicate, *event.args)
+            undone.append(entry)
+        return tuple(undone)
+
+    def replay_onto(self, target: DeductiveDatabase) -> None:
+        """Re-apply the whole journal onto another database (e.g. a backup)."""
+        for entry in self._entries:
+            for event in entry.transaction:
+                if event.is_insertion:
+                    target.add_fact(event.predicate, *event.args)
+                else:
+                    target.remove_fact(event.predicate, *event.args)

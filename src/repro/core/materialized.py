@@ -1,0 +1,159 @@
+"""A stateful materialized-view store (the consumer of Section 5.1.3).
+
+The store keeps the extension of selected views physically, applies
+transactions to the underlying database, and keeps the stored extensions in
+sync *incrementally* using the upward interpretation -- never by
+recomputation (except in :meth:`verify`, which recomputes precisely to check
+that the incremental path was right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.errors import UnknownPredicateError
+from repro.datalog.evaluation import BottomUpEvaluator
+from repro.datalog.terms import Constant
+from repro.events.events import Transaction
+from repro.interpretations.upward import UpwardInterpreter, UpwardOptions
+
+Row = tuple[Constant, ...]
+
+
+@dataclass
+class VerificationReport:
+    """Result of :meth:`MaterializedViewStore.verify`."""
+
+    ok: bool
+    #: view -> (missing rows, spurious rows) for any out-of-sync view.
+    mismatches: dict[str, tuple[frozenset[Row], frozenset[Row]]]
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class MaterializedViewStore:
+    """Materialises views and maintains them through transactions.
+
+    The store owns the write path: apply transactions through
+    :meth:`apply`, not directly on the database, so the stored extensions
+    stay consistent.
+    """
+
+    def __init__(self, db: DeductiveDatabase, views: Iterable[str],
+                 options: UpwardOptions | None = None,
+                 strategy: str = "hybrid"):
+        if strategy not in ("hybrid", "counting"):
+            raise ValueError(f"unknown maintenance strategy: {strategy!r}")
+        self._db = db
+        self._views = tuple(dict.fromkeys(views))
+        schema = db.schema
+        for view in self._views:
+            if not schema.is_derived(view):
+                raise UnknownPredicateError(
+                    f"cannot materialize {view}: not a derived predicate"
+                )
+        self._options = options or UpwardOptions()
+        self._strategy = strategy
+        self._extensions: dict[str, set[Row]] = {}
+        self._interpreter: UpwardInterpreter | None = None
+        self._engine = None
+        self._transactions_applied = 0
+        if strategy == "counting":
+            from repro.interpretations.counting import CountingEngine
+
+            self._engine = CountingEngine(db)
+            for view in self._views:
+                self._extensions[view] = set(self._engine.extension(view))
+        else:
+            self._refresh_interpreter()
+            for view in self._views:
+                assert self._interpreter is not None
+                self._extensions[view] = set(
+                    self._interpreter.old_extension(view))
+
+    # -- read path ----------------------------------------------------------------
+
+    @property
+    def views(self) -> tuple[str, ...]:
+        """The materialised views, in declaration order."""
+        return self._views
+
+    def extension(self, view: str) -> frozenset[Row]:
+        """The stored extension of a view."""
+        if view not in self._extensions:
+            raise UnknownPredicateError(f"{view} is not materialized here")
+        return frozenset(self._extensions[view])
+
+    def holds(self, view: str, *args) -> bool:
+        """Membership test against the stored extension."""
+        row = tuple(a if isinstance(a, Constant) else Constant(a) for a in args)
+        return row in self.extension(view)
+
+    @property
+    def transactions_applied(self) -> int:
+        """How many transactions the store has processed."""
+        return self._transactions_applied
+
+    # -- write path -----------------------------------------------------------------
+
+    def apply(self, transaction: Transaction) -> Mapping[str, tuple[frozenset[Row], frozenset[Row]]]:
+        """Apply a base-fact transaction, maintaining every view.
+
+        Returns view -> (inserted rows, deleted rows) for the views that
+        changed.
+        """
+        if self._engine is not None:
+            result = self._engine.apply(transaction)  # commits to the db
+            changed: dict[str, tuple[frozenset[Row], frozenset[Row]]] = {}
+            for view in self._views:
+                inserted = result.insertions_of(view)
+                deleted = result.deletions_of(view)
+                if inserted or deleted:
+                    self._extensions[view] |= inserted
+                    self._extensions[view] -= deleted
+                    changed[view] = (inserted, deleted)
+            self._transactions_applied += 1
+            return changed
+        assert self._interpreter is not None
+        transaction = transaction.normalized(self._db)
+        # Interpret over *all* derived predicates so the cached old state can
+        # be advanced rather than re-materialised (that is the whole point of
+        # incremental maintenance).
+        result = self._interpreter.interpret(transaction)
+        changed: dict[str, tuple[frozenset[Row], frozenset[Row]]] = {}
+        for view in self._views:
+            inserted = result.insertions_of(view)
+            deleted = result.deletions_of(view)
+            if inserted or deleted:
+                self._extensions[view] |= inserted
+                self._extensions[view] -= deleted
+                changed[view] = (inserted, deleted)
+        for event in transaction:
+            if event.is_insertion:
+                self._db.add_fact(event.predicate, *event.args)
+            else:
+                self._db.remove_fact(event.predicate, *event.args)
+        self._transactions_applied += 1
+        self._interpreter.advance(result)
+        return changed
+
+    def _refresh_interpreter(self) -> None:
+        self._interpreter = UpwardInterpreter(self._db, options=self._options)
+
+    # -- verification -----------------------------------------------------------------
+
+    def verify(self) -> VerificationReport:
+        """Recompute every view from scratch and compare with the store."""
+        evaluator = BottomUpEvaluator(self._db, self._db.all_rules())
+        mismatches: dict[str, tuple[frozenset[Row], frozenset[Row]]] = {}
+        for view in self._views:
+            recomputed = evaluator.extension(view)
+            stored = frozenset(self._extensions[view])
+            missing = recomputed - stored
+            spurious = stored - recomputed
+            if missing or spurious:
+                mismatches[view] = (frozenset(missing), frozenset(spurious))
+        return VerificationReport(not mismatches, mismatches)

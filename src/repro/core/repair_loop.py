@@ -1,0 +1,101 @@
+"""Iterated repair: drive an inconsistent database to a consistent fixpoint.
+
+One downward interpretation of ``δIc`` already yields transactions that
+restore consistency outright (the global ``Ic`` covers every constraint).
+This loop exists for two reasons: as a belt-and-braces verification that a
+chosen repair really worked (the §5.3 downward-then-upward combination),
+and to support *partial* repair strategies that fix one constraint at a
+time and may expose further violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.datalog.database import DeductiveDatabase
+from repro.events.events import Transaction
+from repro.interpretations.downward import Translation
+from repro.problems.base import StateError, global_ic_holds
+from repro.problems.repair import repair_database
+
+#: Strategy: pick one repair among the candidates (None = give up).
+RepairStrategy = Callable[[Sequence[Translation]], Translation | None]
+
+
+def smallest_repair(candidates: Sequence[Translation]) -> Translation | None:
+    """Default strategy: the fewest-events translation (ties by rendering)."""
+    if not candidates:
+        return None
+    return min(candidates, key=lambda t: (len(t.transaction), str(t)))
+
+
+@dataclass
+class RepairLoopResult:
+    """Outcome of :func:`repair_to_consistency`."""
+
+    consistent: bool
+    rounds: int
+    #: The transactions applied, one per round.
+    applied: tuple[Transaction, ...] = ()
+    #: The repaired database (a copy; the input is never mutated).
+    db: DeductiveDatabase | None = field(default=None, repr=False)
+
+    def total_events(self) -> int:
+        """Total number of base-fact updates applied across all rounds."""
+        return sum(len(t) for t in self.applied)
+
+
+def repair_to_consistency(db: DeductiveDatabase,
+                          strategy: RepairStrategy = smallest_repair,
+                          max_rounds: int = 1000,
+                          granularity: str = "violation") -> RepairLoopResult:
+    """Repeatedly repair (5.2.3) until every constraint is satisfied.
+
+    ``granularity="violation"`` (default) repairs one violating constraint
+    instance per round (downward ``δIcN(c)``) -- linear in the number of
+    violations.  ``granularity="global"`` downward-interprets ``δIc`` once
+    per round, producing *complete* repairs but with combinatorially many
+    alternatives (only viable for a handful of simultaneous violations).
+
+    Works on a copy; the input database is untouched.  Raises
+    :class:`StateError` when called on an already-consistent database
+    (repair's precondition, matching :func:`repro.problems.repair`).
+    """
+    if granularity not in ("violation", "global"):
+        raise ValueError(f"unknown granularity: {granularity!r}")
+    if not global_ic_holds(db):
+        raise StateError("database is already consistent; nothing to repair")
+    working = db.copy()
+    applied: list[Transaction] = []
+    for round_number in range(1, max_rounds + 1):
+        if granularity == "global":
+            candidates = repair_database(working).repairs
+        else:
+            candidates = _single_violation_repairs(working)
+        chosen = strategy(candidates)
+        if chosen is None:
+            return RepairLoopResult(False, round_number - 1, tuple(applied), working)
+        for event in chosen.transaction:
+            if event.is_insertion:
+                working.add_fact(event.predicate, *event.args)
+            else:
+                working.remove_fact(event.predicate, *event.args)
+        applied.append(chosen.transaction)
+        if not global_ic_holds(working):
+            return RepairLoopResult(True, round_number, tuple(applied), working)
+    return RepairLoopResult(False, max_rounds, tuple(applied), working)
+
+
+def _single_violation_repairs(db: DeductiveDatabase) -> Sequence[Translation]:
+    """Repairs of the first violated constraint instance (deterministic)."""
+    from repro.interpretations.downward import DownwardInterpreter, want_delete
+    from repro.problems.ic_checking import full_check
+
+    violations = full_check(db)
+    if not violations:
+        return ()
+    predicate = min(violations)
+    row = min(violations[predicate], key=str)
+    interpreter = DownwardInterpreter(db)
+    return interpreter.interpret(want_delete(predicate, *row)).translations

@@ -1,0 +1,97 @@
+"""Updates of deductive rules and integrity constraints (end of Section 5.3).
+
+"The specification of the upward and the downward problems is the same when
+considering other kinds of updates like insertions or deletions of deductive
+rules.  In this case, we should first determine the changes on the
+transition and event rules caused by the update and apply then our approach
+in the same way."
+
+Concretely: a schema update recompiles the transition program and induces
+changes on derived predicates even though no base fact moved.  This module
+computes those induced changes (as an :class:`UpwardResult`-shaped diff) and
+reports any constraint violations the new schema introduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.datalog.database import GLOBAL_IC, DeductiveDatabase
+from repro.datalog.evaluation import BottomUpEvaluator
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant
+from repro.events.events import Transaction
+from repro.interpretations.upward import UpwardResult
+
+Row = tuple[Constant, ...]
+
+
+@dataclass
+class SchemaUpdateResult:
+    """Induced effects of an intensional (rule-level) update."""
+
+    #: The updated database (a copy; the input is untouched).
+    db: DeductiveDatabase
+    #: Changes on derived predicates induced by the rule update.
+    induced: UpwardResult
+    #: Constraints newly violated (``IcN`` -> witness rows).
+    new_violations: dict[str, frozenset[Row]] = field(default_factory=dict)
+    #: Constraints no longer violated.
+    resolved_violations: dict[str, frozenset[Row]] = field(default_factory=dict)
+
+    @property
+    def keeps_consistency(self) -> bool:
+        """True when the update introduces no new constraint violation."""
+        return not self.new_violations
+
+
+def apply_schema_update(db: DeductiveDatabase,
+                        add_rules: Iterable[Rule] = (),
+                        remove_rules: Iterable[Rule] = (),
+                        add_constraints: Iterable[Rule] = (),
+                        remove_constraints: Iterable[Rule] = ()
+                        ) -> SchemaUpdateResult:
+    """Apply an intensional update and compute the induced derived changes.
+
+    The extensional part is untouched; the induced events come purely from
+    the changed rule set (old vs. new perfect model of the same facts).
+    """
+    updated = db.copy()
+    for rule_ in remove_rules:
+        updated.remove_rule(rule_)
+    for rule_ in add_rules:
+        updated.add_rule(rule_)
+    for constraint in remove_constraints:
+        updated.remove_constraint(constraint)
+    for constraint in add_constraints:
+        updated.add_constraint(constraint)
+
+    old_eval = BottomUpEvaluator(db, db.rules_with_global_ic())
+    new_eval = BottomUpEvaluator(updated, updated.rules_with_global_ic())
+    old_state = old_eval.materialize()
+    new_state = new_eval.materialize()
+
+    insertions: dict[str, frozenset[Row]] = {}
+    deletions: dict[str, frozenset[Row]] = {}
+    derived = set(old_state.derived) | set(new_state.derived)
+    for predicate in derived:
+        gained = new_state.extension(predicate) - old_state.extension(predicate)
+        lost = old_state.extension(predicate) - new_state.extension(predicate)
+        if gained:
+            insertions[predicate] = frozenset(gained)
+        if lost:
+            deletions[predicate] = frozenset(lost)
+    induced = UpwardResult(insertions, deletions, Transaction())
+
+    constraint_heads = {r.head.predicate for r in updated.constraints}
+    constraint_heads |= {r.head.predicate for r in db.constraints}
+    new_violations = {
+        p: rows for p, rows in insertions.items()
+        if p in constraint_heads or p == GLOBAL_IC
+    }
+    resolved = {
+        p: rows for p, rows in deletions.items()
+        if p in constraint_heads or p == GLOBAL_IC
+    }
+    return SchemaUpdateResult(updated, induced, new_violations, resolved)

@@ -1,0 +1,161 @@
+"""An active-rule layer: triggers driven by condition monitoring.
+
+The condition-monitoring systems the paper classifies ([RCB+89], [HCK+90],
+[QW91]) are *active databases*: conditions with attached actions.  This
+module closes that loop: register callbacks on a condition's activation /
+deactivation, route every update through :class:`ActiveDatabase`, and the
+upward interpretation (5.1.2) decides which triggers fire.
+
+Actions may themselves return follow-up transactions, which are executed in
+cascade rounds (bounded, cycle-guarded) -- the classic recursive trigger
+semantics, powered entirely by the event rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.errors import DatalogError, UnknownPredicateError
+from repro.datalog.terms import Constant
+from repro.events.events import Transaction
+from repro.interpretations.upward import UpwardInterpreter
+
+Row = tuple[Constant, ...]
+
+#: An action receives the condition row and the full transaction, and may
+#: return a follow-up transaction (or None).
+Action = Callable[[Row, Transaction], Transaction | None]
+
+
+class TriggerLoopError(DatalogError):
+    """Raised when cascading triggers exceed the configured round bound."""
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """A registered trigger on one condition predicate."""
+
+    condition: str
+    #: "activate" (fires on ιCond rows) or "deactivate" (on δCond rows).
+    on: str = "activate"
+    action: Action | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.on not in ("activate", "deactivate"):
+            raise ValueError(f"trigger 'on' must be activate/deactivate: {self.on}")
+
+
+@dataclass
+class Firing:
+    """One trigger firing: which trigger, for which row, in which round."""
+
+    trigger: Trigger
+    row: Row
+    round_number: int
+
+    def __str__(self) -> str:
+        sign = "+" if self.trigger.on == "activate" else "-"
+        args = ", ".join(str(t) for t in self.row)
+        label = self.trigger.name or self.trigger.condition
+        return f"[round {self.round_number}] {label}: {sign}{self.trigger.condition}({args})"
+
+
+@dataclass
+class ExecutionTrace:
+    """Everything that happened while executing one user transaction."""
+
+    applied: tuple[Transaction, ...] = ()
+    firings: tuple[Firing, ...] = ()
+    rounds: int = 0
+
+    def fired(self, condition: str) -> bool:
+        """Did any trigger on *condition* fire?"""
+        return any(f.trigger.condition == condition for f in self.firings)
+
+
+class ActiveDatabase:
+    """A deductive database with triggers, executed through the event rules.
+
+    Every :meth:`execute` call upward-interprets the transaction, fires the
+    matching triggers, collects their follow-up transactions and repeats
+    (up to ``max_rounds``) until quiescence.
+    """
+
+    def __init__(self, db: DeductiveDatabase, max_rounds: int = 8):
+        self._db = db
+        self._max_rounds = max_rounds
+        self._triggers: list[Trigger] = []
+
+    @property
+    def db(self) -> DeductiveDatabase:
+        """The underlying database."""
+        return self._db
+
+    def on_activate(self, condition: str, action: Action | None = None,
+                    name: str = "") -> Trigger:
+        """Register a trigger on ``ιCond`` events."""
+        return self._register(Trigger(condition, "activate", action, name))
+
+    def on_deactivate(self, condition: str, action: Action | None = None,
+                      name: str = "") -> Trigger:
+        """Register a trigger on ``δCond`` events."""
+        return self._register(Trigger(condition, "deactivate", action, name))
+
+    def _register(self, trigger: Trigger) -> Trigger:
+        if not self._db.schema.is_derived(trigger.condition):
+            raise UnknownPredicateError(
+                f"trigger condition {trigger.condition} is not a derived predicate"
+            )
+        self._triggers.append(trigger)
+        return trigger
+
+    def triggers(self) -> tuple[Trigger, ...]:
+        """The registered triggers, in registration order."""
+        return tuple(self._triggers)
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(self, transaction: Transaction) -> ExecutionTrace:
+        """Apply a transaction, cascading trigger actions to quiescence."""
+        applied: list[Transaction] = []
+        firings: list[Firing] = []
+        pending = transaction
+        round_number = 0
+        while pending.events:
+            round_number += 1
+            if round_number > self._max_rounds:
+                raise TriggerLoopError(
+                    f"trigger cascade exceeded {self._max_rounds} rounds; "
+                    f"likely a cyclic trigger definition"
+                )
+            interpreter = UpwardInterpreter(self._db)
+            conditions = sorted({t.condition for t in self._triggers})
+            result = interpreter.interpret(pending, predicates=conditions or None)
+            # Commit this round.
+            effective = pending.normalized(self._db)
+            for event in effective:
+                if event.is_insertion:
+                    self._db.add_fact(event.predicate, *event.args)
+                else:
+                    self._db.remove_fact(event.predicate, *event.args)
+            applied.append(effective)
+            # Fire triggers and gather follow-ups.
+            followups: list[Transaction] = []
+            for trigger in self._triggers:
+                rows = result.insertions_of(trigger.condition) \
+                    if trigger.on == "activate" \
+                    else result.deletions_of(trigger.condition)
+                for row in sorted(rows, key=str):
+                    firings.append(Firing(trigger, row, round_number))
+                    if trigger.action is not None:
+                        followup = trigger.action(row, effective)
+                        if followup is not None and followup.events:
+                            followups.append(followup)
+            merged: Transaction = Transaction()
+            for followup in followups:
+                merged = merged | followup
+            pending = merged
+        return ExecutionTrace(tuple(applied), tuple(firings), round_number)

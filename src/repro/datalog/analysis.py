@@ -1,0 +1,151 @@
+"""Schema extraction and static checks (Section 2 of the paper).
+
+Three facts about a program are established here:
+
+1. every predicate has one consistent arity (:func:`check_arities`);
+2. predicates partition into **base** (never in a rule head) and **derived**
+   (only defined by rules) -- the paper requires this partition and notes
+   every database can be put in this form [BR86];
+3. every rule is **allowed**: each of its variables occurs in a positive
+   body condition (:func:`check_allowed`).  Facts must therefore be ground,
+   and a derived predicate's head variables must be bound by positive
+   conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.datalog.builtins import builtin_arity, is_builtin
+from repro.datalog.errors import ArityError, SafetyError
+from repro.datalog.parser import IC_PREFIX
+from repro.datalog.rules import Rule
+
+
+@dataclass(frozen=True)
+class PredicateInfo:
+    """Static information about one predicate symbol."""
+
+    name: str
+    arity: int
+    is_base: bool
+
+    @property
+    def is_derived(self) -> bool:
+        """Derived (view) predicates are exactly the non-base ones."""
+        return not self.is_base
+
+    @property
+    def is_inconsistency(self) -> bool:
+        """True for ``Ic``/``IcN`` integrity predicates."""
+        return is_inconsistency_predicate(self.name)
+
+
+def is_inconsistency_predicate(name: str) -> bool:
+    """True for the global ``Ic`` or a numbered ``IcN`` predicate."""
+    if name == IC_PREFIX:
+        return True
+    return name.startswith(IC_PREFIX) and name[len(IC_PREFIX):].isdigit()
+
+
+def check_arities(rules: Iterable[Rule],
+                  known: Mapping[str, int] | None = None) -> dict[str, int]:
+    """Verify consistent arities across all rule heads and bodies.
+
+    Returns the full predicate -> arity map (including *known* seeds).
+    """
+    arities: dict[str, int] = dict(known or {})
+
+    def record(predicate: str, arity: int) -> None:
+        seen = arities.setdefault(predicate, arity)
+        if seen != arity:
+            raise ArityError(
+                f"predicate {predicate} used with arity {arity} and {seen}"
+            )
+
+    for r in rules:
+        if is_builtin(r.head.predicate):
+            raise SafetyError(
+                f"built-in predicate {r.head.predicate} cannot be defined "
+                f"by a rule: {r}"
+            )
+        record(r.head.predicate, r.head.arity)
+        for literal in r.body:
+            if is_builtin(literal.predicate):
+                if literal.atom.arity != builtin_arity(literal.predicate):
+                    raise ArityError(
+                        f"built-in {literal.predicate} used with arity "
+                        f"{literal.atom.arity}"
+                    )
+                continue
+            record(literal.predicate, literal.atom.arity)
+    return arities
+
+
+def check_allowed(r: Rule) -> None:
+    """Raise :class:`SafetyError` unless *r* is allowed (range-restricted).
+
+    Built-in literals never bind: like negative conditions, their variables
+    must occur in an ordinary positive condition.
+    """
+    bound = set()
+    for literal in r.body:
+        if literal.positive and not is_builtin(literal.predicate):
+            bound.update(literal.variables())
+    unbound = {v for v in r.variables() if v not in bound}
+    if unbound:
+        names = ", ".join(sorted(v.name for v in unbound))
+        raise SafetyError(
+            f"rule is not allowed; variables not bound by a positive "
+            f"condition: {names} in {r}"
+        )
+
+
+@dataclass
+class SchemaAnalysis:
+    """Result of :func:`analyse_program`."""
+
+    predicates: dict[str, PredicateInfo] = field(default_factory=dict)
+    base: set[str] = field(default_factory=set)
+    derived: set[str] = field(default_factory=set)
+
+    def info(self, name: str) -> PredicateInfo:
+        """Look up a predicate (KeyError when unknown)."""
+        return self.predicates[name]
+
+
+def analyse_program(rules: Sequence[Rule],
+                    declared_base: Iterable[str] = (),
+                    known_arities: Mapping[str, int] | None = None) -> SchemaAnalysis:
+    """Classify predicates and run every static check.
+
+    A predicate is derived when it appears in the head of at least one
+    non-fact rule; every other predicate is base.  ``declared_base`` lets a
+    caller pre-declare base predicates (e.g. ones with no facts yet) -- a
+    rule head on a declared-base predicate raises :class:`SafetyError`,
+    because the paper's partition forbids base predicates in the intensional
+    part.
+    """
+    arities = check_arities(rules, known_arities)
+    declared = set(declared_base)
+    derived: set[str] = set()
+    for r in rules:
+        if r.body or not r.head.is_ground():
+            derived.add(r.head.predicate)
+        check_allowed(r)
+    conflict = derived & declared
+    if conflict:
+        names = ", ".join(sorted(conflict))
+        raise SafetyError(f"declared base predicates defined by rules: {names}")
+    analysis = SchemaAnalysis()
+    for name, arity in arities.items():
+        is_base = name not in derived
+        analysis.predicates[name] = PredicateInfo(name, arity, is_base)
+        (analysis.base if is_base else analysis.derived).add(name)
+    for name in declared:
+        if name not in analysis.predicates:
+            info = PredicateInfo(name, 0, True)
+            analysis.predicates[name] = info
+            analysis.base.add(name)
+    return analysis

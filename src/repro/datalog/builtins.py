@@ -1,0 +1,112 @@
+"""Built-in (rigid) comparison predicates.
+
+Views frequently need comparisons -- ``Classmate(x, y) ← Enrolled(x, c) ∧
+Enrolled(y, c) ∧ Neq(x, y)`` -- which the paper's function-free language
+can express only through auxiliary base relations.  This module adds them
+as *rigid* predicates: evaluated procedurally, never stored, and -- the
+property that matters to the event-rule framework -- **identical in the old
+and the new state**.  Rigidity means the transition-rule substitution
+(3)/(4) leaves them untouched: no ``ιNeq``/``δNeq`` events exist, so each
+built-in literal contributes exactly one alternative instead of two,
+halving the 2^k disjunct blow-up per occurrence.
+
+Built-ins behave like negative literals for safety: their arguments must be
+bound by ordinary positive conditions.
+
+==========  =====  =========================================
+name        arity  meaning (constants compare by payload)
+==========  =====  =========================================
+``Eq``      2      equality
+``Neq``     2      inequality
+``Lt``      2      strict less-than
+``Leq``     2      less-or-equal
+``Gt``      2      strict greater-than
+``Geq``     2      greater-or-equal
+==========  =====  =========================================
+
+Order comparisons between an int and a str fall back to comparing their
+string renderings, so they are total (and deterministic) over any finite
+domain.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.datalog.terms import Constant
+
+Row = tuple[Constant, ...]
+
+
+def _key(constant: Constant):
+    value = constant.value
+    if isinstance(value, int):
+        return (0, value)
+    return (1, value)
+
+
+def _comparable(left: Constant, right: Constant) -> tuple:
+    if isinstance(left.value, int) == isinstance(right.value, int):
+        return left.value, right.value
+    return str(left.value), str(right.value)
+
+
+def _eq(row: Row) -> bool:
+    return row[0] == row[1]
+
+
+def _neq(row: Row) -> bool:
+    return row[0] != row[1]
+
+
+def _lt(row: Row) -> bool:
+    left, right = _comparable(row[0], row[1])
+    return left < right
+
+
+def _leq(row: Row) -> bool:
+    left, right = _comparable(row[0], row[1])
+    return left <= right
+
+
+def _gt(row: Row) -> bool:
+    left, right = _comparable(row[0], row[1])
+    return left > right
+
+
+def _geq(row: Row) -> bool:
+    left, right = _comparable(row[0], row[1])
+    return left >= right
+
+
+#: name -> (arity, evaluator)
+BUILTINS: Mapping[str, tuple[int, Callable[[Row], bool]]] = {
+    "Eq": (2, _eq),
+    "Neq": (2, _neq),
+    "Lt": (2, _lt),
+    "Leq": (2, _leq),
+    "Gt": (2, _gt),
+    "Geq": (2, _geq),
+}
+
+
+def is_builtin(predicate: str) -> bool:
+    """True for the reserved rigid predicates above."""
+    return predicate in BUILTINS
+
+
+def builtin_arity(predicate: str) -> int:
+    """Declared arity of a built-in (KeyError for non-built-ins)."""
+    return BUILTINS[predicate][0]
+
+
+def evaluate_builtin(predicate: str, row: Row) -> bool:
+    """Evaluate a built-in on a ground argument tuple."""
+    arity, evaluate = BUILTINS[predicate]
+    if len(row) != arity:
+        from repro.datalog.errors import ArityError
+
+        raise ArityError(
+            f"built-in {predicate} expects {arity} arguments, got {len(row)}"
+        )
+    return evaluate(row)

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the Datalog substrate and the event-rule layers.
+
+All library errors derive from :class:`DatalogError` so callers can catch a
+single type at the API boundary.  Each subclass corresponds to one way a
+program, database or update request can be ill-formed.
+"""
+
+from __future__ import annotations
+
+
+class DatalogError(Exception):
+    """Base class of every error raised by the library."""
+
+
+class ParseError(DatalogError):
+    """Raised when concrete Datalog syntax cannot be parsed.
+
+    Carries enough position information to point the user at the offending
+    token.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class ArityError(DatalogError):
+    """Raised when a predicate is used with inconsistent arities."""
+
+
+class UnknownPredicateError(DatalogError):
+    """Raised when an operation refers to a predicate absent from the schema."""
+
+
+class SafetyError(DatalogError):
+    """Raised when a rule violates the "allowed" condition of the paper (S2).
+
+    A rule is allowed when every variable occurring anywhere in it also
+    occurs in a positive body condition.  Allowedness guarantees that
+    negation-as-failure and event-rule expansion are well defined.
+    """
+
+
+class StratificationError(DatalogError):
+    """Raised when a program has no stratification (negation through recursion)."""
+
+
+class DomainError(DatalogError):
+    """Raised when finite-domain enumeration is required but no domain exists."""
+
+
+class TransactionError(DatalogError):
+    """Raised for ill-formed transactions (e.g. inserting and deleting one fact)."""
+
+
+class ComplexityLimitExceeded(DatalogError):
+    """Raised when a DNF grows past its configured size bound.
+
+    Downward results are inherently exponential in the number of independent
+    alternatives (repairing k violations with a choices each yields a^k
+    combined repairs); the bound turns a silent blow-up into a diagnosable
+    error suggesting a finer-grained request.
+    """
+
+
+class DepthLimitExceeded(DatalogError):
+    """Raised when goal-directed search exceeds its configured depth bound.
+
+    The downward interpretation of recursive predicates may have infinitely
+    many candidate translations; the bound makes the search a decision
+    procedure for the bounded fragment and a semi-decision procedure overall.
+    """

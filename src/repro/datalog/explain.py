@@ -1,0 +1,127 @@
+"""Derivation explanations: *why* does a derived fact hold?
+
+Production tooling for the substrate: given a derived fact, produce its
+derivation tree(s) -- which rule fired, under which bindings, supported by
+which facts.  The event-rule layer uses the same machinery to explain
+*induced events* (which transition disjunct fired).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.datalog.builtins import is_builtin
+from repro.datalog.evaluation import BottomUpEvaluator
+from repro.datalog.rules import Atom, Literal, Rule
+from repro.datalog.terms import Constant
+from repro.datalog.unification import match_tuple, resolve
+
+Row = tuple[Constant, ...]
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One derivation step: a fact, and (for derived facts) its support."""
+
+    fact: Atom
+    #: The rule instance that produced the fact (None for stored facts,
+    #: built-ins and negative support).
+    rule: Rule | None = None
+    #: Sub-derivations of the positive body literals.
+    support: tuple["Derivation", ...] = ()
+    #: Negative conditions the derivation relied on (rendered, checked).
+    absences: tuple[Literal, ...] = ()
+
+    def is_leaf(self) -> bool:
+        """True for stored facts / built-in truths."""
+        return self.rule is None
+
+    def depth(self) -> int:
+        """Height of the derivation tree."""
+        if not self.support:
+            return 1
+        return 1 + max(child.depth() for child in self.support)
+
+    def render(self, indent: int = 0) -> str:
+        """A human-readable proof tree."""
+        pad = "  " * indent
+        if self.rule is None:
+            return f"{pad}{self.fact}  [fact]"
+        lines = [f"{pad}{self.fact}  [{self.rule}]"]
+        for child in self.support:
+            lines.append(child.render(indent + 1))
+        for literal in self.absences:
+            lines.append(f"{'  ' * (indent + 1)}{literal}  [holds]")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class Explainer:
+    """Builds derivation trees against one database state."""
+
+    def __init__(self, evaluator: BottomUpEvaluator, rules: Sequence[Rule]):
+        self._evaluator = evaluator
+        self._rules_of: dict[str, list[Rule]] = {}
+        for rule in rules:
+            self._rules_of.setdefault(rule.head.predicate, []).append(rule)
+
+    @classmethod
+    def for_database(cls, db) -> "Explainer":
+        """An explainer over DR ∪ IC (plus the global ``Ic``) of *db*."""
+        rules = db.rules_with_global_ic()
+        return cls(BottomUpEvaluator(db, rules), rules)
+
+    def explain(self, predicate: str, row: Row,
+                max_explanations: int = 1) -> tuple[Derivation, ...]:
+        """Derivation trees of ``predicate(row)`` (empty when it is false)."""
+        return tuple(self._explain_atom(Atom(predicate, row),
+                                        max_explanations))
+
+    # -- internals ---------------------------------------------------------------
+
+    def _explain_atom(self, goal: Atom,
+                      limit: int) -> Iterator[Derivation]:
+        produced = 0
+        row = tuple(goal.args)
+        rules = self._rules_of.get(goal.predicate)
+        if rules is None:
+            # Base predicate: a stored fact is its own explanation.
+            if row in self._evaluator.extension(goal.predicate):
+                yield Derivation(goal)
+            return
+        if row not in self._evaluator.extension(goal.predicate):
+            return
+        for rule in rules:
+            bindings = match_tuple(tuple(rule.head.args), row, {})  # type: ignore[arg-type]
+            if bindings is None:
+                continue
+            for solution in self._evaluator.solve(list(rule.body), bindings):
+                support: list[Derivation] = []
+                absences: list[Literal] = []
+                for literal in rule.body:
+                    ground_args = tuple(resolve(t, solution)
+                                        for t in literal.args)
+                    ground = Atom(literal.predicate, ground_args)
+                    if is_builtin(literal.predicate) or not literal.positive:
+                        absences.append(Literal(ground, literal.positive))
+                        continue
+                    child = next(self._explain_atom(ground, 1), None)
+                    if child is None:
+                        break
+                    support.append(child)
+                else:
+                    grounded_rule = Rule(
+                        Atom(rule.head.predicate, row),
+                        tuple(Literal(Atom(l.predicate,
+                                           tuple(resolve(t, solution)
+                                                 for t in l.args)),
+                                      l.positive) for l in rule.body),
+                    )
+                    yield Derivation(Atom(goal.predicate, row), grounded_rule,
+                                     tuple(support), tuple(absences))
+                    produced += 1
+                    if produced >= limit:
+                        return

@@ -1,0 +1,155 @@
+"""A small directed-graph toolkit used by the dependency analyses.
+
+Implemented from scratch (no external graph library) because the substrate is
+part of what we reproduce.  Provides labelled edges, iterative Tarjan SCC
+(no recursion limit issues on deep rule towers) and topological sorting of
+the condensation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+Label = TypeVar("Label")
+
+
+@dataclass
+class Digraph(Generic[Node, Label]):
+    """A directed graph with optional edge labels and parallel-edge merging.
+
+    Multiple labels on one (source, target) pair accumulate in a set, which is
+    exactly what predicate dependency graphs need (an edge can be both
+    positive and negative).
+    """
+
+    _successors: dict = field(default_factory=dict)
+    _labels: dict = field(default_factory=dict)
+
+    def add_node(self, node: Node) -> None:
+        """Add *node* (idempotent)."""
+        self._successors.setdefault(node, set())
+
+    def add_edge(self, source: Node, target: Node, label: Label | None = None) -> None:
+        """Add an edge, merging labels of parallel edges."""
+        self.add_node(source)
+        self.add_node(target)
+        self._successors[source].add(target)
+        if label is not None:
+            self._labels.setdefault((source, target), set()).add(label)
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes."""
+        return iter(self._successors)
+
+    def successors(self, node: Node) -> frozenset:
+        """Direct successors of *node* (empty set if unknown)."""
+        return frozenset(self._successors.get(node, ()))
+
+    def labels(self, source: Node, target: Node) -> frozenset:
+        """Labels attached to the (source, target) edge."""
+        return frozenset(self._labels.get((source, target), ()))
+
+    def has_edge(self, source: Node, target: Node) -> bool:
+        """True when the edge exists."""
+        return target in self._successors.get(source, ())
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._successors
+
+    def __len__(self) -> int:
+        return len(self._successors)
+
+    # -- analyses ----------------------------------------------------------
+
+    def strongly_connected_components(self) -> list[frozenset]:
+        """Tarjan's algorithm, iterative, in reverse topological order."""
+        index_of: dict[Node, int] = {}
+        lowlink: dict[Node, int] = {}
+        on_stack: set[Node] = set()
+        stack: list[Node] = []
+        components: list[frozenset] = []
+        counter = 0
+
+        for root in list(self._successors):
+            if root in index_of:
+                continue
+            work: list[tuple[Node, Iterator[Node]]] = [(root, iter(self._successors[root]))]
+            index_of[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for successor in successors:
+                    if successor not in index_of:
+                        index_of[successor] = lowlink[successor] = counter
+                        counter += 1
+                        stack.append(successor)
+                        on_stack.add(successor)
+                        work.append((successor, iter(self._successors[successor])))
+                        advanced = True
+                        break
+                    if successor in on_stack:
+                        lowlink[node] = min(lowlink[node], index_of[successor])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index_of[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(frozenset(component))
+        return components
+
+    def reachable_from(self, sources: Iterable[Node]) -> set:
+        """All nodes reachable from *sources* (including them)."""
+        seen: set = set()
+        frontier = [s for s in sources if s in self._successors]
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self._successors.get(node, ()))
+        return seen
+
+    def reversed(self) -> "Digraph":
+        """A new graph with every edge (and its labels) flipped."""
+        flipped: Digraph = Digraph()
+        for node in self._successors:
+            flipped.add_node(node)
+        for source, targets in self._successors.items():
+            for target in targets:
+                flipped.add_edge(target, source)
+                for label in self.labels(source, target):
+                    flipped.add_edge(target, source, label)
+        return flipped
+
+    def topological_order(self) -> list:
+        """Kahn's algorithm; raises ValueError when the graph has a cycle."""
+        in_degree: dict[Node, int] = {node: 0 for node in self._successors}
+        for targets in self._successors.values():
+            for target in targets:
+                in_degree[target] += 1
+        ready = [node for node, degree in in_degree.items() if degree == 0]
+        order: list = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for target in self._successors[node]:
+                in_degree[target] -= 1
+                if in_degree[target] == 0:
+                    ready.append(target)
+        if len(order) != len(self._successors):
+            raise ValueError("graph has a cycle; no topological order exists")
+        return order

@@ -1,0 +1,190 @@
+"""Magic-sets rewriting: goal-directed bottom-up query evaluation.
+
+Part of the substrate the paper takes from the deductive-database canon
+([Ull88]): answering a *specific* query by bottom-up evaluation of the full
+program wastes work on irrelevant facts.  The magic-sets transformation
+specialises the program to the query's binding pattern so that bottom-up
+evaluation only derives tuples relevant to it -- the bottom-up counterpart
+of top-down goal direction.
+
+The implementation covers positive Datalog (negated conditions are allowed
+only on *base* predicates, where they act as filters and need no magic);
+queries over programs that negate derived predicates are rejected --
+evaluate those with the plain :class:`~repro.datalog.evaluation.
+BottomUpEvaluator`.
+
+Sketch (supplementary-free, left-to-right SIPS):
+
+- every derived predicate reached from the query gets *adorned* versions
+  ``P@bf...`` describing which arguments are bound;
+- each adorned rule is guarded by a magic literal ``magic$P@a(bound args)``;
+- for each derived body literal a *magic rule* passes the bindings down;
+- the query's constants become the magic *seed* fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.datalog.builtins import is_builtin
+from repro.datalog.errors import SafetyError
+from repro.datalog.evaluation import BottomUpEvaluator, FactSource
+from repro.datalog.rules import Atom, Literal, Rule
+from repro.datalog.terms import Constant, Term, Variable
+
+MAGIC_PREFIX = "magic$"
+ADORN_SEPARATOR = "@"
+
+Row = tuple[Constant, ...]
+
+
+def _adornment_of(args: Sequence[Term], bound_vars: set[Variable]) -> str:
+    return "".join(
+        "b" if isinstance(t, Constant) or t in bound_vars else "f"
+        for t in args
+    )
+
+
+def _adorned_name(predicate: str, adornment: str) -> str:
+    return f"{predicate}{ADORN_SEPARATOR}{adornment}"
+
+
+def _bound_args(args: Sequence[Term], adornment: str) -> tuple[Term, ...]:
+    return tuple(t for t, a in zip(args, adornment) if a == "b")
+
+
+@dataclass
+class MagicProgram:
+    """The rewritten program plus the seed and the answer predicate."""
+
+    rules: tuple[Rule, ...]
+    seed_predicate: str
+    seed_row: Row
+    answer_predicate: str
+    #: Adorned predicates generated (diagnostics / tests).
+    adorned: frozenset[str] = frozenset()
+
+    def seed_source(self, base: FactSource) -> "_SeededSource":
+        """A fact source layering the magic seed over *base*."""
+        return _SeededSource(base, self.seed_predicate, self.seed_row)
+
+
+class _SeededSource:
+    """A fact source with one extra (seed) fact."""
+
+    def __init__(self, base: FactSource, predicate: str, row: Row):
+        self._base = base
+        self._predicate = predicate
+        self._row = row
+
+    def facts_of(self, predicate: str):
+        if predicate == self._predicate:
+            return frozenset({self._row})
+        return self._base.facts_of(predicate)
+
+    def lookup(self, predicate: str, pattern: Sequence[Term]):
+        if predicate == self._predicate:
+            if all(not isinstance(t, Constant) or t == v
+                   for t, v in zip(pattern, self._row)):
+                return iter([self._row])
+            return iter(())
+        return self._base.lookup(predicate, pattern)
+
+
+def magic_rewrite(rules: Sequence[Rule], query: Atom) -> MagicProgram:
+    """Rewrite *rules* for goal-directed evaluation of *query*.
+
+    Raises :class:`SafetyError` when a reachable rule negates a derived
+    predicate (out of this transformation's fragment).
+    """
+    derived = {r.head.predicate for r in rules}
+    rules_of: dict[str, list[Rule]] = {}
+    for rule in rules:
+        rules_of.setdefault(rule.head.predicate, []).append(rule)
+
+    query_adornment = _adornment_of(query.args, set())
+    pending: list[tuple[str, str]] = [(query.predicate, query_adornment)]
+    seen: set[tuple[str, str]] = set()
+    rewritten: list[Rule] = []
+
+    while pending:
+        predicate, adornment = pending.pop()
+        if (predicate, adornment) in seen:
+            continue
+        seen.add((predicate, adornment))
+        magic_name = MAGIC_PREFIX + _adorned_name(predicate, adornment)
+        for rule in rules_of.get(predicate, ()):
+            bound_head_vars = {
+                t for t, a in zip(rule.head.args, adornment)
+                if a == "b" and isinstance(t, Variable)
+            }
+            magic_guard = Literal(
+                Atom(magic_name, _bound_args(rule.head.args, adornment)), True)
+            new_body: list[Literal] = [magic_guard]
+            bound_vars = set(bound_head_vars)
+            for literal in rule.body:
+                if literal.predicate in derived:
+                    if not literal.positive:
+                        raise SafetyError(
+                            f"magic-sets rewriting does not cover negation "
+                            f"on derived predicates: {literal} in {rule}"
+                        )
+                    body_adornment = _adornment_of(literal.args, bound_vars)
+                    # Magic rule: pass the bindings down to the subgoal.
+                    sub_magic = Atom(
+                        MAGIC_PREFIX + _adorned_name(literal.predicate,
+                                                     body_adornment),
+                        _bound_args(literal.args, body_adornment))
+                    rewritten.append(Rule(sub_magic, tuple(new_body),
+                                          label="magic"))
+                    pending.append((literal.predicate, body_adornment))
+                    new_body.append(Literal(
+                        Atom(_adorned_name(literal.predicate, body_adornment),
+                             literal.args),
+                        True))
+                    bound_vars.update(literal.variables())
+                else:
+                    new_body.append(literal)
+                    if literal.positive and not is_builtin(literal.predicate):
+                        bound_vars.update(literal.variables())
+            rewritten.append(Rule(
+                Atom(_adorned_name(predicate, adornment), rule.head.args),
+                tuple(new_body),
+                label="adorned"))
+
+    seed_predicate = MAGIC_PREFIX + _adorned_name(query.predicate,
+                                                  query_adornment)
+    seed_row = tuple(t for t in query.args if isinstance(t, Constant))
+    # The seed is emitted as a bodiless rule: in the recursive case the
+    # magic predicate has rules of its own, making it *derived* -- a seed
+    # fact in the extensional source would be shadowed by the evaluator.
+    rewritten.append(Rule(Atom(seed_predicate, seed_row), (), label="seed"))
+    return MagicProgram(
+        rules=tuple(rewritten),
+        seed_predicate=seed_predicate,
+        seed_row=seed_row,  # type: ignore[arg-type]
+        answer_predicate=_adorned_name(query.predicate, query_adornment),
+        adorned=frozenset(_adorned_name(p, a) for p, a in seen),
+    )
+
+
+def magic_answers(facts: FactSource, rules: Sequence[Rule], query: Atom,
+                  stats_out: list | None = None) -> set[Row]:
+    """Answer *query* goal-directedly via magic rewriting.
+
+    Returns the full rows of the query predicate matching the query's
+    constants.  ``stats_out``, if given, receives the evaluator's
+    :class:`~repro.datalog.evaluation.EvaluationStats`.
+    """
+    program = magic_rewrite(rules, query)
+    evaluator = BottomUpEvaluator(program.seed_source(facts),
+                                  list(program.rules))
+    answers = set()
+    for row in evaluator.extension(program.answer_predicate):
+        if all(not isinstance(t, Constant) or t == v
+               for t, v in zip(query.args, row)):
+            answers.add(row)
+    if stats_out is not None:
+        stats_out.append(evaluator.stats)
+    return answers

@@ -1,0 +1,304 @@
+"""Concrete syntax for deductive databases.
+
+The grammar follows the paper's notation as closely as plain text allows::
+
+    % comment (also '#')
+    Q(A).                          % fact (constants are capitalised)
+    P(x) <- Q(x) & not R(x).      % deductive rule ('&' or ',', ':-' or '<-')
+    <- P(x) & S(x).                % integrity constraint in denial form
+    Ic2 <- P(x) & V(x).            % integrity rule with explicit head
+
+    Strings: 'lower case constant', "also a constant"
+    Integers: 42, -7
+    Negation: 'not', '~' or '¬'
+    Comparisons: infix sugar for the built-ins, e.g. ``x != y`` (Neq),
+    ``n >= 5`` (Geq); also ``==  <  <=  >``
+
+Denial-form constraints are rewritten to integrity rules ``IcN <- body`` as
+Section 2 prescribes, with ``N`` assigned in source order starting after any
+explicitly named ``IcN`` heads.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.datalog.errors import ParseError
+from repro.datalog.rules import Atom, Literal, Rule
+from repro.datalog.terms import Constant, Term, term_from_name
+
+#: Prefix that identifies integrity (inconsistency) predicates, per Section 2.
+IC_PREFIX = "Ic"
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>[%\#][^\n]*)
+  | (?P<arrow><-|:-)
+  | (?P<neg>not\b|~|¬)
+  | (?P<op>!=|==|<=|>=|<|>)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<int>-?\d+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<punct>[(),.&])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield tokens, raising :class:`ParseError` on unrecognised input."""
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[position]!r}",
+                line,
+                position - line_start + 1,
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind not in ("ws", "comment"):
+            yield Token(kind, text, line, match.start() - line_start + 1)
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = match.start() + text.rfind("\n") + 1
+        position = match.end()
+
+
+@dataclass
+class ParsedProgram:
+    """Result of :func:`parse_program`: facts, rules and integrity rules.
+
+    ``constraints`` holds the integrity rules (explicit ``Ic*`` heads and
+    rewritten denials); ``rules`` holds ordinary deductive rules; ``facts``
+    holds ground bodiless rules.
+    """
+
+    facts: list[Rule] = field(default_factory=list)
+    rules: list[Rule] = field(default_factory=list)
+    constraints: list[Rule] = field(default_factory=list)
+
+    def all_rules(self) -> list[Rule]:
+        """Facts, deductive rules and integrity rules, in that order."""
+        return [*self.facts, *self.rules, *self.constraints]
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, source: str):
+        self._tokens = list(tokenize(source))
+        self._index = 0
+
+    # -- token utilities ---------------------------------------------------
+
+    def _peek(self) -> Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _expect(self, text: str) -> Token:
+        token = self._next()
+        if token.text != text:
+            raise ParseError(
+                f"expected {text!r}, found {token.text!r}", token.line, token.column
+            )
+        return token
+
+    def _at(self, text: str) -> bool:
+        token = self._peek()
+        return token is not None and token.text == text
+
+    def at_end(self) -> bool:
+        """True when every token has been consumed."""
+        return self._peek() is None
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_term(self) -> Term:
+        token = self._next()
+        if token.kind == "name":
+            return term_from_name(token.text)
+        if token.kind == "int":
+            return Constant(int(token.text))
+        if token.kind == "string":
+            return Constant(token.text[1:-1])
+        raise ParseError(f"expected a term, found {token.text!r}", token.line, token.column)
+
+    def parse_atom(self) -> Atom:
+        token = self._next()
+        if token.kind != "name":
+            raise ParseError(
+                f"expected a predicate name, found {token.text!r}", token.line, token.column
+            )
+        predicate = token.text
+        args: list[Term] = []
+        if self._at("("):
+            self._next()
+            if self._at(")"):
+                raise ParseError("empty argument list", token.line, token.column)
+            args.append(self.parse_term())
+            while self._at(","):
+                self._next()
+                args.append(self.parse_term())
+            self._expect(")")
+        return Atom(predicate, tuple(args))
+
+    #: Infix comparison sugar -> built-in predicates.
+    _OPERATORS = {"==": "Eq", "!=": "Neq", "<": "Lt", "<=": "Leq",
+                  ">": "Gt", ">=": "Geq"}
+
+    def parse_literal(self) -> Literal:
+        positive = True
+        if self._peek() is not None and self._peek().kind == "neg":
+            self._next()
+            positive = False
+        head_token = self._peek()
+        if head_token is not None and head_token.kind in ("int", "string"):
+            # A literal starting with a non-name term must be a comparison.
+            left = self.parse_term()
+            operator_token = self._next()
+            if operator_token.kind != "op":
+                raise ParseError(
+                    f"expected a comparison operator, found "
+                    f"{operator_token.text!r}",
+                    operator_token.line, operator_token.column)
+            right = self.parse_term()
+            return Literal(
+                Atom(self._OPERATORS[operator_token.text], (left, right)),
+                positive)
+        atom_or_term = self.parse_atom()
+        nxt = self._peek()
+        if nxt is not None and nxt.kind == "op":
+            # Infix comparison: the parsed "atom" was really a bare term.
+            if atom_or_term.args:
+                raise ParseError(
+                    f"comparison operand must be a plain term, got "
+                    f"{atom_or_term}", nxt.line, nxt.column)
+            operator = self._next().text
+            left = term_from_name(atom_or_term.predicate)
+            right = self.parse_term()
+            return Literal(Atom(self._OPERATORS[operator], (left, right)),
+                           positive)
+        return Literal(atom_or_term, positive)
+
+    def parse_body(self) -> list[Literal]:
+        literals = [self.parse_literal()]
+        while self._at("&") or self._at(","):
+            self._next()
+            literals.append(self.parse_literal())
+        return literals
+
+    def parse_statement(self) -> tuple[Atom | None, list[Literal]]:
+        """One statement up to '.'; head None means a denial."""
+        if self._peek() is not None and self._peek().kind == "arrow":
+            self._next()
+            body = self.parse_body()
+            self._expect(".")
+            return None, body
+        head = self.parse_atom()
+        body: list[Literal] = []
+        if self._peek() is not None and self._peek().kind == "arrow":
+            self._next()
+            body = self.parse_body()
+        self._expect(".")
+        return head, body
+
+
+def parse_program(source: str) -> ParsedProgram:
+    """Parse a whole program; see the module docstring for the grammar."""
+    parser = _Parser(source)
+    program = ParsedProgram()
+    used_ic_numbers: set[int] = set()
+    pending_denials: list[list[Literal]] = []
+    while not parser.at_end():
+        head, body = parser.parse_statement()
+        if head is None:
+            pending_denials.append(body)
+            continue
+        statement = Rule(head, tuple(body))
+        if head.predicate.startswith(IC_PREFIX) and head.predicate[len(IC_PREFIX):].isdigit():
+            used_ic_numbers.add(int(head.predicate[len(IC_PREFIX):]))
+            program.constraints.append(statement)
+        elif not body:
+            if not head.is_ground():
+                raise ParseError(f"fact must be ground: {head}")
+            program.facts.append(statement)
+        else:
+            program.rules.append(statement)
+    next_number = 1
+    for body in pending_denials:
+        while next_number in used_ic_numbers:
+            next_number += 1
+        used_ic_numbers.add(next_number)
+        # Give the inconsistency predicate the denial's variables as terms
+        # (the paper: "with or without terms").  Parameterised heads let the
+        # downward interpretation repair one violating instance at a time.
+        seen_variables: list = []
+        for literal in body:
+            for variable in literal.variables():
+                if variable not in seen_variables:
+                    seen_variables.append(variable)
+        head = Atom(f"{IC_PREFIX}{next_number}", tuple(seen_variables))
+        program.constraints.append(Rule(head, tuple(body)))
+    return program
+
+
+def _parse_single(source: str, production: str):
+    parser = _Parser(source)
+    result = getattr(parser, f"parse_{production}")()
+    if parser._at("."):
+        parser._next()
+    if not parser.at_end():
+        token = parser._peek()
+        raise ParseError(f"trailing input {token.text!r}", token.line, token.column)
+    return result
+
+
+def parse_atom(source: str) -> Atom:
+    """Parse a single atom, e.g. ``"P(x, A)"``."""
+    return _parse_single(source, "atom")
+
+
+def parse_literal(source: str) -> Literal:
+    """Parse a single literal, e.g. ``"not R(x)"``."""
+    return _parse_single(source, "literal")
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single rule or fact (trailing '.' optional)."""
+    text = source.rstrip()
+    if not text.endswith("."):
+        text += "."
+    parser = _Parser(text)
+    head, body = parser.parse_statement()
+    if head is None:
+        raise ParseError("expected a rule, found a denial")
+    if not parser.at_end():
+        token = parser._peek()
+        raise ParseError(f"trailing input {token.text!r}", token.line, token.column)
+    return Rule(head, tuple(body))

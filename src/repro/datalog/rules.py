@@ -1,0 +1,212 @@
+"""Atoms, literals, rules and facts (Section 2 of the paper).
+
+The paper's objects map onto these classes as follows:
+
+- an *atom* ``P(t1, ..., tm)`` is an :class:`Atom`;
+- a *literal* (atom or negated atom) is a :class:`Literal`;
+- a *deductive rule* ``P(t) <- L1 & ... & Ln`` is a :class:`Rule` with a
+  non-empty body;
+- a *fact* is a :class:`Rule` with an empty body and a ground head;
+- an *integrity rule* ``Ic1 <- L1 & ... & Ln`` is an ordinary :class:`Rule`
+  whose head predicate carries inconsistency semantics (see
+  :mod:`repro.datalog.database`).
+
+Everything is immutable and hashable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.datalog.terms import Constant, Term, Variable
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A predicate applied to terms: ``P(t1, ..., tm)`` (``m >= 0``)."""
+
+    predicate: str
+    args: tuple[Term, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.predicate:
+            raise ValueError("predicate name must be non-empty")
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.args)
+
+    def is_ground(self) -> bool:
+        """True when every argument is a constant."""
+        return all(isinstance(t, Constant) for t in self.args)
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield each variable occurrence (with repetitions)."""
+        for term in self.args:
+            if isinstance(term, Variable):
+                yield term
+
+    def constants(self) -> Iterator[Constant]:
+        """Yield each constant occurrence (with repetitions)."""
+        for term in self.args:
+            if isinstance(term, Constant):
+                yield term
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.predicate
+        return f"{self.predicate}({', '.join(str(t) for t in self.args)})"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A positive or negative occurrence of an atom in a rule body."""
+
+    atom: Atom
+    positive: bool = True
+
+    @property
+    def predicate(self) -> str:
+        """Predicate symbol of the underlying atom."""
+        return self.atom.predicate
+
+    @property
+    def args(self) -> tuple[Term, ...]:
+        """Arguments of the underlying atom."""
+        return self.atom.args
+
+    def negate(self) -> "Literal":
+        """Return the complementary literal."""
+        return Literal(self.atom, not self.positive)
+
+    def is_ground(self) -> bool:
+        """True when the underlying atom is ground."""
+        return self.atom.is_ground()
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield each variable occurrence of the underlying atom."""
+        return self.atom.variables()
+
+    def __str__(self) -> str:
+        return str(self.atom) if self.positive else f"not {self.atom}"
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A deductive rule ``head <- body``; a fact when the body is empty."""
+
+    head: Atom
+    body: tuple[Literal, ...] = ()
+    #: Optional provenance label (e.g. "transition", "event"); ignored by
+    #: equality so compiled rules compare structurally.
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.body, tuple):
+            object.__setattr__(self, "body", tuple(self.body))
+
+    def is_fact(self) -> bool:
+        """True for a bodiless rule with a ground head (a stored fact)."""
+        return not self.body and self.head.is_ground()
+
+    def variables(self) -> set[Variable]:
+        """All variables occurring anywhere in the rule."""
+        found = set(self.head.variables())
+        for literal in self.body:
+            found.update(literal.variables())
+        return found
+
+    def constants(self) -> set[Constant]:
+        """All constants occurring anywhere in the rule."""
+        found = set(self.head.constants())
+        for literal in self.body:
+            found.update(literal.atom.constants())
+        return found
+
+    def positive_body(self) -> tuple[Literal, ...]:
+        """The positive conditions of the rule."""
+        return tuple(lit for lit in self.body if lit.positive)
+
+    def negative_body(self) -> tuple[Literal, ...]:
+        """The negative conditions of the rule."""
+        return tuple(lit for lit in self.body if not lit.positive)
+
+    def predicates(self) -> set[str]:
+        """Every predicate symbol occurring in the rule."""
+        return {self.head.predicate} | {lit.predicate for lit in self.body}
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        conditions = " & ".join(str(lit) for lit in self.body)
+        return f"{self.head} <- {conditions}."
+
+
+# ---------------------------------------------------------------------------
+# Shorthand constructors.  They keep test and example code close to the
+# notation of the paper.
+# ---------------------------------------------------------------------------
+
+
+def atom(predicate: str, *args: Term | str | int) -> Atom:
+    """Build an atom, coercing bare strings/ints to constants.
+
+    Strings are interpreted with the paper's capitalisation convention:
+    ``atom("P", "x")`` has a variable argument, ``atom("P", "A")`` a constant
+    one.  Pass explicit :class:`Term` objects to override.
+    """
+    from repro.datalog.terms import term_from_name
+
+    coerced: list[Term] = []
+    for arg in args:
+        if isinstance(arg, (Variable, Constant)):
+            coerced.append(arg)
+        elif isinstance(arg, int):
+            coerced.append(Constant(arg))
+        else:
+            coerced.append(term_from_name(arg))
+    return Atom(predicate, tuple(coerced))
+
+
+def pos(predicate: str, *args: Term | str | int) -> Literal:
+    """Positive literal shorthand."""
+    return Literal(atom(predicate, *args), True)
+
+
+def neg(predicate: str, *args: Term | str | int) -> Literal:
+    """Negative literal shorthand."""
+    return Literal(atom(predicate, *args), False)
+
+
+def rule(head: Atom | Literal, body: Iterable[Literal] = ()) -> Rule:
+    """Build a rule from a head atom (a positive literal is unwrapped)."""
+    if isinstance(head, Literal):
+        if not head.positive:
+            raise ValueError("a rule head must be a positive atom")
+        head = head.atom
+    return Rule(head, tuple(body))
+
+
+def fact(predicate: str, *args: Term | str | int) -> Rule:
+    """Build a ground fact; raises if any argument is a variable."""
+    head = atom(predicate, *args)
+    if not head.is_ground():
+        raise ValueError(f"fact must be ground: {head}")
+    return Rule(head, ())
+
+
+def rules_by_predicate(rules: Iterable[Rule]) -> Mapping[str, tuple[Rule, ...]]:
+    """Group rules by head predicate, preserving source order."""
+    grouped: dict[str, list[Rule]] = {}
+    for r in rules:
+        grouped.setdefault(r.head.predicate, []).append(r)
+    return {name: tuple(group) for name, group in grouped.items()}
+
+
+def format_program(rules: Sequence[Rule]) -> str:
+    """Render rules one per line in the concrete syntax of the parser."""
+    return "\n".join(str(r) for r in rules)

@@ -1,0 +1,133 @@
+"""Predicate dependency analysis and stratification.
+
+The paper assumes a semantics under which the event rules are well defined;
+we use the standard perfect-model semantics of stratified programs.  A
+program is stratifiable when no predicate depends on itself through
+negation.  The same machinery also answers the structural questions the
+event-rule compiler needs: which predicates are recursive, and in what order
+strata must be evaluated bottom-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.datalog.errors import StratificationError
+from repro.datalog.graph import Digraph
+from repro.datalog.rules import Rule
+
+#: Edge labels in the dependency graph.
+POSITIVE = "+"
+NEGATIVE = "-"
+
+
+def dependency_graph(rules: Iterable[Rule]) -> Digraph:
+    """Graph with an edge body-predicate -> head-predicate per condition.
+
+    Edges are labelled ``"+"`` (positive condition) or ``"-"`` (negative
+    condition); a pair of predicates can carry both labels.
+    """
+    graph: Digraph = Digraph()
+    for r in rules:
+        graph.add_node(r.head.predicate)
+        for literal in r.body:
+            graph.add_edge(
+                literal.predicate,
+                r.head.predicate,
+                POSITIVE if literal.positive else NEGATIVE,
+            )
+    return graph
+
+
+@dataclass
+class Stratification:
+    """A stratification: predicate -> stratum number (base predicates = 0)."""
+
+    stratum_of: dict[str, int] = field(default_factory=dict)
+    #: Predicates grouped by stratum, ascending.
+    strata: list[frozenset[str]] = field(default_factory=list)
+    #: Predicates involved in (positive) recursion.
+    recursive: frozenset[str] = frozenset()
+
+    def stratum(self, predicate: str) -> int:
+        """Stratum of a predicate (unknown predicates are stratum 0 / base)."""
+        return self.stratum_of.get(predicate, 0)
+
+    @property
+    def depth(self) -> int:
+        """Number of non-base strata."""
+        return len(self.strata) - 1 if self.strata else 0
+
+
+def stratify(rules: Sequence[Rule], base_predicates: Iterable[str] = ()) -> Stratification:
+    """Compute a stratification or raise :class:`StratificationError`.
+
+    Base predicates (and any predicate not defined by a rule) sit in stratum
+    0.  A derived predicate's stratum is at least 1, at least the stratum of
+    each positive dependency, and strictly greater than the stratum of each
+    negative dependency.  Strata are computed on the condensation of the
+    dependency graph; a negative edge inside one strongly connected component
+    means negation through recursion and is rejected.
+    """
+    graph = dependency_graph(rules)
+    defined = {r.head.predicate for r in rules if r.body or not r.head.is_ground()}
+    components = graph.strongly_connected_components()
+    component_index: dict[str, int] = {}
+    for position, component in enumerate(components):
+        for predicate in component:
+            component_index[predicate] = position
+
+    recursive: set[str] = set()
+    for component in components:
+        if len(component) > 1:
+            recursive.update(component)
+        else:
+            (predicate,) = component
+            if graph.has_edge(predicate, predicate):
+                recursive.add(predicate)
+
+    # Group the incoming dependencies of each component, rejecting negative
+    # edges that stay inside a component.
+    incoming: dict[int, set[tuple[int, str]]] = {i: set() for i in range(len(components))}
+    for r in rules:
+        head = r.head.predicate
+        head_component = component_index[head]
+        for literal in r.body:
+            label = POSITIVE if literal.positive else NEGATIVE
+            source_component = component_index[literal.predicate]
+            if source_component == head_component:
+                if label == NEGATIVE:
+                    raise StratificationError(
+                        f"predicate {head} depends negatively on "
+                        f"{literal.predicate} within a recursive component; "
+                        f"program is not stratifiable"
+                    )
+                continue
+            incoming[head_component].add((source_component, label))
+
+    # Tarjan emits a component only after every component it can reach, i.e.
+    # dependents come out before their dependencies (edges here point
+    # dependency -> dependent).  Walking the list in reverse therefore visits
+    # dependencies first, so one pass computes all levels.
+    component_level: dict[int, int] = {}
+    for position in reversed(range(len(components))):
+        component = components[position]
+        level = 1 if any(p in defined for p in component) else 0
+        for source_component, label in incoming[position]:
+            source_level = component_level[source_component]
+            required = source_level + 1 if label == NEGATIVE else source_level
+            level = max(level, required)
+        component_level[position] = level
+
+    stratum_of: dict[str, int] = {}
+    for position, component in enumerate(components):
+        for predicate in component:
+            stratum_of[predicate] = component_level[position]
+    for predicate in base_predicates:
+        stratum_of.setdefault(predicate, 0)
+
+    highest = max(stratum_of.values(), default=0)
+    strata = [frozenset(p for p, s in stratum_of.items() if s == level)
+              for level in range(highest + 1)]
+    return Stratification(stratum_of, strata, frozenset(recursive))

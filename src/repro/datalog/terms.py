@@ -1,0 +1,93 @@
+"""Terms of the function-free first-order language of the paper (Section 2).
+
+A term is either a :class:`Variable` or a :class:`Constant`; there are no
+function symbols.  Following the paper's convention, names beginning with a
+capital letter denote constants and names beginning with a lower-case letter
+denote variables -- the :func:`term_from_name` helper applies that convention,
+and the parser relies on it.
+
+Both classes are immutable and hashable so they can live in sets, dict keys
+and frozen rule structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+#: Python payloads allowed inside a :class:`Constant`.
+ConstantValue = Union[str, int]
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A logical variable, e.g. ``x`` in ``P(x) <- Q(x)``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A constant, e.g. ``Dolors`` or ``42``.
+
+    String and integer payloads are supported; equality is payload equality,
+    so ``Constant(1) != Constant("1")``.
+    """
+
+    value: ConstantValue
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+Term = Union[Variable, Constant]
+
+
+def var(name: str) -> Variable:
+    """Build a :class:`Variable` (shorthand constructor)."""
+    return Variable(name)
+
+
+def const(value: ConstantValue) -> Constant:
+    """Build a :class:`Constant` (shorthand constructor)."""
+    return Constant(value)
+
+
+def term_from_name(name: str) -> Term:
+    """Interpret a bare identifier using the paper's capitalisation convention.
+
+    Names starting with an upper-case letter (or a digit, or quoted) are
+    constants; names starting with a lower-case letter or underscore are
+    variables.  Integer-looking names become integer constants.
+    """
+    if not name:
+        raise ValueError("empty term name")
+    first = name[0]
+    if name.lstrip("-").isdigit():
+        return Constant(int(name))
+    if first.isupper():
+        return Constant(name)
+    return Variable(name)
+
+
+def is_variable(term: Term) -> bool:
+    """Return True when *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """Return True when *term* is a :class:`Constant`."""
+    return isinstance(term, Constant)

@@ -1,0 +1,152 @@
+"""A goal-directed, SLDNF-flavoured prover.
+
+Section 4 of the paper stresses that the interpretations are *not* tied to an
+evaluation strategy: "a particular implementation of these interpretations
+could be based either on a top-down or on a bottom-up query evaluation
+procedure".  This module is the top-down half of that claim; the bottom-up
+half is :mod:`repro.datalog.evaluation`.  The test suite checks they agree.
+
+The prover performs SLD resolution with negation as failure for ground
+negative subgoals, a subsumption-based loop check (a subgoal identical up to
+variable renaming to an ancestor call fails finitely) and a configurable
+depth bound.  The loop check makes the prover complete for recursive
+programs over acyclic data and terminating on all inputs; on cyclic data the
+bottom-up evaluator remains the reference.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.datalog.errors import DepthLimitExceeded, SafetyError
+from repro.datalog.evaluation import FactSource
+from repro.datalog.rules import Atom, Literal, Rule
+from repro.datalog.terms import Constant, Variable
+from repro.datalog.unification import (
+    Substitution,
+    match_tuple,
+    rename_apart,
+    resolve,
+    unify_atoms,
+)
+
+
+def _canonical(goal: Atom, subst: Substitution) -> tuple:
+    """A renaming-invariant key for the loop check."""
+    names: dict[Variable, int] = {}
+    key: list = [goal.predicate]
+    for term in goal.args:
+        term = resolve(term, subst)
+        if isinstance(term, Constant):
+            key.append(("c", term.value))
+        else:
+            key.append(("v", names.setdefault(term, len(names))))
+    return tuple(key)
+
+
+class TopDownProver:
+    """SLDNF-style prover over a fact source and a rule set."""
+
+    def __init__(self, facts: FactSource, rules: Sequence[Rule],
+                 max_depth: int = 2000):
+        self._facts = facts
+        self._rules_by_predicate: dict[str, list[Rule]] = {}
+        for r in rules:
+            self._rules_by_predicate.setdefault(r.head.predicate, []).append(r)
+        self._max_depth = max_depth
+
+    def holds(self, literal: Literal, subst: Substitution | None = None) -> bool:
+        """True when the (ground after *subst*) literal is provable."""
+        return next(self.prove((literal,), subst), None) is not None
+
+    def prove(self, conjunction: Sequence[Literal],
+              subst: Substitution | None = None) -> Iterator[Substitution]:
+        """Yield substitutions proving the conjunction (may repeat answers)."""
+        yield from self._prove(list(conjunction), dict(subst or {}), (), 0)
+
+    def answers(self, query: Atom) -> list[Substitution]:
+        """Distinct answer substitutions over the query's variables."""
+        variables = set(query.variables())
+        seen: set[tuple] = set()
+        results: list[Substitution] = []
+        for bindings in self.prove((Literal(query, True),)):
+            projected = {v: resolve(v, bindings) for v in variables}
+            key = tuple(sorted((v.name, t) for v, t in projected.items()))
+            if key not in seen:
+                seen.add(key)
+                results.append(projected)
+        return results
+
+    # -- internals -----------------------------------------------------------
+
+    def _prove(self, goals: list[Literal], subst: dict,
+               ancestors: tuple, depth: int) -> Iterator[Substitution]:
+        if depth > self._max_depth:
+            raise DepthLimitExceeded(
+                f"top-down proof exceeded depth {self._max_depth}"
+            )
+        if not goals:
+            yield subst
+            return
+        literal, *rest = goals
+        if literal.positive:
+            yield from self._prove_positive(literal, rest, subst, ancestors, depth)
+        else:
+            yield from self._prove_negative(literal, rest, subst, ancestors, depth)
+
+    def _prove_positive(self, literal: Literal, rest: list[Literal],
+                        subst: dict, ancestors: tuple, depth: int) -> Iterator[Substitution]:
+        from repro.datalog.builtins import evaluate_builtin, is_builtin
+
+        goal = literal.atom
+        if is_builtin(goal.predicate):
+            pattern = tuple(resolve(t, subst) for t in goal.args)
+            if not all(isinstance(t, Constant) for t in pattern):
+                if any(g.positive and not is_builtin(g.predicate) for g in rest):
+                    yield from self._prove(rest + [literal], subst,
+                                           ancestors, depth + 1)
+                    return
+                raise SafetyError(f"non-ground built-in subgoal: {literal}")
+            if evaluate_builtin(goal.predicate, pattern):
+                yield from self._prove(rest, subst, ancestors, depth + 1)
+            return
+        key = _canonical(goal, subst)
+        if key in ancestors:
+            return  # loop: fail this branch finitely
+        pattern = tuple(resolve(t, subst) for t in goal.args)
+        for row in self._facts.lookup(goal.predicate, pattern):
+            bindings = match_tuple(pattern, row, subst)
+            if bindings is not None:
+                yield from self._prove(rest, dict(bindings), ancestors, depth + 1)
+        for r in self._rules_by_predicate.get(goal.predicate, ()):
+            fresh = rename_apart(r)
+            unified = unify_atoms(Atom(goal.predicate, pattern), fresh.head, subst)
+            if unified is None:
+                continue
+            yield from self._prove(
+                list(fresh.body) + rest,
+                dict(unified),
+                ancestors + (key,),
+                depth + 1,
+            )
+
+    def _prove_negative(self, literal: Literal, rest: list[Literal],
+                        subst: dict, ancestors: tuple, depth: int) -> Iterator[Substitution]:
+        from repro.datalog.builtins import evaluate_builtin, is_builtin
+
+        pattern = tuple(resolve(t, subst) for t in literal.args)
+        if is_builtin(literal.predicate) \
+                and all(isinstance(t, Constant) for t in pattern):
+            if not evaluate_builtin(literal.predicate, pattern):
+                yield from self._prove(rest, subst, ancestors, depth + 1)
+            return
+        if not all(isinstance(t, Constant) for t in pattern):
+            # Delay: move the literal after the rest when something positive
+            # remains to bind it; otherwise the conjunction is unsafe.
+            if any(g.positive for g in rest):
+                yield from self._prove(rest + [literal], subst, ancestors, depth + 1)
+                return
+            raise SafetyError(f"non-ground negative subgoal: {literal}")
+        ground = Literal(Atom(literal.predicate, pattern), True)
+        if next(self._prove([ground], dict(subst), ancestors, depth + 1), None) is None:
+            yield from self._prove(rest, subst, ancestors, depth + 1)

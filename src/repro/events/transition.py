@@ -1,0 +1,203 @@
+"""Transition rules (Section 3.2 of the paper).
+
+For a rule ``P(t) <- L1 ∧ ... ∧ Lk`` the transition rule defines the new
+state ``Pn`` in terms of old-state predicates and events, by replacing every
+body literal with its equivalence from (3)/(4):
+
+- positive ``Qn(t)``  becomes  ``(Qo(t) ∧ ¬δQ(t)) ∨ ιQ(t)``
+- negative ``¬Qn(t)`` becomes  ``(¬Qo(t) ∧ ¬ιQ(t)) ∨ δQ(t)``
+
+and distributing ∧ over ∨, giving ``2^k`` disjuncts whose literals are old
+database literals, base event literals and derived event literals.
+
+The same substitution applies uniformly whether ``Q`` is base or derived --
+for derived ``Q``, ``ιQ``/``δQ`` are *derived event* predicates defined by
+their own event rules (Section 3.3).
+
+The compiler emits each transition rule both as a structured
+:class:`TransitionRule` (the DNF object the downward interpretation walks
+and the examples print) and as flat Datalog rules over the ``new$`` /
+``ins$`` / ``del$`` namespaces (what the upward interpretation evaluates).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.datalog.rules import Atom, Literal, Rule
+from repro.datalog.terms import Variable
+from repro.events.naming import (
+    del_name,
+    display_atom,
+    display_literal,
+    ins_name,
+    new_name,
+)
+
+#: One disjunct of a transition rule: an ordered tuple of literals.
+Disjunct = tuple[Literal, ...]
+
+
+def expand_rigid(literal: Literal) -> tuple[Disjunct]:
+    """Built-in (rigid) literals are state-independent: one unchanged option.
+
+    ``Qn = Qo`` for rigid ``Q``, so (3)/(4) degenerate to the literal itself
+    -- no event alternatives, no disjunct doubling.
+    """
+    return ((literal,),)
+
+
+def expand_positive(literal: Literal) -> tuple[Disjunct, Disjunct]:
+    """Equivalence (3): ``Qn(t)`` -> ``(Qo(t) ∧ ¬δQ(t))`` or ``ιQ(t)``."""
+    target = literal.atom
+    old_case = (
+        Literal(target, True),
+        Literal(Atom(del_name(target.predicate), target.args), False),
+    )
+    event_case = (Literal(Atom(ins_name(target.predicate), target.args), True),)
+    return old_case, event_case
+
+
+def expand_negative(literal: Literal) -> tuple[Disjunct, Disjunct]:
+    """Equivalence (4): ``¬Qn(t)`` -> ``(¬Qo(t) ∧ ¬ιQ(t))`` or ``δQ(t)``."""
+    target = literal.atom
+    old_case = (
+        Literal(target, False),
+        Literal(Atom(ins_name(target.predicate), target.args), False),
+    )
+    event_case = (Literal(Atom(del_name(target.predicate), target.args), True),)
+    return old_case, event_case
+
+
+@dataclass(frozen=True)
+class TransitionRule:
+    """The transition rule of one source rule of a derived predicate.
+
+    ``head`` is the ``new$P(t)`` atom (original head terms preserved);
+    ``disjuncts`` is the 2^k-disjunct DNF body, in the deterministic order
+    produced by expanding body literals left to right (the paper's order in
+    Example 3.1).
+    """
+
+    predicate: str
+    index: int
+    head: Atom
+    source: Rule
+    disjuncts: tuple[Disjunct, ...]
+
+    def as_datalog_rules(self) -> list[Rule]:
+        """One flat rule ``new$P(t) <- disjunct`` per disjunct."""
+        return [
+            Rule(self.head, disjunct, label=f"transition:{self.predicate}:{self.index}")
+            for disjunct in self.disjuncts
+        ]
+
+    def __str__(self) -> str:
+        rendered = " ∨\n    ".join(
+            "(" + " ∧ ".join(display_literal(lit) for lit in disjunct) + ")"
+            for disjunct in self.disjuncts
+        )
+        return f"{display_atom(self.head)} <-> [ {rendered} ]"
+
+
+def compile_transition_rule(source: Rule, index: int = 1) -> TransitionRule:
+    """Build the transition rule of one source rule (see module docstring)."""
+    from repro.datalog.builtins import is_builtin
+
+    per_literal: list[tuple[Disjunct, ...]] = [
+        expand_rigid(lit) if is_builtin(lit.predicate)
+        else (expand_positive(lit) if lit.positive else expand_negative(lit))
+        for lit in source.body
+    ]
+    disjuncts: list[Disjunct] = []
+    for combination in itertools.product(*per_literal):
+        merged: list[Literal] = []
+        for piece in combination:
+            merged.extend(piece)
+        disjuncts.append(tuple(merged))
+    head = Atom(new_name(source.head.predicate), source.head.args)
+    return TransitionRule(
+        predicate=source.head.predicate,
+        index=index,
+        head=head,
+        source=source,
+        disjuncts=tuple(disjuncts),
+    )
+
+
+def base_transition_rules(predicate: str, arity: int) -> list[Rule]:
+    """New-state rules of a *base* predicate.
+
+    Directly from equivalence (3):
+    ``new$Q(x) <- Q(x) ∧ ¬del$Q(x)`` and ``new$Q(x) <- ins$Q(x)``.
+    """
+    variables = tuple(Variable(f"x{i + 1}") for i in range(arity))
+    new_head = Atom(new_name(predicate), variables)
+    keep = Rule(
+        new_head,
+        (
+            Literal(Atom(predicate, variables), True),
+            Literal(Atom(del_name(predicate), variables), False),
+        ),
+        label=f"base-transition:{predicate}",
+    )
+    inserted = Rule(
+        new_head,
+        (Literal(Atom(ins_name(predicate), variables), True),),
+        label=f"base-transition:{predicate}",
+    )
+    return [keep, inserted]
+
+
+class TransitionCompiler:
+    """Compiles every rule of a program into its transition rule.
+
+    The compiler is purely syntactic; which predicates are base vs derived
+    only matters to the *consumer* of the rules (base new-state rules come
+    from :func:`base_transition_rules` instead).
+    """
+
+    def compile_rules(self, rules: Sequence[Rule]) -> dict[str, tuple[TransitionRule, ...]]:
+        """Transition rules grouped by predicate, indexed per the paper.
+
+        When a predicate ``P`` is defined by ``m > 1`` rules, the paper
+        renames the conclusions ``P1 ... Pm``; here the per-rule
+        :class:`TransitionRule` objects carry ``index`` 1..m and the new
+        state is their union (they share the ``new$P`` head predicate).
+        """
+        grouped: dict[str, list[TransitionRule]] = {}
+        for source in rules:
+            index = len(grouped.get(source.head.predicate, ())) + 1
+            compiled = compile_transition_rule(source, index)
+            grouped.setdefault(source.head.predicate, []).append(compiled)
+        return {name: tuple(items) for name, items in grouped.items()}
+
+    def datalog_rules(self, rules: Iterable[TransitionRule]) -> list[Rule]:
+        """Flatten structured transition rules for bottom-up evaluation."""
+        flat: list[Rule] = []
+        for transition in rules:
+            flat.extend(transition.as_datalog_rules())
+        return flat
+
+
+def disjunct_event_literals(disjunct: Disjunct) -> list[Literal]:
+    """The base/derived event literals of a disjunct (helper for analyses)."""
+    from repro.events.naming import is_event_predicate
+
+    return [lit for lit in disjunct if is_event_predicate(lit.predicate)]
+
+
+def disjunct_has_positive_event(disjunct: Disjunct) -> bool:
+    """True when the disjunct contains at least one positive event literal.
+
+    This is the [Oli91] insertion-rule simplification test: a disjunct with
+    no positive event literal only restates the old state and cannot
+    contribute an induced insertion (its old part implies ``Po``, which the
+    event rule conjoins with ``¬Po``).
+    """
+    from repro.events.naming import is_event_predicate
+
+    return any(lit.positive and is_event_predicate(lit.predicate)
+               for lit in disjunct)

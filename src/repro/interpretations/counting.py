@@ -1,0 +1,274 @@
+"""Counting-based change computation (the [GMS93] method the paper cites).
+
+A third executable strategy for the upward interpretation, applicable to
+non-recursive views: store, per derived tuple, the **number of
+derivations** supporting it.  A transaction contributes a *signed* delta of
+derivation counts per rule; induced events are exactly the zero-crossings
+(count 0 → positive: ``ιP``; positive → 0: ``δP``).  Deletions therefore
+need no re-derivability query, at the price of keeping the counts across
+transactions -- the classic space/time trade-off against the DRed-style
+hybrid strategy, measured by the SYN8 benchmark.
+
+The signed delta of one rule ``P(t) ← L1 ∧ ... ∧ Ln`` under a transaction
+is computed with the standard telescoping decomposition
+
+    Δ(L1...Ln) = Σ_i  L1^new ... L_{i-1}^new · ΔL_i · L_{i+1}^old ... L_n^old
+
+where ``ΔL_i`` is +1 on rows the event set adds to ``L_i``'s satisfaction
+and -1 on rows it removes (polarities flip for negative literals), and the
+prefix/suffix literals are evaluated in the new/old state respectively.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator, Mapping, Sequence
+
+from repro.datalog.builtins import evaluate_builtin, is_builtin
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.errors import SafetyError, StratificationError
+from repro.datalog.evaluation import BottomUpEvaluator
+from repro.datalog.rules import Literal, Rule
+from repro.datalog.stratify import dependency_graph
+from repro.datalog.terms import Constant
+from repro.datalog.unification import Substitution, match_tuple, resolve
+from repro.events.event_rules import EventCompiler, TransitionProgram
+from repro.events.events import Transaction
+from repro.events.naming import del_name, ins_name
+from repro.interpretations.upward import UpwardResult, _event_rows
+
+Row = tuple[Constant, ...]
+
+
+class _StateView:
+    """Old or new state of base facts and (set-semantics) derived tuples."""
+
+    def __init__(self, db: DeductiveDatabase, derived: Mapping[str, set[Row]],
+                 events: Mapping[str, set[Row]] | None):
+        self._db = db
+        self._derived = derived
+        self._events = events  # None = old state; events applied = new state
+
+    def rows(self, predicate: str) -> frozenset[Row]:
+        if predicate in self._derived:
+            return frozenset(self._derived[predicate])
+        base = set(self._db.facts_of(predicate))
+        if self._events is not None:
+            base |= self._events.get(ins_name(predicate), set())
+            base -= self._events.get(del_name(predicate), set())
+        return frozenset(base)
+
+    def holds(self, predicate: str, row: Row) -> bool:
+        return row in self.rows(predicate)
+
+
+class CountingEngine:
+    """Stateful counting-based maintenance over one database.
+
+    The engine owns derivation counts for every derived predicate; call
+    :meth:`apply` with each transaction *before* (or after -- the engine
+    applies it to its own view) committing it to the database through
+    :meth:`apply`, which both returns the induced events and advances the
+    internal state.  Recursive programs are rejected (counting is defined
+    for non-recursive views).
+    """
+
+    def __init__(self, db: DeductiveDatabase,
+                 program: TransitionProgram | None = None):
+        self._db = db
+        self._program = program or EventCompiler(simplify=True).compile(db)
+        self._order = self._topological_derived()
+        self._rules_of: dict[str, list[Rule]] = {}
+        for rule in self._program.source_rules:
+            self._rules_of.setdefault(rule.head.predicate, []).append(rule)
+        self._counts: dict[str, Counter] = {}
+        self._extensions: dict[str, set[Row]] = {}
+        self._initialize_counts()
+
+    # -- setup -------------------------------------------------------------------
+
+    def _topological_derived(self) -> list[str]:
+        graph = dependency_graph(self._program.source_rules)
+        components = graph.strongly_connected_components()
+        order: list[str] = []
+        for component in reversed(components):
+            for predicate in component:
+                if predicate not in self._program.derived:
+                    continue
+                recursive = len(component) > 1 or graph.has_edge(predicate,
+                                                                 predicate)
+                if recursive:
+                    raise StratificationError(
+                        f"counting-based maintenance requires non-recursive "
+                        f"views; {predicate} is recursive"
+                    )
+                order.append(predicate)
+        return order
+
+    def _initialize_counts(self) -> None:
+        evaluator = BottomUpEvaluator(self._db, self._program.source_rules)
+        evaluator.materialize()
+        old_view = _StateView(self._db, self._extensions, None)
+        for predicate in self._order:
+            counter: Counter = Counter()
+            for rule in self._rules_of.get(predicate, ()):
+                for bindings in self._join(list(rule.body), {}, old_view):
+                    row = tuple(resolve(t, bindings) for t in rule.head.args)
+                    counter[row] += 1
+            self._counts[predicate] = counter
+            self._extensions[predicate] = {r for r, c in counter.items() if c > 0}
+            # Sanity: counting supports exactly the computed extension.
+            assert frozenset(self._extensions[predicate]) == \
+                evaluator.extension(predicate)
+
+    # -- public API -----------------------------------------------------------------
+
+    def extension(self, predicate: str) -> frozenset[Row]:
+        """Current (maintained) extension of a derived predicate."""
+        return frozenset(self._extensions.get(predicate, frozenset()))
+
+    def count(self, predicate: str, row: Row) -> int:
+        """Current derivation count of one derived tuple."""
+        return self._counts.get(predicate, Counter()).get(row, 0)
+
+    def apply(self, transaction: Transaction) -> UpwardResult:
+        """Induced events of *transaction*; advances counts and the database.
+
+        The transaction is applied to the underlying database as part of
+        the call (the counts and the stored facts must move together).
+        """
+        transaction.check_base_only(self._db)
+        transaction = transaction.normalized(self._db)
+        events = _event_rows(transaction)
+        old_view = _StateView(self._db, self._extensions, None)
+        new_view = _StateView(self._db, {}, events)  # derived filled below
+        insertions: dict[str, frozenset[Row]] = {}
+        deletions: dict[str, frozenset[Row]] = {}
+        new_extensions: dict[str, set[Row]] = {}
+        new_view._derived = new_extensions
+
+        for predicate in self._order:
+            delta: Counter = Counter()
+            for rule in self._rules_of.get(predicate, ()):
+                self._rule_delta(rule, events, old_view, new_view, delta)
+            counter = self._counts[predicate]
+            gained: set[Row] = set()
+            lost: set[Row] = set()
+            for row, change in delta.items():
+                if not change:
+                    continue
+                before = counter.get(row, 0)
+                after = before + change
+                if after < 0:
+                    raise SafetyError(
+                        f"counting invariant violated for {predicate}{row}: "
+                        f"{before} + {change}"
+                    )
+                counter[row] = after
+                if before == 0 and after > 0:
+                    gained.add(row)
+                elif before > 0 and after == 0:
+                    lost.add(row)
+                    del counter[row]
+            if gained:
+                insertions[predicate] = frozenset(gained)
+                events[ins_name(predicate)] = set(gained)
+            if lost:
+                deletions[predicate] = frozenset(lost)
+                events[del_name(predicate)] = set(lost)
+            new_extensions[predicate] = (set(self._extensions[predicate])
+                                         | gained) - lost
+
+        # Commit: base facts and cached extensions move together.
+        for event in transaction:
+            if event.is_insertion:
+                self._db.add_fact(event.predicate, *event.args)
+            else:
+                self._db.remove_fact(event.predicate, *event.args)
+        self._extensions.update(new_extensions)
+        return UpwardResult(insertions, deletions, transaction)
+
+    # -- delta computation ---------------------------------------------------------------
+
+    def _rule_delta(self, rule: Rule, events: Mapping[str, set[Row]],
+                    old_view: _StateView, new_view: _StateView,
+                    delta: Counter) -> None:
+        body = list(rule.body)
+        for index, literal in enumerate(body):
+            if is_builtin(literal.predicate):
+                continue  # rigid: never a delta position
+            for row, sign in self._signed_delta(literal, events):
+                bindings = match_tuple(
+                    tuple(literal.args), row, {})
+                if bindings is None:
+                    continue
+                prefix = body[:index]
+                suffix = body[index + 1:]
+                for final in self._join_mixed(prefix, suffix, dict(bindings),
+                                              new_view, old_view):
+                    head_row = tuple(resolve(t, final) for t in rule.head.args)
+                    delta[head_row] += sign
+
+    def _signed_delta(self, literal: Literal,
+                      events: Mapping[str, set[Row]]) -> Iterator[tuple[Row, int]]:
+        """Rows where the literal's satisfaction changed, with signs."""
+        ins_rows = events.get(ins_name(literal.predicate), ())
+        del_rows = events.get(del_name(literal.predicate), ())
+        if literal.positive:
+            for row in ins_rows:
+                yield row, +1
+            for row in del_rows:
+                yield row, -1
+        else:
+            for row in del_rows:
+                yield row, +1
+            for row in ins_rows:
+                yield row, -1
+
+    def _join_mixed(self, prefix: Sequence[Literal], suffix: Sequence[Literal],
+                    bindings: Substitution, new_view: _StateView,
+                    old_view: _StateView) -> Iterator[Substitution]:
+        """Join prefix literals in the new state, suffix in the old."""
+        tagged = [(lit, new_view) for lit in prefix] + \
+                 [(lit, old_view) for lit in suffix]
+        yield from self._join_tagged(tagged, dict(bindings))
+
+    def _join(self, body: Sequence[Literal], bindings: Substitution,
+              view: _StateView) -> Iterator[Substitution]:
+        yield from self._join_tagged([(lit, view) for lit in body],
+                                     dict(bindings))
+
+    def _join_tagged(self, pending: list, subst: dict) -> Iterator[Substitution]:
+        if not pending:
+            yield subst
+            return
+        # Pick: ground first, else first positive non-builtin.
+        choice = None
+        for index, (literal, _) in enumerate(pending):
+            if all(isinstance(resolve(t, subst), Constant)
+                   for t in literal.args):
+                choice = index
+                break
+        if choice is None:
+            for index, (literal, _) in enumerate(pending):
+                if literal.positive and not is_builtin(literal.predicate):
+                    choice = index
+                    break
+        if choice is None:
+            unresolved = " & ".join(str(lit) for lit, _ in pending)
+            raise SafetyError(f"cannot evaluate: {unresolved}")
+        literal, view = pending[choice]
+        rest = pending[:choice] + pending[choice + 1:]
+        pattern = tuple(resolve(t, subst) for t in literal.args)
+        if is_builtin(literal.predicate):
+            if evaluate_builtin(literal.predicate, pattern) == literal.positive:
+                yield from self._join_tagged(rest, subst)
+            return
+        if literal.positive:
+            for row in view.rows(literal.predicate):
+                extended = match_tuple(pattern, row, subst)
+                if extended is not None:
+                    yield from self._join_tagged(rest, dict(extended))
+        else:
+            if pattern not in view.rows(literal.predicate):
+                yield from self._join_tagged(rest, subst)

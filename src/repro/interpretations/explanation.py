@@ -1,0 +1,47 @@
+"""Explaining induced events: which transition disjunct fired, and why.
+
+Builds derivation trees over the *flat transition program*: an induced
+``ιP(c)`` is explained by its event rule (``Pn(c)`` holds, ``P(c)`` did
+not), whose ``new$P`` support is the specific transition disjunct that
+fired -- with the base event facts of the transaction as leaves.  This is
+the worked derivation of Example 4.1 produced mechanically.
+
+Only available for non-recursive programs (the flat program must be
+stratifiable).
+"""
+
+from __future__ import annotations
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.evaluation import BottomUpEvaluator
+from repro.datalog.explain import Derivation, Explainer
+from repro.datalog.terms import Constant
+from repro.events.event_rules import EventCompiler, TransitionProgram
+from repro.events.events import Event, Transaction
+from repro.events.naming import del_name, ins_name
+from repro.interpretations.upward import _DatabaseWithEvents, _event_rows
+
+Row = tuple[Constant, ...]
+
+
+def explain_event(db: DeductiveDatabase, transaction: Transaction,
+                  event: Event,
+                  program: TransitionProgram | None = None,
+                  max_explanations: int = 1) -> tuple[Derivation, ...]:
+    """Derivation trees for an induced event under *transaction*.
+
+    Empty when the event is not in fact induced.  The returned trees are
+    over the ``ins$``/``del$``/``new$`` namespaces; their leaves are stored
+    facts and the transaction's base event facts.
+    """
+    program = program or EventCompiler(simplify=False).compile(db)
+    stratification = program.require_flat_program()
+    transaction = transaction.normalized(db)
+    source = _DatabaseWithEvents(db, _event_rows(transaction))
+    rules = list(program.upward_rules)
+    evaluator = BottomUpEvaluator(source, rules,
+                                  stratification=stratification)
+    explainer = Explainer(evaluator, rules)
+    name = ins_name(event.predicate) if event.is_insertion \
+        else del_name(event.predicate)
+    return explainer.explain(name, event.args, max_explanations)

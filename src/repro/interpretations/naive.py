@@ -1,0 +1,59 @@
+"""The semantic oracle for change computation.
+
+Definitions (1) and (2) of the paper *define* the events of a transition:
+
+    ιP(x) <-> Pn(x) ∧ ¬Po(x)
+    δP(x) <-> Po(x) ∧ ¬Pn(x)
+
+The most direct (and most expensive) way to compute them is to materialise
+the old state, apply the transaction, materialise the new state and diff the
+two extensions.  This module does exactly that.  It is
+
+- the correctness oracle the upward interpreter is property-tested against
+  (they must agree on every stratified program), and
+- the baseline of the SYN1 benchmark (incremental vs. naive change
+  computation).
+"""
+
+from __future__ import annotations
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.evaluation import BottomUpEvaluator
+from repro.events.events import Transaction
+from repro.interpretations.upward import UpwardResult
+
+
+def naive_changes(db: DeductiveDatabase, transaction: Transaction,
+                  semi_naive: bool = True,
+                  normalize: bool = True) -> UpwardResult:
+    """Events induced by *transaction* on every derived predicate of *db*.
+
+    Materialises both states in full; cost is proportional to the database,
+    not to the transaction.
+    """
+    transaction.check_base_only(db)
+    if normalize:
+        transaction = transaction.normalized(db)
+    rules = db.rules_with_global_ic()
+    old_evaluator = BottomUpEvaluator(db, rules, semi_naive=semi_naive)
+    old_state = old_evaluator.materialize()
+
+    new_db = transaction.apply_to(db)
+    new_evaluator = BottomUpEvaluator(new_db, new_db.rules_with_global_ic(),
+                                      semi_naive=semi_naive)
+    new_state = new_evaluator.materialize()
+
+    insertions: dict[str, frozenset] = {}
+    deletions: dict[str, frozenset] = {}
+    derived = set(old_state.derived) | set(new_state.derived)
+    for predicate in derived:
+        old_rows = old_state.extension(predicate)
+        new_rows = new_state.extension(predicate)
+        gained = new_rows - old_rows
+        lost = old_rows - new_rows
+        if gained:
+            insertions[predicate] = frozenset(gained)
+        if lost:
+            deletions[predicate] = frozenset(lost)
+    stats = old_evaluator.stats.merged_with(new_evaluator.stats)
+    return UpwardResult(insertions, deletions, transaction, stats)

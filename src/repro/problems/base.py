@@ -1,0 +1,79 @@
+"""Shared vocabulary of the problem layer and the problem registry.
+
+The registry is the machine-readable form of Table 4.1: every problem module
+registers a :class:`ProblemSpec` describing *which interpretation of which
+event form under which predicate semantics* specifies it.  The table
+renderer (:mod:`repro.problems.classification`) and the benchmark that
+checks the table against the paper both read this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.datalog.database import GLOBAL_IC, DeductiveDatabase
+from repro.datalog.errors import DatalogError
+from repro.datalog.evaluation import BottomUpEvaluator
+
+
+class StateError(DatalogError):
+    """Raised when a problem's precondition on the database state fails.
+
+    E.g. integrity checking is specified "provided that ``Ico`` does not
+    hold" -- calling it on an inconsistent database raises this.
+    """
+
+
+class Direction(Enum):
+    """The two interpretations of Section 4."""
+
+    UPWARD = "upward"
+    DOWNWARD = "downward"
+
+
+class PredicateSemantics(Enum):
+    """The concrete semantics a derived predicate may carry (Section 5)."""
+
+    VIEW = "View"
+    IC = "Ic"
+    CONDITION = "Cond"
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """One row of the paper's classification.
+
+    ``event_form`` uses the paper's notation with ``ι``/``δ`` and ``T`` for
+    a given transaction, e.g. ``"ιP"`` or ``"T, ¬ιP"``.
+    """
+
+    name: str
+    direction: Direction
+    event_form: str
+    semantics: PredicateSemantics
+    section: str
+    summary: str
+
+
+_REGISTRY: list[ProblemSpec] = []
+
+
+def register_problem(spec: ProblemSpec) -> ProblemSpec:
+    """Add a spec to the registry (idempotent on duplicates)."""
+    if spec not in _REGISTRY:
+        _REGISTRY.append(spec)
+    return spec
+
+
+def problem_registry() -> tuple[ProblemSpec, ...]:
+    """Every registered problem spec (import order)."""
+    # Importing the package registers everything; modules self-register at
+    # import time and the package __init__ imports them all.
+    return tuple(_REGISTRY)
+
+
+def global_ic_holds(db: DeductiveDatabase) -> bool:
+    """Whether the global inconsistency predicate ``Ic`` holds in *db*."""
+    evaluator = BottomUpEvaluator(db, db.rules_with_global_ic())
+    return bool(evaluator.extension(GLOBAL_IC))

@@ -1,0 +1,130 @@
+"""Combining updating problems (Section 5.3).
+
+Upward problems share their starting point (a transaction) and can be
+combined by upward-interpreting one event *set*; downward problems likewise
+combine by downward-interpreting one request set.  And because "the result
+of the downward interpretation is the same [as] the starting-point of the
+upward interpretation", downward and upward problems chain: first translate
+requests into candidate transactions, then upward-check each candidate.
+
+The paper's closing example -- view updating combined with *maintained*
+constraints (downward) and *checked* constraints (upward) -- is
+:func:`downward_then_upward`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.rules import Atom, Literal
+from repro.events.events import Event, Transaction
+from repro.events.naming import ins_name
+from repro.interpretations.downward import (
+    DownwardInterpreter,
+    DownwardResult,
+    Translation,
+)
+from repro.interpretations.upward import UpwardInterpreter, UpwardResult
+
+
+def upward_set(db: DeductiveDatabase, transaction: Transaction,
+               predicates: Iterable[str] | None = None,
+               interpreter: UpwardInterpreter | None = None) -> UpwardResult:
+    """Combined upward problems: one interpretation, many consumers.
+
+    E.g. ``upward_set(db, T, ["View", "Cond", "Ic"])`` serves materialized
+    view maintenance, condition monitoring and integrity checking from a
+    single upward interpretation of the event set.
+    """
+    interpreter = interpreter or UpwardInterpreter(db)
+    return interpreter.interpret(transaction, predicates=predicates)
+
+
+def downward_set(db: DeductiveDatabase,
+                 requests: Iterable[Literal | Event],
+                 interpreter: DownwardInterpreter | None = None
+                 ) -> DownwardResult:
+    """Combined downward problems: downward-interpret one request set."""
+    interpreter = interpreter or DownwardInterpreter(db)
+    return interpreter.interpret(list(requests))
+
+
+@dataclass
+class StagedResult:
+    """Result of a downward-then-upward pipeline."""
+
+    downward: DownwardResult
+    #: Translations that passed the upward checking stage.
+    accepted: tuple[Translation, ...] = ()
+    #: Translations rejected by the checked constraints, with the violations.
+    rejected: tuple[tuple[Translation, tuple[str, ...]], ...] = ()
+    #: Induced changes of each accepted translation (e.g. for monitoring).
+    induced: dict[Transaction, UpwardResult] = field(default_factory=dict)
+
+    @property
+    def is_satisfiable(self) -> bool:
+        """True when some translation survived every stage."""
+        return bool(self.accepted)
+
+
+def downward_then_upward(db: DeductiveDatabase,
+                         requests: Iterable[Literal | Event],
+                         maintain: Iterable[str] = (),
+                         check: Iterable[str] = (),
+                         monitor: Iterable[str] = (),
+                         downward_interpreter: DownwardInterpreter | None = None,
+                         upward_interpreter: UpwardInterpreter | None = None
+                         ) -> StagedResult:
+    """The Section 5.3 pipeline.
+
+    ``maintain``: inconsistency predicates handled *downward* (``¬ιIcN``
+    added to the request set -- translations repair them by construction).
+    ``check``: inconsistency predicates handled *upward* (candidate
+    translations inducing their insertion are rejected).
+    ``monitor``: derived predicates whose induced changes are reported for
+    each accepted translation.
+    """
+    downward_interpreter = downward_interpreter or DownwardInterpreter(db)
+    request_list: list[Literal | Event] = list(requests)
+    for predicate in maintain:
+        request_list.append(Literal(Atom(ins_name(predicate)), False)
+                            if db.schema.arity(predicate) == 0 else
+                            _forbid_any(db, predicate))
+    downward = downward_interpreter.interpret(request_list)
+
+    check = list(check)
+    monitor = list(monitor)
+    if not check and not monitor:
+        return StagedResult(downward, accepted=downward.translations)
+
+    upward_interpreter = upward_interpreter or UpwardInterpreter(
+        db, program=downward_interpreter.program)
+    watched = [*check, *monitor]
+    accepted: list[Translation] = []
+    rejected: list[tuple[Translation, tuple[str, ...]]] = []
+    induced: dict[Transaction, UpwardResult] = {}
+    for translation in downward.translations:
+        result = upward_interpreter.interpret(translation.transaction,
+                                              predicates=watched)
+        violations = tuple(sorted(
+            predicate for predicate in check
+            if result.insertions_of(predicate)
+        ))
+        if violations:
+            rejected.append((translation, violations))
+            continue
+        accepted.append(translation)
+        if monitor:
+            induced[translation.transaction] = result.restricted_to(monitor)
+    return StagedResult(downward, tuple(accepted), tuple(rejected), induced)
+
+
+def _forbid_any(db: DeductiveDatabase, predicate: str) -> Literal:
+    """``¬ιP(x1..xk)`` -- forbid the insertion for every instantiation."""
+    from repro.datalog.terms import Variable
+
+    arity = db.schema.arity(predicate)
+    variables = tuple(Variable(f"x{i + 1}") for i in range(arity))
+    return Literal(Atom(ins_name(predicate), variables), False)

@@ -1,0 +1,122 @@
+"""Enforcing and preventing condition activation (Sections 5.2.5 and 5.2.6).
+
+Problems the paper identifies as "having received little attention up to
+now", yet falling out of the framework for free:
+
+- **Enforcing condition activation**: base-fact updates that would induce a
+  given condition to become (de)satisfied -- the downward interpretation of
+  ``ιCond(X)`` / ``δCond(X)``.
+- **Condition validation**: ∃X with a non-empty downward interpretation
+  (tooling for the condition designer).
+- **Preventing condition activation**: append updates to a transaction so
+  no change on the condition occurs -- the downward interpretation of
+  ``{T, ¬ιCond(X)}`` / ``{T, ¬δCond(X)}``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.errors import UnknownPredicateError
+from repro.datalog.rules import Atom, Literal
+from repro.datalog.terms import Variable
+from repro.events.events import Transaction
+from repro.events.naming import EventKind, del_name, ins_name
+from repro.interpretations.downward import (
+    DownwardInterpreter,
+    DownwardResult,
+    _terms,
+    request_of,
+)
+from repro.problems.base import (
+    Direction,
+    PredicateSemantics,
+    ProblemSpec,
+    register_problem,
+)
+from repro.problems.view_validation import ValidationResult, validate_view
+
+register_problem(ProblemSpec(
+    name="Enforcing condition activation",
+    direction=Direction.DOWNWARD,
+    event_form="ιP / δP",
+    semantics=PredicateSemantics.CONDITION,
+    section="5.2.5",
+    summary="Find base updates that would (de)activate a condition.",
+))
+register_problem(ProblemSpec(
+    name="Condition validation",
+    direction=Direction.DOWNWARD,
+    event_form="ιP / δP (∃X)",
+    semantics=PredicateSemantics.CONDITION,
+    section="5.2.5",
+    summary="Is the condition activatable at all?",
+))
+register_problem(ProblemSpec(
+    name="Preventing condition activation",
+    direction=Direction.DOWNWARD,
+    event_form="T, ¬ιP / T, ¬δP",
+    semantics=PredicateSemantics.CONDITION,
+    section="5.2.6",
+    summary="Extend T so no change on the condition occurs.",
+))
+
+
+def _condition_literal(db: DeductiveDatabase, condition: str, kind: EventKind,
+                       args: Iterable | None, positive: bool) -> Literal:
+    if not db.schema.is_derived(condition):
+        raise UnknownPredicateError(f"{condition} is not a derived predicate")
+    name = ins_name(condition) if kind is EventKind.INSERTION else del_name(condition)
+    if args is None:
+        arity = db.schema.arity(condition)
+        terms = tuple(Variable(f"x{i + 1}") for i in range(arity))
+    else:
+        terms = _terms(args)
+    return Literal(Atom(name, terms), positive)
+
+
+def enforce_condition(db: DeductiveDatabase, condition: str,
+                      kind: EventKind = EventKind.INSERTION,
+                      args: Iterable | None = None,
+                      interpreter: DownwardInterpreter | None = None
+                      ) -> DownwardResult:
+    """Downward interpretation of ``ιCond(X)`` / ``δCond(X)``.
+
+    Omitting ``args`` asks for *some* instantiation (existential): each
+    translation activates the condition for at least one ``X``.
+    """
+    interpreter = interpreter or DownwardInterpreter(db)
+    request = _condition_literal(db, condition, kind, args, positive=True)
+    return interpreter.interpret(request)
+
+
+def validate_condition(db: DeductiveDatabase, condition: str,
+                       kind: EventKind = EventKind.INSERTION,
+                       max_witnesses: int | None = 1,
+                       interpreter: DownwardInterpreter | None = None
+                       ) -> ValidationResult:
+    """∃X: downward interpretation of ``ιCond(X)`` non-empty.
+
+    Identical machinery to view validation -- the framework does not care
+    which semantics the derived predicate carries.
+    """
+    return validate_view(db, condition, kind, max_witnesses, interpreter)
+
+
+def prevent_condition_activation(db: DeductiveDatabase,
+                                 transaction: Transaction,
+                                 condition: str,
+                                 kind: EventKind = EventKind.INSERTION,
+                                 args: Iterable | None = None,
+                                 interpreter: DownwardInterpreter | None = None
+                                 ) -> DownwardResult:
+    """Downward interpretation of ``{T, ¬ιCond(X)}`` / ``{T, ¬δCond(X)}``.
+
+    Omitting ``args`` prevents the activation for **all** values of ``X``.
+    """
+    interpreter = interpreter or DownwardInterpreter(db)
+    forbidden = _condition_literal(db, condition, kind, args, positive=False)
+    requests: list = [request_of(e) for e in sorted(transaction.events, key=str)]
+    requests.append(forbidden)
+    return interpreter.interpret(requests)

@@ -1,0 +1,81 @@
+"""Integrity constraint maintenance (Section 5.2.4).
+
+Given a consistent state and a transaction that may violate constraints,
+find *repairs*: additional base-fact updates appended to the transaction so
+the result satisfies every constraint.  Specified as **the downward
+interpretation of ``{T, ¬ιIc}``, provided ``Ico`` does not hold**.  Every
+resulting translation contains ``T`` plus the appended repairs; when no
+translation exists the original transaction must be rejected.
+
+The paper also classifies the dual curiosity, *maintaining inconsistency*:
+the downward interpretation of ``{T, ¬δIc}`` provided ``Ico`` holds
+("although we do not see any practical application of this problem, it can
+be naturally classified and specified in the framework").
+"""
+
+from __future__ import annotations
+
+from repro.datalog.database import GLOBAL_IC, DeductiveDatabase
+from repro.events.events import Transaction
+from repro.interpretations.downward import (
+    DownwardInterpreter,
+    DownwardResult,
+    forbid_delete,
+    forbid_insert,
+    request_of,
+)
+from repro.problems.base import (
+    Direction,
+    PredicateSemantics,
+    ProblemSpec,
+    StateError,
+    global_ic_holds,
+    register_problem,
+)
+
+register_problem(ProblemSpec(
+    name="Integrity constraints maintenance",
+    direction=Direction.DOWNWARD,
+    event_form="T, ¬ιP",
+    semantics=PredicateSemantics.IC,
+    section="5.2.4",
+    summary="Append repairs to T so every constraint stays satisfied.",
+))
+register_problem(ProblemSpec(
+    name="Maintaining inconsistency",
+    direction=Direction.DOWNWARD,
+    event_form="T, ¬δP",
+    semantics=PredicateSemantics.IC,
+    section="5.2.4",
+    summary="Append updates to T so the database stays inconsistent.",
+))
+
+
+def maintain_transaction(db: DeductiveDatabase, transaction: Transaction,
+                         interpreter: DownwardInterpreter | None = None
+                         ) -> DownwardResult:
+    """Downward interpretation of ``{T, ¬ιIc}`` on a consistent database."""
+    if global_ic_holds(db):
+        raise StateError(
+            "integrity maintenance requires a consistent state (Ic must not "
+            "hold); repair the database first."
+        )
+    interpreter = interpreter or DownwardInterpreter(db)
+    requests = [request_of(e) for e in sorted(transaction.events, key=str)]
+    requests.append(forbid_insert(GLOBAL_IC))
+    return interpreter.interpret(requests)
+
+
+def maintain_inconsistency(db: DeductiveDatabase, transaction: Transaction,
+                           interpreter: DownwardInterpreter | None = None
+                           ) -> DownwardResult:
+    """Downward interpretation of ``{T, ¬δIc}`` on an inconsistent database."""
+    if not global_ic_holds(db):
+        raise StateError(
+            "maintaining inconsistency requires an inconsistent state "
+            "(Ic must hold)."
+        )
+    interpreter = interpreter or DownwardInterpreter(db)
+    requests = [request_of(e) for e in sorted(transaction.events, key=str)]
+    requests.append(forbid_delete(GLOBAL_IC))
+    return interpreter.interpret(requests)

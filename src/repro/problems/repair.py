@@ -1,0 +1,91 @@
+"""Repairing inconsistent databases (Section 5.2.3).
+
+Given an inconsistent state, obtain sets of base-fact updates restoring
+consistency: **the downward interpretation of ``δIc``, provided ``Ico``
+holds**.  Each translation is a candidate repair; the database
+administrator selects one.
+
+A repair applied to the database may be verified (``verify=True``) by
+upward-interpreting it and checking it indeed induces ``δIc`` -- the §5.3
+downward-then-upward combination in miniature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalog.database import GLOBAL_IC, DeductiveDatabase
+from repro.interpretations.downward import (
+    DownwardInterpreter,
+    DownwardResult,
+    Translation,
+    want_delete,
+)
+from repro.interpretations.upward import UpwardInterpreter
+from repro.problems.base import (
+    Direction,
+    PredicateSemantics,
+    ProblemSpec,
+    StateError,
+    global_ic_holds,
+    register_problem,
+)
+
+register_problem(ProblemSpec(
+    name="Repairing inconsistent databases",
+    direction=Direction.DOWNWARD,
+    event_form="δP",
+    semantics=PredicateSemantics.IC,
+    section="5.2.3",
+    summary="Find base-fact updates that restore consistency.",
+))
+
+
+@dataclass
+class RepairResult:
+    """Candidate repairs of an inconsistent database."""
+
+    downward: DownwardResult
+    repairs: tuple[Translation, ...] = ()
+    #: Repairs that failed post-hoc verification (only when ``verify=True``).
+    unverified: tuple[Translation, ...] = ()
+
+    @property
+    def is_repairable(self) -> bool:
+        """True when at least one repair exists."""
+        return bool(self.repairs)
+
+    def __str__(self) -> str:
+        if not self.repairs:
+            return "no repair found"
+        return "; ".join(str(t) for t in self.repairs)
+
+
+def repair_database(db: DeductiveDatabase,
+                    verify: bool = False,
+                    interpreter: DownwardInterpreter | None = None
+                    ) -> RepairResult:
+    """Downward interpretation of ``δIc`` on an inconsistent database."""
+    if not global_ic_holds(db):
+        raise StateError(
+            "repair requires an inconsistent database (Ic must hold); "
+            "this database already satisfies every constraint."
+        )
+    interpreter = interpreter or DownwardInterpreter(db)
+    downward = interpreter.interpret(want_delete(GLOBAL_IC))
+    repairs = downward.translations
+    unverified: tuple[Translation, ...] = ()
+    if verify:
+        upward = UpwardInterpreter(db, program=interpreter.program)
+        verified: list[Translation] = []
+        failed: list[Translation] = []
+        for translation in repairs:
+            induced = upward.interpret(translation.transaction,
+                                       predicates=[GLOBAL_IC])
+            if induced.deletions_of(GLOBAL_IC):
+                verified.append(translation)
+            else:
+                failed.append(translation)
+        repairs = tuple(verified)
+        unverified = tuple(failed)
+    return RepairResult(downward, repairs, unverified)

@@ -1,0 +1,102 @@
+"""Integrity constraint satisfiability (Section 5.2.3, second half).
+
+Two design-time questions about a schema (deductive rules + constraints):
+
+- **IC satisfiability** [BDM88]: is there *any* extensional state
+  satisfying every constraint?  Specified as the downward interpretation of
+  ``δIc`` provided ``Ico`` holds (when ``Ico`` does not hold the current
+  state is itself a witness).
+- **Ensuring IC satisfaction**: can the database *ever* become
+  inconsistent?  Specified as the downward interpretation of ``ιIc``: each
+  resulting translation is a way of turning the database inconsistent; an
+  empty result means no reachable state violates a constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalog.database import GLOBAL_IC, DeductiveDatabase
+from repro.interpretations.downward import (
+    DownwardInterpreter,
+    Translation,
+    want_delete,
+    want_insert,
+)
+from repro.problems.base import (
+    Direction,
+    PredicateSemantics,
+    ProblemSpec,
+    global_ic_holds,
+    register_problem,
+)
+
+register_problem(ProblemSpec(
+    name="Integrity constraints satisfiability",
+    direction=Direction.DOWNWARD,
+    event_form="δP",
+    semantics=PredicateSemantics.IC,
+    section="5.2.3",
+    summary="Does some extensional state satisfy all constraints?",
+))
+register_problem(ProblemSpec(
+    name="Ensuring IC satisfaction",
+    direction=Direction.DOWNWARD,
+    event_form="ιP",
+    semantics=PredicateSemantics.IC,
+    section="5.2.3",
+    summary="Can any transaction make the database inconsistent?",
+))
+
+
+@dataclass
+class SatisfiabilityResult:
+    """Answer plus the witnessing translations."""
+
+    satisfiable: bool
+    #: Witness translations: repairs (satisfiability) or violation recipes
+    #: (reachability of inconsistency).
+    witnesses: tuple[Translation, ...] = ()
+    #: True when the current state already answered the question.
+    answered_by_current_state: bool = False
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+def constraints_satisfiable(db: DeductiveDatabase,
+                            interpreter: DownwardInterpreter | None = None
+                            ) -> SatisfiabilityResult:
+    """Is some consistent extensional state reachable?
+
+    Consistent current state -> trivially yes.  Otherwise: downward
+    interpretation of ``δIc``; satisfiable iff it defines at least one
+    transaction.
+    """
+    if not global_ic_holds(db):
+        return SatisfiabilityResult(True, answered_by_current_state=True)
+    interpreter = interpreter or DownwardInterpreter(db)
+    downward = interpreter.interpret(want_delete(GLOBAL_IC))
+    return SatisfiabilityResult(
+        satisfiable=bool(downward.translations),
+        witnesses=downward.translations,
+    )
+
+
+def can_reach_inconsistency(db: DeductiveDatabase,
+                            interpreter: DownwardInterpreter | None = None
+                            ) -> SatisfiabilityResult:
+    """Downward interpretation of ``ιIc``: ways to violate some constraint.
+
+    ``satisfiable=True`` means an inconsistent state is reachable (the
+    designer should inspect the witnesses); on an already-inconsistent
+    database the current state is the witness.
+    """
+    if global_ic_holds(db):
+        return SatisfiabilityResult(True, answered_by_current_state=True)
+    interpreter = interpreter or DownwardInterpreter(db)
+    downward = interpreter.interpret(want_insert(GLOBAL_IC))
+    return SatisfiabilityResult(
+        satisfiable=bool(downward.translations),
+        witnesses=downward.translations,
+    )

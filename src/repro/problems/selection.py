@@ -1,0 +1,98 @@
+"""Translation selection policies.
+
+The paper repeatedly notes that "several translations may exist and the
+user must select one" (5.2.1, 5.2.2, 5.2.4) but does not say how.  This
+module provides the classic selection criteria from the view-update
+literature so callers can rank the alternatives the downward interpretation
+produces:
+
+- **smallest**: fewest base-fact updates;
+- **fewest side effects**: fewest induced derived events beyond the
+  requested ones (computed by upward-interpreting each candidate -- the
+  §5.3 combination again);
+- **insertion-averse / deletion-averse**: prefer not to delete (or not to
+  insert) stored facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.datalog.database import DeductiveDatabase
+from repro.events.events import Transaction
+from repro.interpretations.downward import Translation
+from repro.interpretations.upward import UpwardInterpreter
+
+#: A policy maps a translation to a sortable cost (lower is better).
+Cost = tuple
+Policy = Callable[[Translation], Cost]
+
+
+def smallest(translation: Translation) -> Cost:
+    """Fewest base events; ties broken deterministically."""
+    return (len(translation.transaction), str(translation))
+
+
+def deletion_averse(translation: Translation) -> Cost:
+    """Prefer translations that delete as little as possible."""
+    deletions = len(translation.transaction.deletions())
+    return (deletions, len(translation.transaction), str(translation))
+
+
+def insertion_averse(translation: Translation) -> Cost:
+    """Prefer translations that insert as little as possible."""
+    insertions = len(translation.transaction.insertions())
+    return (insertions, len(translation.transaction), str(translation))
+
+
+@dataclass(frozen=True)
+class RankedTranslation:
+    """A translation with its measured cost under some policy."""
+
+    translation: Translation
+    cost: Cost
+    #: Induced derived events beyond the request (only for side-effect
+    #: ranking; empty otherwise).
+    side_effects: frozenset = frozenset()
+
+    @property
+    def transaction(self) -> Transaction:
+        """The candidate transaction."""
+        return self.translation.transaction
+
+
+def rank_translations(translations: Iterable[Translation],
+                      policy: Policy = smallest) -> tuple[RankedTranslation, ...]:
+    """Sort translations by a purely syntactic policy (no database access)."""
+    ranked = [RankedTranslation(t, policy(t)) for t in translations]
+    ranked.sort(key=lambda r: r.cost)
+    return tuple(ranked)
+
+
+def rank_by_side_effects(db: DeductiveDatabase,
+                         translations: Sequence[Translation],
+                         requested_predicates: Iterable[str] = (),
+                         interpreter: UpwardInterpreter | None = None
+                         ) -> tuple[RankedTranslation, ...]:
+    """Rank by number of induced derived events outside the request.
+
+    Each candidate is upward-interpreted (the downward-then-upward
+    combination of §5.3); events on predicates in ``requested_predicates``
+    are the intended effect and do not count.
+    """
+    interpreter = interpreter or UpwardInterpreter(db)
+    intended = set(requested_predicates)
+    ranked: list[RankedTranslation] = []
+    for translation in translations:
+        induced = interpreter.interpret(translation.transaction)
+        side_effects = frozenset(
+            event for event in induced.events()
+            if event.predicate not in intended
+        )
+        cost = (len(side_effects), len(translation.transaction),
+                str(translation))
+        ranked.append(RankedTranslation(translation, cost,
+                                        frozenset(side_effects)))
+    ranked.sort(key=lambda r: r.cost)
+    return tuple(ranked)

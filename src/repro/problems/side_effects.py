@@ -1,0 +1,71 @@
+"""Preventing side effects (Section 5.2.2).
+
+A *side effect* is a non-desired induced update on a derived predicate.
+Given a transaction ``T`` and a derived fact ``View(X)`` whose insertion
+(or deletion) must not be induced, the problem is specified as **the
+downward interpretation of ``{T, ¬ιView(X)}`` (resp. ``{T, ¬δView(X)}``)**:
+each resulting translation extends ``T`` with base-fact updates that
+suppress the side effect (Example 5.3).
+
+Passing variables (or no args) prevents the side effect "for all possible
+values of X".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.errors import UnknownPredicateError
+from repro.datalog.rules import Atom, Literal
+from repro.datalog.terms import Variable
+from repro.events.events import Transaction
+from repro.events.naming import EventKind, del_name, ins_name
+from repro.interpretations.downward import (
+    DownwardInterpreter,
+    DownwardResult,
+    request_of,
+)
+from repro.problems.base import (
+    Direction,
+    PredicateSemantics,
+    ProblemSpec,
+    register_problem,
+)
+
+register_problem(ProblemSpec(
+    name="Preventing side effects",
+    direction=Direction.DOWNWARD,
+    event_form="T, ¬ιP / T, ¬δP",
+    semantics=PredicateSemantics.VIEW,
+    section="5.2.2",
+    summary="Extend T so it does not induce an unwanted view change.",
+))
+
+
+def prevent_side_effects(db: DeductiveDatabase, transaction: Transaction,
+                         view: str,
+                         kind: EventKind = EventKind.INSERTION,
+                         args: Iterable | None = None,
+                         interpreter: DownwardInterpreter | None = None
+                         ) -> DownwardResult:
+    """Downward interpretation of ``{T, ¬ιView(X)}`` / ``{T, ¬δView(X)}``.
+
+    ``args``: the ground arguments of the protected fact; omit to protect
+    every instantiation ("all possible values of X").
+    """
+    if not db.schema.is_derived(view):
+        raise UnknownPredicateError(f"{view} is not a derived predicate")
+    interpreter = interpreter or DownwardInterpreter(db)
+    name = ins_name(view) if kind is EventKind.INSERTION else del_name(view)
+    if args is None:
+        arity = db.schema.arity(view)
+        terms = tuple(Variable(f"x{i + 1}") for i in range(arity))
+    else:
+        from repro.interpretations.downward import _terms
+
+        terms = _terms(args)
+    forbidden = Literal(Atom(name, terms), False)
+    requests: list = [request_of(event) for event in sorted(transaction.events, key=str)]
+    requests.append(forbidden)
+    return interpreter.interpret(requests)

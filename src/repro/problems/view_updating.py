@@ -1,0 +1,121 @@
+"""View updating (Section 5.2.1).
+
+A request to update a view is translated into updates of the underlying
+base facts: **the downward interpretation of ``ιView(X)`` / ``δView(X)``**.
+Several translations may exist; the user selects one.
+
+Because translations may violate integrity constraints, the function can
+combine view updating with
+
+- *integrity constraint checking* (``check_ic=True``): each candidate
+  translation is upward-interpreted and rejected when it induces ``ιIc``;
+- *integrity constraint maintenance* (``maintain_ic=True``): ``¬ιIc`` is
+  added to the request set so the downward interpretation itself only
+  produces consistency-preserving translations (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.datalog.database import GLOBAL_IC, DeductiveDatabase
+from repro.datalog.rules import Literal
+from repro.events.events import Event
+from repro.interpretations.downward import (
+    DownwardInterpreter,
+    DownwardResult,
+    Translation,
+    forbid_insert,
+)
+from repro.interpretations.upward import UpwardInterpreter
+from repro.problems.base import (
+    Direction,
+    PredicateSemantics,
+    ProblemSpec,
+    register_problem,
+)
+
+register_problem(ProblemSpec(
+    name="View updating",
+    direction=Direction.DOWNWARD,
+    event_form="ιP",
+    semantics=PredicateSemantics.VIEW,
+    section="5.2.1",
+    summary="Translate a derived-fact insertion into base-fact updates.",
+))
+register_problem(ProblemSpec(
+    name="View updating (deletion)",
+    direction=Direction.DOWNWARD,
+    event_form="δP",
+    semantics=PredicateSemantics.VIEW,
+    section="5.2.1",
+    summary="Translate a derived-fact deletion into base-fact updates.",
+))
+
+
+@dataclass
+class ViewUpdateResult:
+    """Candidate translations of a view update request."""
+
+    downward: DownwardResult
+    #: Translations surviving any requested integrity filtering.
+    translations: tuple[Translation, ...] = ()
+    #: Translations rejected by the integrity check (when ``check_ic``).
+    rejected: tuple[Translation, ...] = ()
+
+    @property
+    def is_satisfiable(self) -> bool:
+        """True when at least one admissible translation exists."""
+        return bool(self.translations)
+
+    def transactions(self):
+        """Admissible candidate transactions."""
+        return tuple(t.transaction for t in self.translations)
+
+    def __str__(self) -> str:
+        if not self.translations:
+            return "no admissible translation"
+        return "; ".join(str(t) for t in self.translations)
+
+
+def translate_view_update(db: DeductiveDatabase,
+                          requests: Iterable[Literal | Event] | Literal | Event,
+                          check_ic: bool = False,
+                          maintain_ic: bool = False,
+                          interpreter: DownwardInterpreter | None = None
+                          ) -> ViewUpdateResult:
+    """Downward interpretation of a view update request (set).
+
+    ``requests`` may mix ``want_insert``/``want_delete`` literals and ground
+    :class:`Event` objects; a general request "consists of a set of
+    insertions and/or deletions to be performed on derived predicates".
+    """
+    if check_ic and maintain_ic:
+        raise ValueError("choose either check_ic or maintain_ic, not both")
+    interpreter = interpreter or DownwardInterpreter(db)
+    if isinstance(requests, (Literal, Event)):
+        requests = [requests]
+    request_list: list[Literal | Event] = list(requests)
+    if maintain_ic:
+        if not db.constraints:
+            maintain_ic = False
+        else:
+            request_list.append(forbid_insert(GLOBAL_IC))
+    downward = interpreter.interpret(request_list)
+    translations = downward.translations
+    rejected: tuple[Translation, ...] = ()
+    if check_ic and db.constraints:
+        upward = UpwardInterpreter(db, program=interpreter.program)
+        kept: list[Translation] = []
+        dropped: list[Translation] = []
+        for translation in translations:
+            induced = upward.interpret(translation.transaction,
+                                       predicates=[GLOBAL_IC])
+            if induced.insertions_of(GLOBAL_IC):
+                dropped.append(translation)
+            else:
+                kept.append(translation)
+        translations = tuple(kept)
+        rejected = tuple(dropped)
+    return ViewUpdateResult(downward, translations, rejected)

@@ -1,0 +1,102 @@
+"""View validation (Section 5.2.1, second half).
+
+Given a derived predicate ``View(x)``, obtain at least one ``X`` (ranging
+over the finite domain) for which a set of base-fact updates satisfying
+``ιView(X)`` (or ``δView(X)``) exists.  "This can be useful for providing
+the database designer with a tool for validating certain aspects of the
+database definition" -- e.g. whether a state with a non-empty view extension
+is reachable at all.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.errors import DomainError, UnknownPredicateError
+from repro.datalog.rules import Atom, Literal
+from repro.datalog.terms import Constant
+from repro.events.naming import EventKind, del_name, ins_name
+from repro.interpretations.downward import DownwardInterpreter, Translation
+from repro.problems.base import (
+    Direction,
+    PredicateSemantics,
+    ProblemSpec,
+    register_problem,
+)
+
+Row = tuple[Constant, ...]
+
+register_problem(ProblemSpec(
+    name="View validation",
+    direction=Direction.DOWNWARD,
+    event_form="ιP / δP (∃X)",
+    semantics=PredicateSemantics.VIEW,
+    section="5.2.1",
+    summary="Is there some X whose view change is achievable by base updates?",
+))
+
+
+@dataclass
+class ValidationResult:
+    """Witnesses found while validating a view or condition definition."""
+
+    predicate: str
+    kind: EventKind
+    #: witness row -> the translations achieving the change for that row.
+    witnesses: dict[Row, tuple[Translation, ...]] = field(default_factory=dict)
+
+    @property
+    def is_valid(self) -> bool:
+        """At least one achievable instantiation exists."""
+        return bool(self.witnesses)
+
+    def first_witness(self) -> Row | None:
+        """A deterministic first witness (or None)."""
+        if not self.witnesses:
+            return None
+        return min(self.witnesses, key=str)
+
+    def __str__(self) -> str:
+        if not self.is_valid:
+            return f"{self.kind.symbol}{self.predicate}: not achievable"
+        witness = self.first_witness()
+        return (f"{self.kind.symbol}{self.predicate}: achievable, e.g. for "
+                f"{tuple(map(str, witness))}")
+
+
+def validate_view(db: DeductiveDatabase, view: str,
+                  kind: EventKind = EventKind.INSERTION,
+                  max_witnesses: int | None = 1,
+                  interpreter: DownwardInterpreter | None = None
+                  ) -> ValidationResult:
+    """Find ``X`` with a non-empty downward interpretation of ``ιView(X)``.
+
+    ``max_witnesses`` bounds the search (None = enumerate the whole domain).
+    Rows for which the change is *already satisfied* do not count as
+    witnesses -- validation asks for a transition, not for the status quo.
+    """
+    schema = db.schema
+    if not schema.is_derived(view):
+        raise UnknownPredicateError(f"{view} is not a derived predicate")
+    interpreter = interpreter or DownwardInterpreter(db)
+    arity = schema.arity(view)
+    domain = sorted(interpreter.domain(), key=str)
+    if arity and not domain:
+        raise DomainError(
+            "view validation needs a non-empty domain; add facts or "
+            "DownwardOptions.extra_domain"
+        )
+    name = ins_name(view) if kind is EventKind.INSERTION else del_name(view)
+    result = ValidationResult(view, kind)
+    for values in itertools.product(domain, repeat=arity):
+        request = Literal(Atom(name, values), True)
+        outcome = interpreter.interpret(request)
+        if outcome.already_satisfied:
+            continue  # the paper: validation asks for a transition
+        if outcome.translations:
+            result.witnesses[values] = outcome.translations
+            if max_witnesses is not None and len(result.witnesses) >= max_witnesses:
+                break
+    return result

@@ -1,0 +1,27 @@
+"""Synthetic workload generators for the benchmark harness.
+
+The paper has no empirical evaluation, so the SYN* experiments
+(EXPERIMENTS.md) define one: these generators produce databases,
+rule shapes and transactions that exercise every code path the framework
+specifies, deterministically from a seed.
+"""
+
+from repro.workloads.generators import (
+    chain_join_views,
+    constraint_network,
+    employment_database,
+    random_database,
+    random_transaction,
+    reachability_database,
+    view_tower,
+)
+
+__all__ = [
+    "chain_join_views",
+    "constraint_network",
+    "employment_database",
+    "random_database",
+    "random_transaction",
+    "reachability_database",
+    "view_tower",
+]

@@ -1,0 +1,202 @@
+"""Deterministic generators of databases, rules and transactions.
+
+Every generator takes a ``seed`` and uses its own :class:`random.Random`, so
+benchmark runs are reproducible and property tests can shrink.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.parser import parse_rule
+from repro.datalog.rules import Atom, Literal, Rule
+from repro.datalog.terms import Constant, Variable
+from repro.events.events import Event, Transaction, delete, insert
+
+
+def employment_database(n_people: int = 100, employed_ratio: float = 0.6,
+                        benefit_ratio: float = 1.0, seed: int = 0
+                        ) -> DeductiveDatabase:
+    """The paper's running example (Examples 5.1-5.3) at scale.
+
+    ``La(x)``: labour age; ``Works(x)``: employed; ``U_benefit(x)``:
+    receives benefit; ``Unemp(x) <- La(x) & not Works(x)``;
+    ``Ic1 <- Unemp(x) & not U_benefit(x)``.  With ``benefit_ratio < 1`` some
+    unemployed people lack a benefit and the database starts inconsistent.
+    """
+    rng = random.Random(seed)
+    db = DeductiveDatabase()
+    db.declare_base("La", 1)
+    db.declare_base("Works", 1)
+    db.declare_base("U_benefit", 1)
+    db.add_rule(parse_rule("Unemp(x) <- La(x) & not Works(x)."))
+    db.add_constraint(parse_rule("Ic1(x) <- Unemp(x) & not U_benefit(x)."))
+    for index in range(n_people):
+        person = f"P{index}"
+        db.add_fact("La", person)
+        if rng.random() < employed_ratio:
+            db.add_fact("Works", person)
+        elif rng.random() < benefit_ratio:
+            db.add_fact("U_benefit", person)
+    return db
+
+
+def random_database(n_facts: int = 500, domain_size: int = 50,
+                    n_base: int = 4, arity: int = 2, seed: int = 0
+                    ) -> DeductiveDatabase:
+    """Base relations ``B1..Bn`` filled with random tuples (no rules yet)."""
+    rng = random.Random(seed)
+    db = DeductiveDatabase()
+    names = [f"B{i + 1}" for i in range(n_base)]
+    for name in names:
+        db.declare_base(name, arity)
+    for _ in range(n_facts):
+        name = rng.choice(names)
+        row = tuple(f"C{rng.randrange(domain_size)}" for _ in range(arity))
+        db.add_fact(name, *row)
+    return db
+
+
+def chain_join_views(db: DeductiveDatabase, n_views: int = 2,
+                     negated_last: bool = False) -> list[str]:
+    """Add chain-join views ``Vk(x,y) <- B1(x,z) & B2(z,y) ...`` to *db*.
+
+    ``V1(x,y) <- B1(x,z) & B2(z,y)``, ``V2(x,y) <- V1(x,z) & B3(z,y)``, ...
+    With ``negated_last`` the final view adds a negative condition, giving
+    the transition rules their 2^k shape with both event polarities.
+    Returns the view names, bottom-up.
+    """
+    base = sorted(n for n in db.schema.base if n.startswith("B"))
+    if len(base) < 2:
+        raise ValueError("chain_join_views needs at least two base relations")
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    views: list[str] = []
+    previous = base[0]
+    for index in range(n_views):
+        name = f"V{index + 1}"
+        other = base[(index + 1) % len(base)]
+        body = [
+            Literal(Atom(previous, (x, z)), True),
+            Literal(Atom(other, (z, y)), True),
+        ]
+        if negated_last and index == n_views - 1:
+            guard = base[(index + 2) % len(base)]
+            body.append(Literal(Atom(guard, (x, y)), False))
+        db.add_rule(Rule(Atom(name, (x, y)), tuple(body)))
+        views.append(name)
+        previous = name
+    return views
+
+
+def view_tower(height: int = 5, width: int = 200, domain_size: int = 60,
+               seed: int = 0) -> tuple[DeductiveDatabase, list[str]]:
+    """A tower of unary views ``Ti(x) <- Ti-1(x) & Gi(x)`` over ``T0`` base.
+
+    Every level filters the previous one by a random guard relation; the
+    tower depth is what the SYN3 benchmark sweeps.
+    """
+    rng = random.Random(seed)
+    db = DeductiveDatabase()
+    db.declare_base("T0", 1)
+    constants = [f"C{i}" for i in range(domain_size)]
+    for _ in range(width):
+        db.add_fact("T0", rng.choice(constants))
+    views: list[str] = []
+    for level in range(1, height + 1):
+        guard = f"G{level}"
+        db.declare_base(guard, 1)
+        for constant in constants:
+            if rng.random() < 0.8:
+                db.add_fact(guard, constant)
+        db.add_rule(parse_rule(f"T{level}(x) <- T{level - 1}(x) & {guard}(x)."))
+        views.append(f"T{level}")
+    return db, views
+
+
+def constraint_network(n_constraints: int = 5, n_facts: int = 300,
+                       domain_size: int = 40, seed: int = 0
+                       ) -> DeductiveDatabase:
+    """Relations ``R1..Rn+1`` with inclusion constraints between neighbours.
+
+    ``IcK <- RK(x) & not RK+1(x)``: every element of ``RK`` must be in
+    ``RK+1``.  Facts are generated so the database starts consistent; the
+    SYN2 benchmark then deletes ``RK+1`` facts to trigger violations.
+    """
+    rng = random.Random(seed)
+    db = DeductiveDatabase()
+    names = [f"R{i + 1}" for i in range(n_constraints + 1)]
+    for name in names:
+        db.declare_base(name, 1)
+    for index in range(n_constraints):
+        db.add_constraint(parse_rule(
+            f"Ic{index + 1} <- {names[index]}(x) & not {names[index + 1]}(x)."
+        ))
+    constants = [f"C{i}" for i in range(domain_size)]
+    chosen = rng.sample(constants, k=min(len(constants), max(1, n_facts // (n_constraints + 1))))
+    # Build inclusion chains R1 ⊆ R2 ⊆ ... so the start state is consistent.
+    for constant in chosen:
+        depth = rng.randrange(n_constraints + 1)
+        for name in names[depth:]:
+            db.add_fact(name, constant)
+    return db
+
+
+def reachability_database(n_nodes: int = 30, n_edges: int = 60, seed: int = 0
+                          ) -> DeductiveDatabase:
+    """A recursive workload: ``Path`` over a random ``Edge`` relation.
+
+    Exercises the recursive-SCC fallback of the hybrid upward strategy.
+    """
+    rng = random.Random(seed)
+    db = DeductiveDatabase()
+    db.declare_base("Edge", 2)
+    db.add_rule(parse_rule("Path(x,y) <- Edge(x,y)."))
+    db.add_rule(parse_rule("Path(x,y) <- Edge(x,z) & Path(z,y)."))
+    nodes = [f"N{i}" for i in range(n_nodes)]
+    for _ in range(n_edges):
+        source, target = rng.choice(nodes), rng.choice(nodes)
+        if source != target:
+            db.add_fact("Edge", source, target)
+    return db
+
+
+def random_transaction(db: DeductiveDatabase, n_events: int = 4,
+                       insert_ratio: float = 0.5, seed: int = 0,
+                       predicates: Iterable[str] | None = None) -> Transaction:
+    """A well-formed random transaction of effective base events.
+
+    Deletions pick stored facts; insertions invent fresh tuples over the
+    active domain.  Events never contradict each other and are effective
+    (no no-ops), so transactions exercise the interesting code paths.
+    """
+    rng = random.Random(seed)
+    base = sorted(predicates if predicates is not None
+                  else db.base_predicates_with_facts())
+    base = [p for p in base if db.schema.is_base(p)]
+    if not base:
+        raise ValueError("database has no base facts to build a transaction from")
+    domain = sorted(db.active_domain(), key=str)
+    events: dict[tuple[str, tuple], Event] = {}
+    attempts = 0
+    while len(events) < n_events and attempts < n_events * 50:
+        attempts += 1
+        predicate = rng.choice(base)
+        arity = db.schema.arity(predicate)
+        if rng.random() < insert_ratio:
+            row = tuple(Constant(rng.choice(domain).value) for _ in range(arity))
+            if db.has_fact(predicate, *row):
+                continue
+            candidate = insert(predicate, *row)
+        else:
+            rows = sorted(db.facts_of(predicate), key=str)
+            if not rows:
+                continue
+            row = rng.choice(rows)
+            candidate = delete(predicate, *row)
+        key = (predicate, candidate.args)
+        if key in events:
+            continue
+        events[key] = candidate
+    return Transaction(events.values())

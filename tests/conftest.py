@@ -1,0 +1,28 @@
+"""Shared fixtures: the paper's two running example databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import DeductiveDatabase
+
+
+@pytest.fixture
+def pqr_db() -> DeductiveDatabase:
+    """The database of Examples 4.1 / 4.2: Q(A), Q(B), R(B), P = Q ∧ ¬R."""
+    return DeductiveDatabase.from_source("""
+        Q(A). Q(B). R(B).
+        P(x) <- Q(x) & not R(x).
+    """)
+
+
+@pytest.fixture
+def employment_db() -> DeductiveDatabase:
+    """The database of Examples 5.1 / 5.2 / 5.3 (employment office)."""
+    db = DeductiveDatabase.from_source("""
+        La(Dolors). U_benefit(Dolors).
+        Unemp(x) <- La(x) & not Works(x).
+        Ic1 <- Unemp(x) & not U_benefit(x).
+    """)
+    db.declare_base("Works", 1)
+    return db

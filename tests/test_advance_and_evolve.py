@@ -1,0 +1,100 @@
+"""Tests for UpwardInterpreter.advance and UpdateProcessor.evolve."""
+
+import pytest
+
+from repro.datalog import DeductiveDatabase
+from repro.datalog.errors import ComplexityLimitExceeded
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import Constant
+from repro.events.events import Transaction, delete, insert
+from repro.core import UpdateProcessor
+from repro.interpretations import (
+    DownwardInterpreter,
+    DownwardOptions,
+    UpwardInterpreter,
+    naive_changes,
+    want_delete,
+)
+
+
+class TestAdvance:
+    def test_advance_tracks_state_across_transactions(self, pqr_db):
+        interpreter = UpwardInterpreter(pqr_db)
+        first = Transaction([delete("R", "B")])
+        result = interpreter.interpret(first)
+        # Commit and advance.
+        for event in result.transaction:
+            pqr_db.remove_fact(event.predicate, *event.args)
+        interpreter.advance(result)
+        assert interpreter.old_extension("P") == {
+            (Constant("A"),), (Constant("B"),)}
+        # A second transaction is interpreted against the advanced state.
+        second = Transaction([insert("R", "A")])
+        result2 = interpreter.interpret(second)
+        oracle = naive_changes(pqr_db, second)
+        assert result2.deletions == oracle.deletions
+
+    def test_long_transaction_chain_matches_fresh_interpreter(self):
+        from repro.workloads import employment_database, random_transaction
+
+        db = employment_database(25, seed=77)
+        interpreter = UpwardInterpreter(db)
+        for seed in range(10):
+            if not db.base_predicates_with_facts():
+                break
+            transaction = random_transaction(db, n_events=2, seed=seed)
+            result = interpreter.interpret(transaction)
+            for event in result.transaction:
+                if event.is_insertion:
+                    db.add_fact(event.predicate, *event.args)
+                else:
+                    db.remove_fact(event.predicate, *event.args)
+            interpreter.advance(result)
+        fresh = UpwardInterpreter(db)
+        assert interpreter.old_extension("Unemp") == \
+            fresh.old_extension("Unemp")
+
+
+class TestEvolve:
+    def test_evolve_commits_rules(self, pqr_db):
+        processor = UpdateProcessor(pqr_db)
+        result = processor.evolve(add_rules=[parse_rule("P(x) <- R(x).")])
+        assert result.induced.insertions_of("P") == \
+            frozenset({(Constant("B"),)})
+        # Committed: the live database now derives P(B).
+        assert processor.db.query("P(B)") == [()]
+
+    def test_evolve_removes_rules(self, pqr_db):
+        processor = UpdateProcessor(pqr_db)
+        (rule_,) = pqr_db.rules
+        result = processor.evolve(remove_rules=[rule_])
+        assert result.induced.deletions_of("P")
+        assert processor.db.query("Q(A)") == [()]
+        assert not processor.db.rules
+
+    def test_evolve_constraint_then_check(self, employment_db):
+        processor = UpdateProcessor(employment_db)
+        processor.evolve(add_constraints=[
+            parse_rule("Ic2(x) <- Works(x) & U_benefit(x).")])
+        # New constraint is live: working + benefit now violates.
+        verdict = processor.check(Transaction([
+            insert("Works", "Dolors")]))
+        assert not verdict.ok
+        assert "Ic2" in verdict.violated_constraints()
+
+
+class TestComplexityGuard:
+    def test_max_disjuncts_raises(self):
+        # Many independent violations make the global ¬new$Ic negation
+        # combinatorial; a tiny bound trips immediately.
+        source = ["Ic1(x) <- A(x) & not B(x)."]
+        for index in range(12):
+            source.append(f"A(C{index}).")
+        db = DeductiveDatabase.from_source("\n".join(source))
+        db.declare_base("B", 1)
+        interpreter = DownwardInterpreter(
+            db, options=DownwardOptions(max_disjuncts=10))
+        from repro.datalog.database import GLOBAL_IC
+
+        with pytest.raises(ComplexityLimitExceeded):
+            interpreter.interpret(want_delete(GLOBAL_IC))

@@ -1,0 +1,85 @@
+"""Unit tests for schema analysis and the allowedness check."""
+
+import pytest
+
+from repro.datalog.analysis import (
+    analyse_program,
+    check_allowed,
+    check_arities,
+    is_inconsistency_predicate,
+)
+from repro.datalog.errors import ArityError, SafetyError
+from repro.datalog.parser import parse_program, parse_rule
+
+
+class TestArities:
+    def test_consistent(self):
+        program = parse_program("P(x) <- Q(x, y).  Q(A, B).")
+        arities = check_arities(program.all_rules())
+        assert arities == {"P": 1, "Q": 2}
+
+    def test_inconsistent_raises(self):
+        program = parse_program("P(x) <- Q(x).  Q(A, B).")
+        with pytest.raises(ArityError):
+            check_arities(program.all_rules())
+
+    def test_known_seed_conflict(self):
+        program = parse_program("P(x) <- Q(x).")
+        with pytest.raises(ArityError):
+            check_arities(program.all_rules(), known={"Q": 2})
+
+
+class TestAllowedness:
+    def test_allowed_rule_passes(self):
+        check_allowed(parse_rule("P(x) <- Q(x) & not R(x)."))
+
+    def test_head_variable_not_bound(self):
+        with pytest.raises(SafetyError):
+            check_allowed(parse_rule("P(x, y) <- Q(x)."))
+
+    def test_negative_only_variable(self):
+        with pytest.raises(SafetyError):
+            check_allowed(parse_rule("P(x) <- Q(x) & not R(y)."))
+
+    def test_propositional_negation_allowed(self):
+        check_allowed(parse_rule("P <- not Q."))
+
+    def test_constants_always_fine(self):
+        check_allowed(parse_rule("P(A) <- not Q(B)."))
+
+
+class TestInconsistencyPredicates:
+    @pytest.mark.parametrize("name,expected", [
+        ("Ic", True), ("Ic1", True), ("Ic42", True),
+        ("Icx", False), ("P", False), ("ic1", False),
+    ])
+    def test_names(self, name, expected):
+        assert is_inconsistency_predicate(name) is expected
+
+
+class TestAnalyseProgram:
+    def test_base_derived_partition(self):
+        program = parse_program("P(x) <- Q(x).  Q(A).")
+        analysis = analyse_program(program.all_rules())
+        assert analysis.derived == {"P"}
+        assert "Q" in analysis.base
+
+    def test_facts_do_not_make_derived(self):
+        program = parse_program("Q(A). Q(B).")
+        analysis = analyse_program(program.all_rules())
+        assert analysis.derived == set()
+
+    def test_declared_base_with_rule_head_rejected(self):
+        program = parse_program("P(x) <- Q(x).")
+        with pytest.raises(SafetyError):
+            analyse_program(program.all_rules(), declared_base=["P"])
+
+    def test_declared_base_without_occurrence(self):
+        analysis = analyse_program([], declared_base=["Works"])
+        assert analysis.info("Works").is_base
+
+    def test_info_lookup(self):
+        program = parse_program("P(x) <- Q(x). Q(A).")
+        analysis = analyse_program(program.all_rules())
+        assert analysis.info("P").is_derived
+        assert analysis.info("P").arity == 1

@@ -1,0 +1,169 @@
+"""Tests for the Table 4.1 classification and the §5.3 combinations."""
+
+import pytest
+
+import repro.problems  # noqa: F401  -- importing registers every problem
+from repro.datalog import DeductiveDatabase
+from repro.datalog.terms import Constant
+from repro.events.events import Transaction, delete, insert
+from repro.interpretations import want_delete, want_insert
+from repro.problems import (
+    classification_table,
+    downward_set,
+    downward_then_upward,
+    problem_registry,
+    render_table_4_1,
+    upward_set,
+)
+from repro.problems.base import Direction, PredicateSemantics
+
+
+class TestRegistry:
+    def test_every_section_5_problem_registered(self):
+        names = {spec.name for spec in problem_registry()}
+        expected = {
+            "Integrity constraints checking",
+            "Consistency restoration checking",
+            "Condition monitoring",
+            "Materialized view maintenance",
+            "View updating",
+            "View updating (deletion)",
+            "View validation",
+            "Preventing side effects",
+            "Repairing inconsistent databases",
+            "Integrity constraints satisfiability",
+            "Ensuring IC satisfaction",
+            "Integrity constraints maintenance",
+            "Maintaining inconsistency",
+            "Enforcing condition activation",
+            "Condition validation",
+            "Preventing condition activation",
+        }
+        assert expected <= names
+
+    def test_sections_recorded(self):
+        sections = {spec.section for spec in problem_registry()}
+        assert {"5.1.1", "5.1.2", "5.1.3", "5.2.1", "5.2.2", "5.2.3",
+                "5.2.4", "5.2.5", "5.2.6"} <= sections
+
+
+class TestTable41:
+    """Cell-by-cell assertions against the paper's Table 4.1."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        return classification_table()
+
+    def cell(self, table, direction, form, semantics):
+        return table[(direction, form, semantics)]
+
+    def test_upward_view_cells(self, table):
+        for form in ("ιP", "δP"):
+            names = self.cell(table, Direction.UPWARD, form,
+                              PredicateSemantics.VIEW)
+            assert "Materialized view maintenance" in names
+
+    def test_upward_ic_cells(self, table):
+        assert "Integrity constraints checking" in self.cell(
+            table, Direction.UPWARD, "ιP", PredicateSemantics.IC)
+        assert "Consistency restoration checking" in self.cell(
+            table, Direction.UPWARD, "δP", PredicateSemantics.IC)
+
+    def test_upward_cond_cells(self, table):
+        for form in ("ιP", "δP"):
+            assert "Condition monitoring" in self.cell(
+                table, Direction.UPWARD, form, PredicateSemantics.CONDITION)
+
+    def test_downward_view_cells(self, table):
+        assert "View updating" in self.cell(
+            table, Direction.DOWNWARD, "ιP", PredicateSemantics.VIEW)
+        assert "View updating (deletion)" in self.cell(
+            table, Direction.DOWNWARD, "δP", PredicateSemantics.VIEW)
+        for form in ("ιP", "δP"):
+            assert "View validation" in self.cell(
+                table, Direction.DOWNWARD, form, PredicateSemantics.VIEW)
+        for form in ("T, ¬ιP", "T, ¬δP"):
+            assert "Preventing side effects" in self.cell(
+                table, Direction.DOWNWARD, form, PredicateSemantics.VIEW)
+
+    def test_downward_ic_cells(self, table):
+        assert "Ensuring IC satisfaction" in self.cell(
+            table, Direction.DOWNWARD, "ιP", PredicateSemantics.IC)
+        deletions = self.cell(table, Direction.DOWNWARD, "δP",
+                              PredicateSemantics.IC)
+        assert "Repairing inconsistent databases" in deletions
+        assert "Integrity constraints satisfiability" in deletions
+        assert "Integrity constraints maintenance" in self.cell(
+            table, Direction.DOWNWARD, "T, ¬ιP", PredicateSemantics.IC)
+        assert "Maintaining inconsistency" in self.cell(
+            table, Direction.DOWNWARD, "T, ¬δP", PredicateSemantics.IC)
+
+    def test_downward_cond_cells(self, table):
+        for form in ("ιP", "δP"):
+            assert "Enforcing condition activation" in self.cell(
+                table, Direction.DOWNWARD, form, PredicateSemantics.CONDITION)
+        for form in ("T, ¬ιP", "T, ¬δP"):
+            assert "Preventing condition activation" in self.cell(
+                table, Direction.DOWNWARD, form, PredicateSemantics.CONDITION)
+
+    def test_no_cross_contamination(self, table):
+        # Upward rows never contain downward problems and vice versa.
+        downward_names = {s.name for s in problem_registry()
+                          if s.direction is Direction.DOWNWARD}
+        for (direction, _, _), names in table.items():
+            if direction is Direction.UPWARD:
+                assert not (set(names) & downward_names)
+
+    def test_render_contains_headers_and_rows(self):
+        text = render_table_4_1()
+        assert "View" in text and "Ic" in text and "Cond" in text
+        assert "Upward" in text and "Downward" in text
+        assert "T, ¬ιP" in text
+
+
+class TestCombinations:
+    def test_upward_set_serves_many_consumers(self, employment_db):
+        result = upward_set(employment_db,
+                            Transaction([delete("U_benefit", "Dolors")]))
+        assert result.insertions_of("Ic1")  # checking
+        assert not result.insertions_of("Unemp")  # monitoring
+
+    def test_downward_set(self, employment_db):
+        result = downward_set(employment_db, [
+            want_delete("Unemp", "Dolors"),
+            want_insert("La", "Maria"),
+        ])
+        assert result.is_satisfiable
+        for transaction in result.transactions():
+            assert insert("La", "Maria") in transaction
+
+    def test_downward_then_upward_maintain(self, employment_db):
+        staged = downward_then_upward(
+            employment_db, [want_insert("Unemp", "Maria")],
+            maintain=["Ic1"])
+        assert staged.is_satisfiable
+        for translation in staged.accepted:
+            assert insert("U_benefit", "Maria") in translation.transaction
+
+    def test_downward_then_upward_check_rejects(self, employment_db):
+        staged = downward_then_upward(
+            employment_db, [want_insert("Unemp", "Maria")],
+            check=["Ic1"])
+        # The plain translation {ιLa(Maria)} violates Ic1 upward: rejected.
+        assert staged.rejected
+        for _, violations in staged.rejected:
+            assert violations == ("Ic1",)
+
+    def test_downward_then_upward_monitor(self, employment_db):
+        staged = downward_then_upward(
+            employment_db, [want_delete("Unemp", "Dolors")],
+            monitor=["Unemp"])
+        assert staged.accepted
+        for transaction, induced in staged.induced.items():
+            assert induced.deletions_of("Unemp") == \
+                frozenset({(Constant("Dolors"),)})
+
+    def test_plain_pipeline_accepts_everything(self, employment_db):
+        staged = downward_then_upward(
+            employment_db, [want_delete("Unemp", "Dolors")])
+        assert len(staged.accepted) == 2

@@ -1,0 +1,185 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import main, parse_request
+from repro.datalog.errors import DatalogError
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    path = tmp_path / "db.dl"
+    path.write_text("""
+        La(Dolors). U_benefit(Dolors). Works(Pere). La(Pere).
+        Unemp(x) <- La(x) & not Works(x).
+        Ic1 <- Unemp(x) & not U_benefit(x).
+    """)
+    return str(path)
+
+
+@pytest.fixture
+def broken_db_file(tmp_path):
+    path = tmp_path / "broken.dl"
+    path.write_text("""
+        La(Dolors).
+        Unemp(x) <- La(x) & not Works(x).
+        Ic1 <- Unemp(x) & not U_benefit(x).
+    """)
+    return str(path)
+
+
+class TestParseRequest:
+    def test_insert(self):
+        literal = parse_request("ins P(A)")
+        assert literal.predicate == "ins$P" and literal.positive
+
+    def test_delete(self):
+        literal = parse_request("del P(A, B)")
+        assert literal.predicate == "del$P"
+
+    def test_negative(self):
+        literal = parse_request("not ins P(A)")
+        assert not literal.positive
+
+    def test_garbage(self):
+        with pytest.raises(DatalogError):
+            parse_request("upsert P(A)")
+
+
+class TestCommands:
+    def test_table(self, capsys):
+        assert main(["table"]) == 0
+        out = capsys.readouterr().out
+        assert "View updating" in out
+
+    def test_describe(self, db_file, capsys):
+        assert main(["describe", db_file]) == 0
+        out = capsys.readouterr().out
+        assert "ιUnemp" in out and "Unempn" in out
+
+    def test_upward(self, db_file, capsys):
+        assert main(["upward", db_file, "-t", "delete Works(Pere)"]) == 0
+        out = capsys.readouterr().out
+        assert "ιUnemp(Pere)" in out
+
+    def test_check_ok(self, db_file, capsys):
+        assert main(["check", db_file, "-t", "insert Works(Dolors)"]) == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_check_violation_exit_code(self, db_file, capsys):
+        assert main(["check", db_file,
+                     "-t", "delete U_benefit(Dolors)"]) == 1
+        assert "Ic1" in capsys.readouterr().out
+
+    def test_translate(self, db_file, capsys):
+        assert main(["translate", db_file, "-r", "del Unemp(Dolors)"]) == 0
+        out = capsys.readouterr().out
+        assert "δLa(Dolors)" in out and "ιWorks(Dolors)" in out
+
+    def test_translate_request_set(self, db_file, capsys):
+        code = main(["translate", db_file,
+                     "-r", "del Unemp(Dolors)", "-r", "not ins Ic"])
+        assert code == 0
+
+    def test_translate_unsatisfiable(self, db_file, capsys):
+        code = main(["translate", db_file,
+                     "-r", "ins Unemp(Pere)", "-r", "not del Works(Pere)",
+                     "-r", "not del La(Pere)"])
+        # ιUnemp(Pere) needs δWorks(Pere), which is forbidden.
+        assert code == 1
+        assert "no translation" in capsys.readouterr().out
+
+    def test_repair(self, broken_db_file, capsys):
+        assert main(["repair", broken_db_file]) == 0
+        assert "consistent after" in capsys.readouterr().out
+
+    def test_monitor(self, db_file, capsys):
+        assert main(["monitor", db_file, "-t", "delete Works(Pere)",
+                     "-c", "Unemp"]) == 0
+        assert "+Unemp(Pere)" in capsys.readouterr().out
+
+    def test_error_reporting(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.dl")
+        assert main(["describe", missing]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRepl:
+    def _run(self, monkeypatch, capsys, db_file, lines):
+        commands = iter(lines)
+
+        def fake_input(prompt=""):
+            try:
+                return next(commands)
+            except StopIteration:
+                raise EOFError
+
+        monkeypatch.setattr("builtins.input", fake_input)
+        code = main(["repl", db_file])
+        return code, capsys.readouterr().out
+
+    def test_query_and_quit(self, monkeypatch, capsys, db_file):
+        code, out = self._run(monkeypatch, capsys, db_file,
+                              ["? Unemp(x)", "quit"])
+        assert code == 0
+        assert "Dolors" in out
+
+    def test_apply_and_undo(self, monkeypatch, capsys, db_file):
+        code, out = self._run(monkeypatch, capsys, db_file, [
+            "+ Works(Maria)", "? Works(x)", "undo", "? Works(x)", "quit",
+        ])
+        assert code == 0
+        assert out.count("Maria") >= 1
+        # After undo, Maria is gone from the final query block.
+        assert "undid" in out
+
+    def test_rejects_violation(self, monkeypatch, capsys, db_file):
+        code, out = self._run(monkeypatch, capsys, db_file, [
+            "- U_benefit(Dolors)", "quit",
+        ])
+        assert "rejected" in out
+
+    def test_translate_and_misc(self, monkeypatch, capsys, db_file):
+        code, out = self._run(monkeypatch, capsys, db_file, [
+            "help", "rules", "facts", "table",
+            "translate del Unemp(Dolors)",
+            "check delete U_benefit(Dolors)",
+            "bogus-command",
+            "quit",
+        ])
+        assert "commands:" in out
+        assert "δLa(Dolors)" in out
+        assert "violates Ic1" in out
+        assert "unknown command" in out
+
+    def test_parse_error_reported_not_fatal(self, monkeypatch, capsys, db_file):
+        code, out = self._run(monkeypatch, capsys, db_file, [
+            "? ((", "quit",
+        ])
+        assert code == 0
+        assert "error:" in out
+
+
+class TestJsonOutput:
+    def test_upward_json(self, db_file, capsys):
+        import json
+
+        assert main(["upward", db_file, "-t", "delete Works(Pere)",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["insertions"]["Unemp"] == [["Pere"]]
+
+    def test_translate_json(self, db_file, capsys):
+        import json
+
+        assert main(["translate", db_file, "-r", "del Unemp(Dolors)",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["satisfiable"] is True
+        assert len(payload["translations"]) == 2
+
+    def test_translate_json_unsatisfiable_exit_code(self, db_file, capsys):
+        code = main(["translate", db_file,
+                     "-r", "ins Unemp(Pere)", "-r", "not del Works(Pere)",
+                     "-r", "not del La(Pere)", "--json"])
+        assert code == 1

@@ -1,0 +1,41 @@
+"""Tests for the query/persistence conveniences on DeductiveDatabase."""
+
+import pytest
+
+from repro.datalog import DeductiveDatabase
+from repro.datalog.terms import Constant
+
+
+class TestQuery:
+    def test_open_query(self, pqr_db):
+        assert pqr_db.query("P(x)") == [("A",)]
+        assert sorted(pqr_db.query("Q(x)"), key=str) == [("A",), ("B",)]
+
+    def test_ground_query(self, pqr_db):
+        assert pqr_db.query("P(A)") == [()]
+        assert pqr_db.query("P(B)") == []
+
+    def test_join_query_variable_order(self):
+        db = DeductiveDatabase.from_source(
+            "E(A,B). E(B,C). J(x, z) <- E(x, y) & E(y, z).")
+        assert db.query("J(x, z)") == [("A", "C")]
+
+    def test_repeated_variable(self):
+        db = DeductiveDatabase.from_source("E(A,A). E(A,B).")
+        assert db.query("E(x, x)") == [("A",)]
+
+
+class TestPersistence:
+    def test_round_trip(self, employment_db, tmp_path):
+        path = tmp_path / "db.dl"
+        employment_db.to_file(path)
+        again = DeductiveDatabase.from_file(path)
+        assert set(again.iter_facts()) == set(employment_db.iter_facts())
+        assert set(map(str, again.all_rules())) == \
+            set(map(str, employment_db.all_rules()))
+
+    def test_loaded_db_is_operational(self, employment_db, tmp_path):
+        path = tmp_path / "db.dl"
+        employment_db.to_file(path)
+        again = DeductiveDatabase.from_file(path)
+        assert again.query("Unemp(x)") == [("Dolors",)]

@@ -1,0 +1,49 @@
+"""Tests for transaction_between and UpdateProcessor.explain."""
+
+import pytest
+
+from repro.datalog import DeductiveDatabase
+from repro.core import UpdateProcessor
+from repro.events import Transaction, transaction_between
+from repro.events.events import delete, insert, parse_transaction
+
+
+class TestTransactionBetween:
+    def test_diff_round_trip(self, pqr_db):
+        new_db = Transaction([delete("R", "B"), insert("Q", "C")]).apply_to(pqr_db)
+        diff = transaction_between(pqr_db, new_db)
+        assert diff == Transaction([delete("R", "B"), insert("Q", "C")])
+        # Applying the diff reproduces the new state exactly.
+        assert set(diff.apply_to(pqr_db).iter_facts()) == \
+            set(new_db.iter_facts())
+
+    def test_identical_states_empty_diff(self, pqr_db):
+        assert transaction_between(pqr_db, pqr_db.copy()) == Transaction()
+
+    def test_diff_is_effective(self, pqr_db):
+        new_db = pqr_db.copy()
+        new_db.add_fact("Q", "Z")
+        diff = transaction_between(pqr_db, new_db)
+        assert diff.normalized(pqr_db) == diff
+
+    def test_inverse_direction(self, pqr_db):
+        new_db = Transaction([delete("R", "B")]).apply_to(pqr_db)
+        forward = transaction_between(pqr_db, new_db)
+        backward = transaction_between(new_db, pqr_db)
+        from repro.core.history import inverse_of
+
+        assert backward == inverse_of(forward)
+
+
+class TestProcessorExplain:
+    def test_explains_induced_event(self, pqr_db):
+        processor = UpdateProcessor(pqr_db)
+        trees = processor.explain(parse_transaction("{delete R(B)}"),
+                                  insert("P", "B"))
+        assert trees
+        assert "new$P(B)" in str(trees[0])
+
+    def test_no_explanation_for_uninduced(self, pqr_db):
+        processor = UpdateProcessor(pqr_db)
+        assert processor.explain(parse_transaction("{delete R(B)}"),
+                                 insert("P", "A")) == ()

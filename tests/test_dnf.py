@@ -1,0 +1,138 @@
+"""Unit tests for the DNF algebra."""
+
+import pytest
+
+from repro.datalog.errors import ComplexityLimitExceeded
+from repro.datalog.rules import Atom, Literal
+from repro.datalog.terms import Constant, Variable
+from repro.events.dnf import Dnf, FALSE_DNF, TRUE_DNF
+
+
+def lit(name, positive=True, *args):
+    return Literal(Atom(name, tuple(Constant(a) for a in args)), positive)
+
+
+IA = lit("ins$Q", True, "A")
+DA = lit("del$Q", True, "A")
+IB = lit("ins$Q", True, "B")
+NIA = lit("ins$Q", False, "A")
+DR = lit("del$R", True, "B")
+
+
+class TestConstants:
+    def test_true_false(self):
+        assert TRUE_DNF.is_true and not TRUE_DNF.is_false
+        assert FALSE_DNF.is_false and not FALSE_DNF.is_true
+
+    def test_constructors(self):
+        assert Dnf.of_literal(IA) == Dnf.of_disjuncts([[IA]])
+        assert len(Dnf.of_conjunct([IA, DR])) == 1
+
+
+class TestConjunction:
+    def test_identity(self):
+        d = Dnf.of_literal(IA)
+        assert d.and_(TRUE_DNF) == d
+        assert d.and_(FALSE_DNF).is_false
+
+    def test_distribution(self):
+        left = Dnf.of_disjuncts([[IA], [IB]])
+        right = Dnf.of_literal(DR)
+        combined = left.and_(right)
+        assert len(combined) == 2
+        assert frozenset({IA, DR}) in combined.disjuncts
+
+    def test_complementary_pruned(self):
+        left = Dnf.of_literal(IA)
+        right = Dnf.of_literal(NIA)
+        assert left.and_(right).is_false
+
+    def test_contradictory_events_pruned(self):
+        # ιQ(A) ∧ δQ(A) is unsatisfiable by definitions (1)/(2).
+        assert Dnf.of_literal(IA).and_(Dnf.of_literal(DA)).is_false
+
+    def test_different_args_not_contradictory(self):
+        db_lit = lit("del$Q", True, "B")
+        assert not Dnf.of_literal(IA).and_(Dnf.of_literal(db_lit)).is_false
+
+
+class TestDisjunction:
+    def test_union(self):
+        combined = Dnf.of_literal(IA).or_(Dnf.of_literal(IB))
+        assert len(combined) == 2
+
+    def test_subsumption(self):
+        small = Dnf.of_conjunct([IA])
+        large = Dnf.of_conjunct([IA, DR])
+        assert small.or_(large) == small
+
+    def test_false_identity(self):
+        d = Dnf.of_literal(IA)
+        assert d.or_(FALSE_DNF) == d
+
+
+class TestNegation:
+    def test_de_morgan_single_conjunct(self):
+        negated = Dnf.of_conjunct([IA, DR]).negated()
+        assert len(negated) == 2
+        assert frozenset({IA.negate()}) in negated.disjuncts
+        assert frozenset({DR.negate()}) in negated.disjuncts
+
+    def test_negate_disjunction(self):
+        negated = Dnf.of_disjuncts([[IA], [DR]]).negated()
+        # ¬(a ∨ b) = ¬a ∧ ¬b -- a single two-literal conjunct.
+        assert negated == Dnf.of_conjunct([IA.negate(), DR.negate()])
+
+    def test_constants(self):
+        assert TRUE_DNF.negated().is_false
+        assert FALSE_DNF.negated().is_true
+
+    def test_double_negation_of_literal(self):
+        d = Dnf.of_literal(IA)
+        assert d.negated().negated() == d
+
+    def test_size_bound(self):
+        disjuncts = [[lit("ins$Q", True, f"C{i}"), lit("del$R", True, f"C{i}")]
+                     for i in range(20)]
+        big = Dnf.of_disjuncts(disjuncts)
+        with pytest.raises(ComplexityLimitExceeded):
+            big.negated(max_size=50)
+
+
+class TestSimplified:
+    def test_contradiction_removed(self):
+        d = Dnf.of_disjuncts([[IA, NIA], [DR]])
+        assert d.simplified() == Dnf.of_literal(DR)
+
+    def test_subsumption_keeps_smaller(self):
+        d = Dnf.of_disjuncts([[IA, DR], [IA]])
+        assert d.simplified() == Dnf.of_literal(IA)
+
+    def test_subsumption_skipped_above_limit(self):
+        disjuncts = [[lit("ins$Q", True, f"C{i}")] for i in range(10)]
+        disjuncts.append([lit("ins$Q", True, "C0"), DR])  # subsumed
+        d = Dnf.of_disjuncts(disjuncts)
+        assert len(d.simplified(subsume=False)) == 11
+        assert len(d.simplified(subsume=True)) == 10
+
+
+class TestSubstitutionAndInspection:
+    def test_substitute(self):
+        x = Variable("x")
+        open_lit = Literal(Atom("ins$Q", (x,)), True)
+        d = Dnf.of_literal(open_lit).substitute({x: Constant("A")})
+        assert d == Dnf.of_literal(IA)
+
+    def test_literals(self):
+        d = Dnf.of_disjuncts([[IA], [DR]])
+        assert d.literals() == {IA, DR}
+
+    def test_is_ground(self):
+        assert Dnf.of_literal(IA).is_ground()
+        x = Variable("x")
+        assert not Dnf.of_literal(Literal(Atom("ins$Q", (x,)), True)).is_ground()
+
+    def test_str_rendering(self):
+        assert str(TRUE_DNF) == "true"
+        assert str(FALSE_DNF) == "false"
+        assert "ιQ(A)" in str(Dnf.of_literal(IA))

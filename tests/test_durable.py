@@ -1,0 +1,96 @@
+"""Tests for durable storage (snapshot + event log + recovery)."""
+
+import pytest
+
+from repro.datalog import DeductiveDatabase
+from repro.datalog.errors import TransactionError
+from repro.events.events import Transaction, delete, insert
+from repro.core.durable import DurableDatabase
+
+
+@pytest.fixture
+def seed_db(employment_db):
+    return employment_db
+
+
+class TestOpenAndRecover:
+    def test_fresh_directory_snapshots_initial(self, tmp_path, seed_db):
+        store = DurableDatabase.open(tmp_path / "d", initial=seed_db)
+        assert store.db.has_fact("La", "Dolors")
+        assert (tmp_path / "d" / "snapshot.dl").exists()
+
+    def test_recovery_replays_log(self, tmp_path, seed_db):
+        directory = tmp_path / "d"
+        store = DurableDatabase.open(directory, initial=seed_db)
+        store.commit(Transaction([insert("Works", "Maria"),
+                                  insert("La", "Maria")]))
+        store.commit(Transaction([delete("U_benefit", "Dolors"),
+                                  insert("Works", "Dolors")]))
+        # Simulate a crash: reopen from disk only.
+        recovered = DurableDatabase.open(directory)
+        assert set(recovered.db.iter_facts()) == set(store.db.iter_facts())
+        assert recovered.db.query("Unemp(x)") == []
+
+    def test_rules_survive_via_snapshot(self, tmp_path, seed_db):
+        directory = tmp_path / "d"
+        DurableDatabase.open(directory, initial=seed_db)
+        recovered = DurableDatabase.open(directory)
+        assert len(recovered.db.rules) == len(seed_db.rules)
+        assert len(recovered.db.constraints) == len(seed_db.constraints)
+
+    def test_existing_directory_rejects_initial(self, tmp_path, seed_db):
+        directory = tmp_path / "d"
+        DurableDatabase.open(directory, initial=seed_db)
+        with pytest.raises(TransactionError):
+            DurableDatabase.open(directory, initial=seed_db)
+
+    def test_fresh_without_initial_is_empty(self, tmp_path):
+        store = DurableDatabase.open(tmp_path / "d")
+        assert store.db.fact_count() == 0
+
+
+class TestCommitAndCheckpoint:
+    def test_commit_returns_effective(self, tmp_path, seed_db):
+        store = DurableDatabase.open(tmp_path / "d", initial=seed_db)
+        effective = store.commit(Transaction([
+            insert("La", "Dolors"),      # no-op: already present
+            insert("Works", "Maria"),
+        ]))
+        assert effective == Transaction([insert("Works", "Maria")])
+        assert store.log_length() == 1
+
+    def test_noop_transaction_not_logged(self, tmp_path, seed_db):
+        store = DurableDatabase.open(tmp_path / "d", initial=seed_db)
+        store.commit(Transaction([insert("La", "Dolors")]))
+        assert store.log_length() == 0
+
+    def test_checkpoint_truncates_log(self, tmp_path, seed_db):
+        directory = tmp_path / "d"
+        store = DurableDatabase.open(directory, initial=seed_db)
+        for index in range(5):
+            store.commit(Transaction([insert("Works", f"P{index}")]))
+        assert store.log_length() == 5
+        store.checkpoint()
+        assert store.log_length() == 0
+        recovered = DurableDatabase.open(directory)
+        assert set(recovered.db.iter_facts()) == set(store.db.iter_facts())
+
+    def test_many_cycles_round_trip(self, tmp_path, seed_db):
+        from repro.workloads import random_transaction
+
+        from repro.workloads import employment_database
+
+        directory = tmp_path / "d"
+        store = DurableDatabase.open(directory,
+                                     initial=employment_database(25, seed=3))
+        for seed in range(12):
+            store.commit(random_transaction(store.db, n_events=2, seed=seed))
+            if seed % 4 == 3:
+                store.checkpoint()
+        recovered = DurableDatabase.open(directory)
+        assert set(recovered.db.iter_facts()) == set(store.db.iter_facts())
+
+    def test_derived_event_rejected(self, tmp_path, seed_db):
+        store = DurableDatabase.open(tmp_path / "d", initial=seed_db)
+        with pytest.raises(TransactionError):
+            store.commit(Transaction([insert("Unemp", "Zoe")]))

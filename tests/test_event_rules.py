@@ -1,0 +1,143 @@
+"""Unit tests for event-rule compilation and the transition program."""
+
+import pytest
+
+from repro.datalog import DeductiveDatabase
+from repro.datalog.errors import StratificationError
+from repro.events.event_rules import EventCompiler, make_event_rules
+from repro.events.naming import EventKind, del_name, ins_name
+
+
+@pytest.fixture
+def pqr_program(pqr_db):
+    return EventCompiler().compile(pqr_db)
+
+
+class TestEventRuleShape:
+    def test_insertion_rule(self):
+        insertion, _ = make_event_rules("P", 1)
+        assert str(insertion) == "ιP(x1) <-> Pn(x1) ∧ ¬P(x1)"
+
+    def test_deletion_rule(self):
+        _, deletion = make_event_rules("P", 1)
+        assert str(deletion) == "δP(x1) <-> P(x1) ∧ ¬Pn(x1)"
+
+    def test_propositional(self):
+        insertion, deletion = make_event_rules("Ic1", 0)
+        assert str(insertion) == "ιIc1 <-> Ic1n ∧ ¬Ic1"
+
+    def test_as_datalog_rule(self):
+        insertion, _ = make_event_rules("P", 2)
+        r = insertion.as_datalog_rule()
+        assert r.head.predicate == "ins$P"
+        assert len(r.body) == 2
+
+
+class TestCompileBasics:
+    def test_derived_set(self, pqr_program):
+        assert pqr_program.derived == {"P"}
+
+    def test_base_arities(self, pqr_program):
+        assert pqr_program.base_arities == {"Q": 1, "R": 1}
+
+    def test_event_rules_per_derived(self, pqr_program):
+        insertion = pqr_program.event_rule(EventKind.INSERTION, "P")
+        deletion = pqr_program.event_rule(EventKind.DELETION, "P")
+        assert insertion.kind is EventKind.INSERTION
+        assert deletion.kind is EventKind.DELETION
+
+    def test_transition_rules_of(self, pqr_program):
+        (transition,) = pqr_program.transition_rules_of("P")
+        assert len(transition.disjuncts) == 4
+        assert pqr_program.transition_rules_of("Q") == ()
+
+    def test_flat_program_stratified(self, pqr_program):
+        stratification = pqr_program.require_flat_program()
+        assert stratification.stratum("ins$P") > stratification.stratum("new$P")
+
+    def test_describe_mentions_everything(self, pqr_program):
+        text = pqr_program.describe()
+        assert "ιP(x1)" in text and "δP(x1)" in text and "Pn(x)" in text
+
+
+class TestGlobalIc:
+    def test_global_ic_compiled(self, employment_db):
+        program = EventCompiler().compile(employment_db)
+        assert "Ic" in program.derived
+        assert "Ic1" in program.derived
+
+    def test_global_ic_optional(self, employment_db):
+        program = EventCompiler(include_global_ic=False).compile(employment_db)
+        assert "Ic" not in program.derived
+        assert "Ic1" in program.derived
+
+
+class TestSimplification:
+    def test_simplified_insertion_rules_inlined(self, pqr_db):
+        program = EventCompiler(simplify=True).compile(pqr_db)
+        ins_rules = [r for r in program.upward_rules
+                     if r.head.predicate == ins_name("P")]
+        # 3 event-bearing disjuncts, each inlined with ¬P(x).
+        assert len(ins_rules) == 3
+        assert all(any(not lit.positive and lit.predicate == "P"
+                       for lit in r.body) for r in ins_rules)
+
+    def test_unsimplified_uses_new_state(self, pqr_db):
+        program = EventCompiler(simplify=False).compile(pqr_db)
+        ins_rules = [r for r in program.upward_rules
+                     if r.head.predicate == ins_name("P")]
+        assert len(ins_rules) == 1
+        assert ins_rules[0].body[0].predicate == "new$P"
+
+    def test_deletion_rule_always_via_new_state(self, pqr_db):
+        for simplify in (True, False):
+            program = EventCompiler(simplify=simplify).compile(pqr_db)
+            del_rules = [r for r in program.upward_rules
+                         if r.head.predicate == del_name("P")]
+            assert len(del_rules) == 1
+
+    def test_contradictory_disjuncts_pruned(self):
+        # P(x) <- Q(x) & not Q(x) expands to disjuncts containing ιQ ∧ δQ
+        # and Q ∧ ¬Q, all contradictory.
+        db = DeductiveDatabase.from_source("Q(A). P(x) <- Q(x) & not Q(x).")
+        literal = EventCompiler(simplify=False).compile(db)
+        simplified = EventCompiler(simplify=True).compile(db)
+        (lit_t,) = literal.transition_rules_of("P")
+        (simp_t,) = simplified.transition_rules_of("P")
+        assert len(lit_t.disjuncts) == 4
+        assert len(simp_t.disjuncts) < 4
+
+
+class TestRecursion:
+    def test_recursive_program_compiles_without_flat_stratification(self):
+        db = DeductiveDatabase.from_source("""
+            Edge(A,B).
+            Path(x,y) <- Edge(x,y).
+            Path(x,y) <- Edge(x,z) & Path(z,y).
+        """)
+        program = EventCompiler().compile(db)
+        assert program.stratification is None
+        with pytest.raises(StratificationError):
+            program.require_flat_program()
+
+    def test_unstratifiable_source_rejected_outright(self):
+        db = DeductiveDatabase()
+        from repro.datalog.parser import parse_rule
+
+        db.declare_base("Q", 1)
+        db.add_rule(parse_rule("P(x) <- Q(x) & not P(x)."))
+        with pytest.raises(StratificationError):
+            EventCompiler().compile(db)
+
+
+class TestUpwardProgramContents:
+    def test_contains_base_transition_rules(self, pqr_program):
+        heads = {r.head.predicate for r in pqr_program.upward_rules}
+        assert "new$Q" in heads and "new$R" in heads
+
+    def test_contains_source_rules(self, pqr_program):
+        assert any(r.head.predicate == "P" and not r.label
+                   for r in pqr_program.upward_rules)
+
+    def test_source_rules_recorded(self, pqr_program):
+        assert any(r.head.predicate == "P" for r in pqr_program.source_rules)

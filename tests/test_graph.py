@@ -1,0 +1,102 @@
+"""Unit tests for the digraph toolkit."""
+
+import pytest
+
+from repro.datalog.graph import Digraph
+
+
+def graph_of(edges, labels=None):
+    g: Digraph = Digraph()
+    for source, target in edges:
+        g.add_edge(source, target)
+    for (source, target), label in (labels or {}).items():
+        g.add_edge(source, target, label)
+    return g
+
+
+class TestBasics:
+    def test_nodes_and_edges(self):
+        g = graph_of([("a", "b"), ("b", "c")])
+        assert set(g.nodes()) == {"a", "b", "c"}
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+
+    def test_add_node_idempotent(self):
+        g: Digraph = Digraph()
+        g.add_node("a")
+        g.add_node("a")
+        assert len(g) == 1
+
+    def test_labels_merge(self):
+        g: Digraph = Digraph()
+        g.add_edge("a", "b", "+")
+        g.add_edge("a", "b", "-")
+        assert g.labels("a", "b") == {"+", "-"}
+
+    def test_successors(self):
+        g = graph_of([("a", "b"), ("a", "c")])
+        assert g.successors("a") == {"b", "c"}
+        assert g.successors("missing") == frozenset()
+
+    def test_contains(self):
+        g = graph_of([("a", "b")])
+        assert "a" in g and "z" not in g
+
+
+class TestScc:
+    def test_acyclic_gives_singletons(self):
+        g = graph_of([("a", "b"), ("b", "c")])
+        components = g.strongly_connected_components()
+        assert sorted(map(sorted, components)) == [["a"], ["b"], ["c"]]
+
+    def test_cycle_detected(self):
+        g = graph_of([("a", "b"), ("b", "a"), ("b", "c")])
+        components = g.strongly_connected_components()
+        assert frozenset({"a", "b"}) in components
+
+    def test_emission_order_dependents_first(self):
+        # a -> b: the component of b must be emitted before the one of a.
+        g = graph_of([("a", "b")])
+        components = g.strongly_connected_components()
+        assert components.index(frozenset({"b"})) < components.index(frozenset({"a"}))
+
+    def test_self_loop_is_singleton_component(self):
+        g = graph_of([("a", "a")])
+        assert g.strongly_connected_components() == [frozenset({"a"})]
+
+    def test_large_chain_no_recursion_error(self):
+        edges = [(i, i + 1) for i in range(5000)]
+        g = graph_of(edges)
+        assert len(g.strongly_connected_components()) == 5001
+
+
+class TestReachability:
+    def test_reachable_from(self):
+        g = graph_of([("a", "b"), ("b", "c"), ("d", "e")])
+        assert g.reachable_from(["a"]) == {"a", "b", "c"}
+
+    def test_reachable_ignores_unknown_sources(self):
+        g = graph_of([("a", "b")])
+        assert g.reachable_from(["zzz"]) == set()
+
+    def test_reversed(self):
+        g = graph_of([("a", "b")])
+        assert g.reversed().has_edge("b", "a")
+        assert not g.reversed().has_edge("a", "b")
+
+    def test_reversed_keeps_labels(self):
+        g: Digraph = Digraph()
+        g.add_edge("a", "b", "-")
+        assert g.reversed().labels("b", "a") == {"-"}
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self):
+        g = graph_of([("a", "b"), ("b", "c"), ("a", "c")])
+        order = g.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_cycle_raises(self):
+        g = graph_of([("a", "b"), ("b", "a")])
+        with pytest.raises(ValueError):
+            g.topological_order()

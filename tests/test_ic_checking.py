@@ -1,0 +1,100 @@
+"""Unit tests for integrity checking (5.1.1) and the full-check baseline."""
+
+import pytest
+
+from repro.datalog import DeductiveDatabase
+from repro.events.events import Transaction, delete, insert, parse_transaction
+from repro.problems import (
+    StateError,
+    check_restores_consistency,
+    check_transaction,
+    is_consistent,
+)
+from repro.problems.ic_checking import full_check
+
+
+@pytest.fixture
+def inconsistent_db(employment_db):
+    db = employment_db.copy()
+    db.remove_fact("U_benefit", "Dolors")
+    return db
+
+
+class TestIsConsistent:
+    def test_consistent(self, employment_db):
+        assert is_consistent(employment_db)
+
+    def test_inconsistent(self, inconsistent_db):
+        assert not is_consistent(inconsistent_db)
+
+    def test_no_constraints_always_consistent(self, pqr_db):
+        assert is_consistent(pqr_db)
+
+
+class TestCheckTransaction:
+    def test_violation_detected(self, employment_db):
+        result = check_transaction(
+            employment_db, parse_transaction("{delete U_benefit(Dolors)}"))
+        assert not result.ok
+        assert result.violated_constraints() == ("Ic1",)
+
+    def test_benign_transaction_passes(self, employment_db):
+        result = check_transaction(
+            employment_db, parse_transaction("{insert Works(Maria)}"))
+        assert result.ok
+        assert not result.violations
+
+    def test_compensated_transaction_passes(self, employment_db):
+        result = check_transaction(employment_db, Transaction([
+            delete("U_benefit", "Dolors"), insert("Works", "Dolors"),
+        ]))
+        assert result.ok
+
+    def test_violation_with_witness(self):
+        db = DeductiveDatabase.from_source("""
+            Emp(A). Dept(A, Sales).
+            Ic1(x) <- Emp(x) & not Dept(x, Sales).
+        """)
+        result = check_transaction(db, Transaction([insert("Emp", "B")]))
+        assert not result.ok
+        from repro.datalog.terms import Constant
+
+        assert result.violations["Ic1"] == frozenset({(Constant("B"),)})
+
+    def test_requires_consistent_state(self, inconsistent_db):
+        with pytest.raises(StateError):
+            check_transaction(inconsistent_db,
+                              Transaction([insert("Works", "Maria")]))
+
+    def test_str(self, employment_db):
+        ok = check_transaction(employment_db, Transaction())
+        assert str(ok) == "consistent"
+        bad = check_transaction(
+            employment_db, parse_transaction("{delete U_benefit(Dolors)}"))
+        assert "Ic1" in str(bad)
+
+
+class TestRestorationChecking:
+    def test_restoring_transaction(self, inconsistent_db):
+        result = check_restores_consistency(
+            inconsistent_db, Transaction([insert("U_benefit", "Dolors")]))
+        assert result.ok
+
+    def test_non_restoring_transaction(self, inconsistent_db):
+        result = check_restores_consistency(
+            inconsistent_db, Transaction([insert("La", "Maria"),
+                                          insert("Works", "Maria")]))
+        assert not result.ok
+
+    def test_requires_inconsistent_state(self, employment_db):
+        with pytest.raises(StateError):
+            check_restores_consistency(employment_db, Transaction())
+
+
+class TestFullCheck:
+    def test_consistent_empty(self, employment_db):
+        assert full_check(employment_db) == {}
+
+    def test_violations_listed(self, inconsistent_db):
+        violations = full_check(inconsistent_db)
+        assert set(violations) == {"Ic1"}

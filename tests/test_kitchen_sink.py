@@ -1,0 +1,145 @@
+"""A kitchen-sink schema exercising every feature at once.
+
+Views, conditions, constraints, recursion, built-ins and multi-rule
+predicates in one database; every problem class run against it, with the
+oracle cross-checking the upward side.
+"""
+
+import pytest
+
+from repro.datalog import DeductiveDatabase
+from repro.datalog.terms import Constant
+from repro.events.events import Transaction, delete, insert
+from repro.core import UpdateProcessor
+from repro.interpretations import (
+    UpwardInterpreter,
+    UpwardOptions,
+    naive_changes,
+    want_delete,
+    want_insert,
+)
+from repro.workloads import random_transaction
+
+SCHEMA = """
+    % logistics network with typed facilities
+    Link(Hub1, Hub2). Link(Hub2, Plant1). Link(Hub1, Depot1).
+    Warehouse(Hub1). Warehouse(Hub2). Factory(Plant1). Shop(Depot1).
+    Capacity(Hub1, 100). Capacity(Hub2, 50). Capacity(Plant1, 70).
+    Capacity(Depot1, 20).
+
+    % recursion
+    Route(x, y) <- Link(x, y).
+    Route(x, y) <- Link(x, z) & Route(z, y).
+
+    % multi-rule predicate
+    Facility(x) <- Warehouse(x).
+    Facility(x) <- Factory(x).
+    Facility(x) <- Shop(x).
+
+    % built-in comparisons
+    Bigger(x, y) <- Capacity(x, a) & Capacity(y, b) & Gt(a, b).
+
+    % a condition and a view
+    Isolated(x) <- Facility(x) & not Connected(x).
+    Connected(x) <- Route(Hub1, x).
+
+    % constraints: links join facilities; no self-links
+    Ic1(x, y) <- Link(x, y) & not Facility(x).
+    Ic2(x, y) <- Link(x, y) & not Facility(y).
+    Ic3(x) <- Link(x, x).
+"""
+
+
+@pytest.fixture
+def network():
+    return DeductiveDatabase.from_source(SCHEMA)
+
+
+@pytest.fixture
+def processor(network):
+    p = UpdateProcessor(network)
+    p.declare_view("Route", "Bigger")
+    p.declare_condition("Isolated")
+    return p
+
+
+class TestEverythingAtOnce:
+    def test_initially_consistent(self, processor):
+        assert processor.is_consistent()
+
+    def test_upward_strategies_agree_on_mixed_schema(self, network):
+        for seed in range(6):
+            transaction = random_transaction(network, n_events=3, seed=seed)
+            hybrid = UpwardInterpreter(network).interpret(transaction)
+            oracle = naive_changes(network, transaction)
+            assert hybrid.insertions == oracle.insertions, f"seed {seed}"
+            assert hybrid.deletions == oracle.deletions, f"seed {seed}"
+
+    def test_check_rejects_dangling_link(self, processor):
+        result = processor.check(
+            Transaction([insert("Link", "Hub1", "Nowhere")]))
+        assert not result.ok
+        assert "Ic2" in result.violated_constraints()
+
+    def test_maintenance_repairs_dangling_link(self, processor):
+        from repro.core import maintain_iteratively
+
+        result = maintain_iteratively(
+            processor.db, Transaction([insert("Link", "Hub1", "Nowhere")]))
+        assert result.is_satisfiable
+        best = result.best()
+        # The repair declares Nowhere a facility of some type.
+        facility_inserts = [e for e in best
+                            if e.is_insertion and e.predicate in
+                            ("Warehouse", "Factory", "Shop")]
+        assert facility_inserts
+
+    def test_monitor_isolation_condition(self, processor):
+        changes = processor.monitor(
+            Transaction([delete("Link", "Hub1", "Hub2")]))
+        activated = changes.activated.get("Isolated", frozenset())
+        assert (Constant("Hub2"),) in activated
+        assert (Constant("Plant1"),) in activated
+
+    def test_view_update_on_builtin_view(self, processor):
+        # Make Depot1 bigger than Hub2: raise its capacity... the only
+        # translation route is via Capacity changes.
+        result = processor.translate(want_insert("Bigger", "Depot1", "Hub2"))
+        assert result.is_satisfiable
+        for transaction in result.transactions():
+            predicates = {e.predicate for e in transaction}
+            assert predicates <= {"Capacity"}
+
+    def test_downward_on_recursive_view(self, processor):
+        from repro.interpretations import DownwardInterpreter, DownwardOptions
+
+        interpreter = DownwardInterpreter(
+            processor.db,
+            options=DownwardOptions(max_depth=6, on_depth_limit="prune"))
+        result = interpreter.interpret(want_insert("Route", "Hub2", "Hub1"))
+        assert Transaction([insert("Link", "Hub2", "Hub1")]) in \
+            result.transactions()
+
+    def test_execute_lifecycle(self, processor):
+        ok = processor.execute(
+            Transaction([insert("Warehouse", "Hub3"),
+                         insert("Link", "Hub2", "Hub3")]),
+            on_violation="reject")
+        assert ok.applied
+        assert processor.is_consistent()
+        # Hub3 is now connected.
+        assert processor.db.query("Connected(Hub3)") == [()]
+
+    def test_self_link_unrepairable_cheaply(self, processor):
+        # ιLink(Hub1, Hub1) violates Ic3; the only repair is not doing it,
+        # which maintenance cannot do (it must preserve the user's events).
+        from repro.core import maintain_iteratively
+
+        result = maintain_iteratively(
+            processor.db, Transaction([insert("Link", "Hub1", "Hub1")]))
+        assert not result.is_satisfiable
+
+    def test_validation_suite(self, processor):
+        assert processor.validate_view("Bigger").is_valid
+        assert processor.can_reach_inconsistency().satisfiable
+        assert processor.constraints_satisfiable().satisfiable

@@ -1,0 +1,100 @@
+"""Unit tests for the iterative maintenance engine (core.maintenance)."""
+
+import pytest
+
+from repro.datalog import DeductiveDatabase
+from repro.events.events import Transaction, delete, insert, parse_transaction
+from repro.core import maintain_iteratively, translate_with_maintenance
+from repro.interpretations import naive_changes, want_delete, want_insert
+from repro.problems import is_consistent
+from repro.problems.base import StateError
+from repro.workloads import employment_database
+
+
+class TestMaintainIteratively:
+    def test_safe_transaction_returned_as_is(self, employment_db):
+        transaction = Transaction([insert("Works", "Maria")])
+        result = maintain_iteratively(employment_db, transaction)
+        assert result.best() == transaction
+
+    def test_violating_transaction_repaired(self, employment_db):
+        transaction = parse_transaction("{delete U_benefit(Dolors)}")
+        result = maintain_iteratively(employment_db, transaction)
+        assert result.is_satisfiable
+        best = result.best()
+        assert delete("U_benefit", "Dolors") in best
+        assert len(best) == 2
+
+    def test_solutions_preserve_consistency(self, employment_db):
+        transaction = parse_transaction("{delete U_benefit(Dolors)}")
+        result = maintain_iteratively(employment_db, transaction)
+        for solution in result.solutions:
+            assert is_consistent(solution.apply_to(employment_db))
+
+    def test_cascading_repairs(self):
+        """A repair that itself violates another constraint gets repaired."""
+        db = DeductiveDatabase.from_source("""
+            A(X). B(X). C(X).
+            Ic1(x) <- A(x) & not B(x).
+            Ic2(x) <- D(x) & not C(x).
+        """)
+        db.declare_base("D", 1)
+        # Deleting B(X) violates Ic1; repairs are δA(X) or ιB(X)=contradiction.
+        result = maintain_iteratively(db, Transaction([delete("B", "X")]))
+        assert result.is_satisfiable
+        best = result.best()
+        assert delete("A", "X") in best
+
+    def test_scales_to_larger_databases(self):
+        db = employment_database(200, seed=17)
+        transaction = Transaction([insert("La", "Nova1"),
+                                   insert("La", "Nova2")])
+        result = maintain_iteratively(db, transaction)
+        assert result.is_satisfiable
+        assert is_consistent(result.best().apply_to(db))
+
+    def test_requires_consistent_state(self):
+        db = employment_database(10, benefit_ratio=0.0, employed_ratio=0.1,
+                                 seed=1)
+        with pytest.raises(StateError):
+            maintain_iteratively(db, Transaction())
+
+    def test_no_constraints_trivial(self, pqr_db):
+        transaction = Transaction([insert("Q", "Z")])
+        result = maintain_iteratively(pqr_db, transaction)
+        assert result.solutions == (transaction,)
+
+    def test_agrees_with_faithful_downward_on_small_instance(self, employment_db):
+        from repro.problems import maintain_transaction
+
+        transaction = parse_transaction("{delete U_benefit(Dolors)}")
+        faithful = {t for t in maintain_transaction(
+            employment_db, transaction).transactions()}
+        iterative = set(maintain_iteratively(
+            employment_db, transaction, max_solutions=10).solutions)
+        # Every iterative solution appears among the faithful ones.
+        assert iterative <= faithful
+
+
+class TestTranslateWithMaintenance:
+    def test_view_insert_with_repair(self, employment_db):
+        candidates = translate_with_maintenance(
+            employment_db, [want_insert("Unemp", "Maria")])
+        assert candidates
+        for transaction in candidates:
+            induced = naive_changes(employment_db, transaction)
+            assert induced.insertions_of("Unemp")
+            assert not induced.insertions_of("Ic")
+
+    def test_view_delete_safe(self, employment_db):
+        candidates = translate_with_maintenance(
+            employment_db, [want_delete("Unemp", "Dolors")])
+        assert len(candidates) == 2
+
+    def test_scales(self):
+        db = employment_database(150, seed=23)
+        candidates = translate_with_maintenance(
+            db, [want_insert("Unemp", "Newcomer")])
+        assert candidates
+        for transaction in candidates:
+            assert is_consistent(transaction.apply_to(db))

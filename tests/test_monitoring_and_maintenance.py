@@ -1,0 +1,100 @@
+"""Unit tests for condition monitoring (5.1.2) and view maintenance (5.1.3)."""
+
+import pytest
+
+from repro.datalog import DeductiveDatabase
+from repro.datalog.errors import UnknownPredicateError
+from repro.datalog.terms import Constant
+from repro.events.events import Transaction, delete, insert
+from repro.problems import monitor_conditions, view_maintenance_deltas
+
+
+@pytest.fixture
+def watched_db():
+    return DeductiveDatabase.from_source("""
+        Temp(Room1, High). Temp(Room2, Low).
+        Alarm(x) <- Temp(x, High) & not Muted(x).
+        Normal(x) <- Temp(x, Low).
+    """)
+
+
+class TestConditionMonitoring:
+    def test_activation(self, watched_db):
+        changes = monitor_conditions(
+            watched_db, Transaction([insert("Temp", "Room2", "High")]),
+            ["Alarm"])
+        assert changes.activated["Alarm"] == {(Constant("Room2"),)}
+        assert not changes.deactivated
+
+    def test_deactivation(self, watched_db):
+        watched_db.declare_base("Muted", 1)
+        changes = monitor_conditions(
+            watched_db, Transaction([insert("Muted", "Room1")]), ["Alarm"])
+        assert changes.deactivated["Alarm"] == {(Constant("Room1"),)}
+
+    def test_unaffected(self, watched_db):
+        changes = monitor_conditions(
+            watched_db, Transaction([insert("Temp", "Room3", "Low")]),
+            ["Alarm", "Normal"])
+        assert changes.is_unaffected("Alarm")
+        assert not changes.is_unaffected()  # Normal changed
+
+    def test_multiple_conditions(self, watched_db):
+        changes = monitor_conditions(
+            watched_db,
+            Transaction([insert("Temp", "Room3", "Low"),
+                         insert("Temp", "Room4", "High")]),
+            ["Alarm", "Normal"])
+        assert set(changes.activated) == {"Alarm", "Normal"}
+
+    def test_unknown_condition_rejected(self, watched_db):
+        with pytest.raises(UnknownPredicateError):
+            monitor_conditions(watched_db, Transaction(), ["Temp"])
+
+    def test_str(self, watched_db):
+        changes = monitor_conditions(
+            watched_db, Transaction([insert("Temp", "Room2", "High")]),
+            ["Alarm"])
+        assert "+Alarm" in str(changes)
+
+
+class TestViewMaintenance:
+    def test_insert_delta(self, watched_db):
+        deltas = view_maintenance_deltas(
+            watched_db, Transaction([insert("Temp", "Room2", "High")]),
+            ["Alarm"])
+        assert deltas.to_insert["Alarm"] == {(Constant("Room2"),)}
+        assert deltas.delta_size() == 1
+
+    def test_delete_delta(self, watched_db):
+        deltas = view_maintenance_deltas(
+            watched_db, Transaction([delete("Temp", "Room1", "High")]),
+            ["Alarm"])
+        assert deltas.to_delete["Alarm"] == {(Constant("Room1"),)}
+
+    def test_unaffected_view(self, watched_db):
+        deltas = view_maintenance_deltas(
+            watched_db, Transaction([insert("Temp", "Room9", "Mid")]),
+            ["Alarm", "Normal"])
+        assert deltas.is_unaffected()
+        assert deltas.is_unaffected("Alarm")
+
+    def test_unknown_view_rejected(self, watched_db):
+        with pytest.raises(UnknownPredicateError):
+            view_maintenance_deltas(watched_db, Transaction(), ["Nope"])
+
+    def test_deltas_match_recomputation(self, watched_db):
+        from repro.datalog.evaluation import BottomUpEvaluator
+
+        transaction = Transaction([
+            insert("Temp", "Room2", "High"),
+            delete("Temp", "Room1", "High"),
+        ])
+        deltas = view_maintenance_deltas(watched_db, transaction, ["Alarm"])
+        before = BottomUpEvaluator(
+            watched_db, watched_db.all_rules()).extension("Alarm")
+        new_db = transaction.apply_to(watched_db)
+        after = BottomUpEvaluator(new_db, new_db.all_rules()).extension("Alarm")
+        maintained = (before | deltas.to_insert.get("Alarm", frozenset())) \
+            - deltas.to_delete.get("Alarm", frozenset())
+        assert maintained == after

@@ -1,0 +1,88 @@
+"""Unit tests for the predicate namespaces."""
+
+import pytest
+
+from repro.datalog.parser import parse_atom, parse_literal
+from repro.events.naming import (
+    EventKind,
+    del_name,
+    display,
+    display_atom,
+    display_literal,
+    event_kind_of,
+    event_name,
+    ins_name,
+    is_event_predicate,
+    is_new_predicate,
+    new_name,
+    parse_prefixed,
+    strip_prefix,
+)
+
+
+class TestPrefixes:
+    def test_names(self):
+        assert ins_name("P") == "ins$P"
+        assert del_name("P") == "del$P"
+        assert new_name("P") == "new$P"
+
+    def test_event_name_by_kind(self):
+        assert event_name(EventKind.INSERTION, "P") == "ins$P"
+        assert event_name(EventKind.DELETION, "P") == "del$P"
+
+    def test_predicates(self):
+        assert is_event_predicate("ins$P")
+        assert is_event_predicate("del$P")
+        assert not is_event_predicate("new$P")
+        assert is_new_predicate("new$P")
+        assert not is_event_predicate("P")
+
+    def test_strip(self):
+        assert strip_prefix("ins$P") == "P"
+        assert strip_prefix("P") == "P"
+
+    def test_parse_prefixed(self):
+        assert parse_prefixed("ins$P") == ("ins", "P")
+        assert parse_prefixed("del$P") == ("del", "P")
+        assert parse_prefixed("new$P") == ("new", "P")
+        assert parse_prefixed("P") == ("old", "P")
+
+    def test_event_kind_of(self):
+        assert event_kind_of("ins$P") is EventKind.INSERTION
+        assert event_kind_of("del$P") is EventKind.DELETION
+        assert event_kind_of("new$P") is None
+
+    def test_dollar_rejected_by_parser(self):
+        from repro.datalog.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse_atom("ins$P(x)")
+
+
+class TestEventKind:
+    def test_symbols(self):
+        assert EventKind.INSERTION.symbol == "ι"
+        assert EventKind.DELETION.symbol == "δ"
+
+    def test_opposite(self):
+        assert EventKind.INSERTION.opposite() is EventKind.DELETION
+        assert EventKind.DELETION.opposite() is EventKind.INSERTION
+
+
+class TestDisplay:
+    def test_display_names(self):
+        assert display("ins$P") == "ιP"
+        assert display("del$P") == "δP"
+        assert display("new$P") == "Pn"
+        assert display("P") == "P"
+
+    def test_display_atom(self):
+        from repro.datalog.rules import Atom
+        from repro.datalog.terms import Constant
+
+        assert display_atom(Atom("ins$P", (Constant("B"),))) == "ιP(B)"
+        assert display_atom(Atom("ins$P")) == "ιP"
+
+    def test_display_literal(self):
+        literal = parse_literal("not P(x)")
+        assert display_literal(literal) == "¬P(x)"

@@ -1,0 +1,140 @@
+"""Semantic checks of the paper's formal statements.
+
+Definitions (1)/(2), the equivalences (3)/(4) of Section 3.1, the event
+rules (6)/(7) of Section 3.3 and the complementary specifications of
+Section 5.1.1 are *formulas*; these tests check them as such -- for
+concrete and random states, both sides evaluated independently.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import DeductiveDatabase
+from repro.datalog.evaluation import BottomUpEvaluator
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import Constant
+from repro.events.events import Event, Transaction
+from repro.events.naming import EventKind
+from repro.interpretations import UpwardInterpreter, naive_changes
+
+CONSTANTS = ["C0", "C1", "C2"]
+
+
+@st.composite
+def states_and_transactions(draw):
+    """A database over B1/1 with views, plus a well-formed transaction."""
+    db = DeductiveDatabase()
+    db.declare_base("B1", 1)
+    db.declare_base("B2", 1)
+    for constant in draw(st.sets(st.sampled_from(CONSTANTS), max_size=3)):
+        db.add_fact("B1", constant)
+    for constant in draw(st.sets(st.sampled_from(CONSTANTS), max_size=3)):
+        db.add_fact("B2", constant)
+    db.add_rule(parse_rule("V(x) <- B1(x) & not B2(x)."))
+    events = {}
+    for _ in range(draw(st.integers(0, 3))):
+        kind = draw(st.sampled_from([EventKind.INSERTION, EventKind.DELETION]))
+        predicate = draw(st.sampled_from(["B1", "B2"]))
+        constant = draw(st.sampled_from(CONSTANTS))
+        events.setdefault((predicate, constant),
+                          Event(kind, predicate, (Constant(constant),)))
+    return db, Transaction(events.values())
+
+
+def _holds(db, rules, predicate, row):
+    return row in BottomUpEvaluator(db, rules).extension(predicate)
+
+
+class TestDefinitions1And2:
+    """ιP(x) ↔ Pn(x) ∧ ¬Po(x)   and   δP(x) ↔ Po(x) ∧ ¬Pn(x)."""
+
+    @given(data=states_and_transactions())
+    @settings(max_examples=100, deadline=None)
+    def test_event_definitions(self, data):
+        db, transaction = data
+        transaction = transaction.normalized(db)
+        new_db = transaction.apply_to(db)
+        rules = db.all_rules()
+        induced = UpwardInterpreter(db).interpret(transaction)
+        for constant in CONSTANTS:
+            row = (Constant(constant),)
+            old = _holds(db, rules, "V", row)
+            new = _holds(new_db, rules, "V", row)
+            assert (row in induced.insertions_of("V")) == (new and not old)
+            assert (row in induced.deletions_of("V")) == (old and not new)
+
+
+class TestEquivalences3And4:
+    """Po(x) ↔ (Po(x) ∧ ¬δP(x)) ∨ ιP(x) ... wait -- the paper's (3) is
+
+        Pn(x) ↔ (Po(x) ∧ ¬δP(x)) ∨ ιP(x)
+        ¬Pn(x) ↔ (¬Po(x) ∧ ¬ιP(x)) ∨ δP(x)
+
+    i.e. new-state truth decomposed over old state and events."""
+
+    @given(data=states_and_transactions())
+    @settings(max_examples=100, deadline=None)
+    def test_new_state_decomposition(self, data):
+        db, transaction = data
+        transaction = transaction.normalized(db)
+        new_db = transaction.apply_to(db)
+        rules = db.all_rules()
+        induced = naive_changes(db, transaction)
+        for predicate in ("B1", "B2", "V"):
+            for constant in CONSTANTS:
+                row = (Constant(constant),)
+                old = _holds(db, rules, predicate, row) \
+                    if predicate == "V" else db.has_fact(predicate, constant)
+                new = _holds(new_db, rules, predicate, row) \
+                    if predicate == "V" else new_db.has_fact(predicate, constant)
+                if predicate == "V":
+                    inserted = row in induced.insertions_of("V")
+                    deleted = row in induced.deletions_of("V")
+                else:
+                    inserted = Event(EventKind.INSERTION, predicate, row) \
+                        in transaction
+                    deleted = Event(EventKind.DELETION, predicate, row) \
+                        in transaction
+                # (3):  Pn ↔ (Po ∧ ¬δP) ∨ ιP
+                assert new == ((old and not deleted) or inserted)
+                # (4):  ¬Pn ↔ (¬Po ∧ ¬ιP) ∨ δP
+                assert (not new) == ((not old and not inserted) or deleted)
+
+
+class TestComplementarySpecifications:
+    """§5.1.1: upward of ¬ιIc checks that NO constraint becomes violated."""
+
+    @given(data=states_and_transactions())
+    @settings(max_examples=60, deadline=None)
+    def test_not_iota_ic_is_complement(self, data):
+        db, transaction = data
+        db.add_constraint(parse_rule("Ic1(x) <- V(x)."))
+        transaction = transaction.normalized(db)
+        from repro.datalog.database import GLOBAL_IC
+
+        interpreter = UpwardInterpreter(db)
+        result = interpreter.interpret(transaction, predicates=[GLOBAL_IC])
+        ic_inserted = bool(result.insertions_of(GLOBAL_IC))
+        # §5.1.1's complementary reading -- upward of ¬ιIc is "the upward
+        # interpretation of ιIc contains no event" -- against the semantic
+        # statement: ιIc iff Ic holds in the new state but not the old.
+        new_db = transaction.apply_to(db)
+        old_ic = bool(BottomUpEvaluator(
+            db, db.rules_with_global_ic()).extension(GLOBAL_IC))
+        new_ic = bool(BottomUpEvaluator(
+            new_db, new_db.rules_with_global_ic()).extension(GLOBAL_IC))
+        assert ic_inserted == (new_ic and not old_ic)
+
+
+class TestEventRules6And7:
+    """The compiled event rules, evaluated as formulas, match (6)/(7)."""
+
+    def test_flat_program_ins_del_match_definitions(self, pqr_db):
+        from repro.workloads import random_transaction
+
+        interpreter = UpwardInterpreter(pqr_db)
+        for seed in range(10):
+            transaction = random_transaction(pqr_db, n_events=2, seed=seed)
+            result = interpreter.interpret(transaction)
+            oracle = naive_changes(pqr_db, transaction)
+            assert result.insertions == oracle.insertions
+            assert result.deletions == oracle.deletions

@@ -1,0 +1,147 @@
+"""Verbatim reproduction of every worked example in the paper.
+
+Each test asserts the *exact* symbolic result the paper derives by hand:
+Example 3.1 (transition rule), 4.1 (upward), 4.2 (downward), 5.1 (integrity
+checking), 5.2 (view updating), 5.3 (preventing side effects).
+"""
+
+import pytest
+
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import Constant
+from repro.events.events import Transaction, delete, insert, parse_transaction
+from repro.events.naming import display_literal
+from repro.events.transition import compile_transition_rule
+from repro.interpretations import (
+    DownwardInterpreter,
+    UpwardInterpreter,
+    UpwardOptions,
+    forbid_insert,
+    naive_changes,
+    want_delete,
+    want_insert,
+)
+
+B = (Constant("B"),)
+DOLORS = (Constant("Dolors"),)
+
+
+class TestExample31:
+    """The transition rule of P(x) <- Q(x) ∧ ¬R(x)."""
+
+    def test_four_disjuncts_in_paper_order(self):
+        transition = compile_transition_rule(parse_rule("P(x) <- Q(x) & not R(x)."))
+        rendered = [
+            [display_literal(lit) for lit in disjunct]
+            for disjunct in transition.disjuncts
+        ]
+        assert rendered == [
+            ["Q(x)", "¬δQ(x)", "¬R(x)", "¬ιR(x)"],
+            ["Q(x)", "¬δQ(x)", "δR(x)"],
+            ["ιQ(x)", "¬R(x)", "¬ιR(x)"],
+            ["ιQ(x)", "δR(x)"],
+        ]
+
+
+class TestExample41:
+    """T = {δR(B)} induces exactly {ιP(B)}."""
+
+    @pytest.mark.parametrize("strategy", ["hybrid", "flat"])
+    def test_upward_interpretation(self, pqr_db, strategy):
+        interpreter = UpwardInterpreter(
+            pqr_db, options=UpwardOptions(strategy=strategy))
+        result = interpreter.interpret(parse_transaction("{δR(B)}"))
+        assert result.insertions == {"P": frozenset({B})}
+        assert result.deletions == {}
+
+    def test_oracle_agrees(self, pqr_db):
+        result = naive_changes(pqr_db, Transaction([delete("R", "B")]))
+        assert result.insertions == {"P": frozenset({B})}
+        assert result.deletions == {}
+
+
+class TestExample42:
+    """ιP(B) is satisfied exactly by (δR(B) ∧ ¬δQ(B))."""
+
+    def test_downward_interpretation(self, pqr_db):
+        result = DownwardInterpreter(pqr_db).interpret(want_insert("P", "B"))
+        assert len(result.translations) == 1
+        (translation,) = result.translations
+        assert translation.transaction == Transaction([delete("R", "B")])
+        assert translation.constraints == frozenset({delete("Q", "B")})
+
+    def test_translation_applies_correctly(self, pqr_db):
+        result = DownwardInterpreter(pqr_db).interpret(want_insert("P", "B"))
+        transaction = result.translations[0].transaction
+        induced = naive_changes(pqr_db, transaction)
+        assert B in induced.insertions_of("P")
+
+
+class TestExample51:
+    """T = {δU_benefit(Dolors)} violates Ic1."""
+
+    def test_ic1_insertion_induced(self, employment_db):
+        interpreter = UpwardInterpreter(employment_db)
+        result = interpreter.interpret(
+            parse_transaction("{delete U_benefit(Dolors)}"))
+        assert result.insertions_of("Ic1") == frozenset({()})
+        assert result.insertions_of("Ic") == frozenset({()})
+
+    def test_relevant_transition_rule_shape(self, employment_db):
+        from repro.events.event_rules import EventCompiler
+
+        program = EventCompiler(simplify=False).compile(employment_db)
+        (unemp,) = program.transition_rules_of("Unemp")
+        assert len(unemp.disjuncts) == 4
+        (ic1,) = program.transition_rules_of("Ic1")
+        assert len(ic1.disjuncts) == 4
+
+
+class TestExample52:
+    """δUnemp(Dolors) has exactly the translations {δLa(Dolors)} and
+    {ιWorks(Dolors)}."""
+
+    def test_two_translations(self, employment_db):
+        result = DownwardInterpreter(employment_db).interpret(
+            want_delete("Unemp", "Dolors"))
+        transactions = set(result.transactions())
+        assert transactions == {
+            Transaction([delete("La", "Dolors")]),
+            Transaction([insert("Works", "Dolors")]),
+        }
+
+    def test_both_translations_work(self, employment_db):
+        result = DownwardInterpreter(employment_db).interpret(
+            want_delete("Unemp", "Dolors"))
+        for transaction in result.transactions():
+            induced = naive_changes(employment_db, transaction)
+            assert DOLORS in induced.deletions_of("Unemp")
+
+
+class TestExample53:
+    """{ιLa(Maria), ¬ιUnemp(Maria)} has exactly the resulting transaction
+    {ιLa(Maria), ιWorks(Maria)}."""
+
+    def test_unique_resulting_transaction(self, employment_db):
+        result = DownwardInterpreter(employment_db).interpret([
+            insert("La", "Maria"),
+            forbid_insert("Unemp", "Maria"),
+        ])
+        assert len(result.translations) == 1
+        assert result.translations[0].transaction == Transaction([
+            insert("La", "Maria"), insert("Works", "Maria"),
+        ])
+
+    def test_side_effect_indeed_prevented(self, employment_db):
+        result = DownwardInterpreter(employment_db).interpret([
+            insert("La", "Maria"),
+            forbid_insert("Unemp", "Maria"),
+        ])
+        transaction = result.translations[0].transaction
+        induced = naive_changes(employment_db, transaction)
+        assert (Constant("Maria"),) not in induced.insertions_of("Unemp")
+
+    def test_without_prevention_side_effect_occurs(self, employment_db):
+        induced = naive_changes(employment_db,
+                                Transaction([insert("La", "Maria")]))
+        assert (Constant("Maria"),) in induced.insertions_of("Unemp")

@@ -1,0 +1,179 @@
+"""Unit tests for the concrete-syntax parser."""
+
+import pytest
+
+from repro.datalog.errors import ParseError
+from repro.datalog.parser import (
+    parse_atom,
+    parse_literal,
+    parse_program,
+    parse_rule,
+    tokenize,
+)
+from repro.datalog.rules import Atom
+from repro.datalog.terms import Constant, Variable
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("P(x) <- Q(x).")]
+        assert kinds == ["name", "punct", "name", "punct", "arrow",
+                         "name", "punct", "name", "punct", "punct"]
+
+    def test_comments_skipped(self):
+        assert [t.text for t in tokenize("% hello\nP.")] == ["P", "."]
+        assert [t.text for t in tokenize("# hello\nP.")] == ["P", "."]
+
+    def test_positions(self):
+        tokens = list(tokenize("P.\nQ."))
+        assert (tokens[2].line, tokens[2].column) == (2, 1)
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            list(tokenize("P(x) @ Q"))
+
+
+class TestParseAtom:
+    def test_simple(self):
+        assert parse_atom("P(x, A)") == Atom("P", (Variable("x"), Constant("A")))
+
+    def test_propositional(self):
+        assert parse_atom("P") == Atom("P")
+
+    def test_integers(self):
+        assert parse_atom("Age(x, 42)").args[1] == Constant(42)
+
+    def test_quoted_strings_are_constants(self):
+        assert parse_atom("P('lower case')").args[0] == Constant("lower case")
+        assert parse_atom('P("double")').args[0] == Constant("double")
+
+    def test_empty_args_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("P()")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("P(x) extra")
+
+
+class TestParseLiteral:
+    def test_positive(self):
+        assert parse_literal("P(x)").positive
+
+    @pytest.mark.parametrize("negation", ["not P(x)", "~P(x)", "¬P(x)"])
+    def test_negations(self, negation):
+        literal = parse_literal(negation)
+        assert not literal.positive
+        assert literal.predicate == "P"
+
+
+class TestParseRule:
+    def test_fact(self):
+        r = parse_rule("P(A).")
+        assert r.is_fact()
+
+    def test_rule_with_ampersand(self):
+        r = parse_rule("P(x) <- Q(x) & not R(x).")
+        assert len(r.body) == 2
+
+    def test_rule_with_commas(self):
+        r = parse_rule("P(x) :- Q(x), not R(x).")
+        assert len(r.body) == 2
+
+    def test_trailing_dot_optional(self):
+        assert parse_rule("P(x) <- Q(x)") == parse_rule("P(x) <- Q(x).")
+
+    def test_denial_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("<- P(x).")
+
+
+class TestParseProgram:
+    SOURCE = """
+        % the running example
+        Q(A). Q(B). R(B).
+        P(x) <- Q(x) & not R(x).
+        <- P(x) & S(x).
+        Ic7 <- P(x) & V(x).
+    """
+
+    def test_partitioning(self):
+        program = parse_program(self.SOURCE)
+        assert len(program.facts) == 3
+        assert len(program.rules) == 1
+        assert len(program.constraints) == 2
+
+    def test_denial_gets_fresh_ic_number(self):
+        program = parse_program(self.SOURCE)
+        names = {r.head.predicate for r in program.constraints}
+        assert names == {"Ic1", "Ic7"}
+
+    def test_denial_head_carries_body_variables(self):
+        program = parse_program("<- P(x, y) & not R(y).")
+        (constraint,) = program.constraints
+        assert constraint.head.args == (Variable("x"), Variable("y"))
+
+    def test_denial_numbers_skip_used(self):
+        program = parse_program("Ic1 <- P(x). <- Q(x).")
+        names = sorted(r.head.predicate for r in program.constraints)
+        assert names == ["Ic1", "Ic2"]
+
+    def test_non_ground_fact_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("P(x).")
+
+    def test_all_rules_order(self):
+        program = parse_program(self.SOURCE)
+        kinds = [r.head.predicate for r in program.all_rules()]
+        assert kinds[:3] == ["Q", "Q", "R"]
+        assert kinds[-1].startswith("Ic") or kinds[-1] == "Ic7"
+
+    def test_empty_program(self):
+        program = parse_program("  % only a comment\n")
+        assert not program.all_rules()
+
+    def test_round_trip_through_str(self):
+        program = parse_program(self.SOURCE)
+        text = "\n".join(str(r) for r in program.all_rules())
+        again = parse_program(text)
+        assert {str(r) for r in again.all_rules()} == \
+            {str(r) for r in program.all_rules()}
+
+
+class TestComparisonSugar:
+    def test_neq(self):
+        r = parse_rule("Pair(x, y) <- Q(x) & Q(y) & x != y.")
+        assert str(r.body[2]) == "Neq(x, y)"
+
+    @pytest.mark.parametrize("op,predicate", [
+        ("==", "Eq"), ("!=", "Neq"), ("<", "Lt"),
+        ("<=", "Leq"), (">", "Gt"), (">=", "Geq"),
+    ])
+    def test_all_operators(self, op, predicate):
+        r = parse_rule(f"P(x) <- Q(x, n) & n {op} 5.")
+        assert r.body[1].predicate == predicate
+
+    def test_negated_comparison(self):
+        r = parse_rule("P(x) <- Q(x, n) & not n < 5.")
+        assert not r.body[1].positive
+        assert r.body[1].predicate == "Lt"
+
+    def test_int_left_operand(self):
+        r = parse_rule("P(x) <- Q(x, n) & 5 <= n.")
+        assert r.body[1].predicate == "Leq"
+        from repro.datalog.terms import Constant
+
+        assert r.body[1].args[0] == Constant(5)
+
+    def test_compound_operand_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("P(x) <- Q(x) != R(x).")
+
+    def test_int_without_operator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("P(x) <- Q(x) & 5.")
+
+    def test_round_trips_as_builtin(self):
+        r = parse_rule("P(x) <- Q(x, n) & n >= 5.")
+        again = parse_rule(str(r))
+        assert again == r

@@ -1,0 +1,339 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The headline property is the one the whole framework stands on: the upward
+interpretation (both strategies, simplified or not) computes exactly the
+events defined by (1)/(2) -- i.e. it agrees with materialise-and-diff -- on
+arbitrary databases and transactions.  Alongside it: downward soundness
+(every translation achieves its request), the boolean algebra of the DNF
+layer, and round-trips of the concrete syntax.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import DeductiveDatabase
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.rules import Atom, Literal
+from repro.datalog.terms import Constant
+from repro.events.dnf import Dnf, FALSE_DNF, TRUE_DNF
+from repro.events.events import Event, Transaction, parse_transaction
+from repro.events.naming import EventKind
+from repro.interpretations import (
+    DownwardInterpreter,
+    UpwardInterpreter,
+    UpwardOptions,
+    naive_changes,
+    want_delete,
+    want_insert,
+)
+
+CONSTANTS = ["C0", "C1", "C2", "C3"]
+
+#: Rule pool: every shape is allowed and stratifiable, over base B1/B2 and
+#: derived V1 (first group) and V2 (second group, may use V1).
+V1_RULES = [
+    "V1(x) <- B1(x).",
+    "V1(x) <- B1(x) & not B2(x, x).",
+    "V1(x) <- B2(x, y).",
+    "V1(x) <- B2(y, x) & B1(y).",
+    "V1(x) <- B2(x, y) & not B1(y).",
+]
+V2_RULES = [
+    "V2(x) <- V1(x) & B1(x).",
+    "V2(x) <- B1(x) & not V1(x).",
+    "V2(x) <- B2(x, y) & V1(y).",
+    "V2(x) <- V1(x) & not B2(x, x).",
+]
+V3_RULES = [
+    "V3(x) <- V2(x) & not V1(x).",
+    "V3(x) <- V1(x) & V2(x).",
+    "V3(x) <- B2(y, x) & not V2(y).",
+    "V3(x, y) <- B2(x, y) & V1(x) & x != y.",
+]
+
+
+@st.composite
+def databases(draw):
+    """A small random database over B1/1, B2/2 with one or two views."""
+    db = DeductiveDatabase()
+    db.declare_base("B1", 1)
+    db.declare_base("B2", 2)
+    for constant in draw(st.sets(st.sampled_from(CONSTANTS), max_size=4)):
+        db.add_fact("B1", constant)
+    pairs = st.tuples(st.sampled_from(CONSTANTS), st.sampled_from(CONSTANTS))
+    for pair in draw(st.sets(pairs, max_size=6)):
+        db.add_fact("B2", *pair)
+    for source in draw(st.sets(st.sampled_from(V1_RULES), min_size=1, max_size=3)):
+        db.add_rule(parse_rule(source))
+    for source in draw(st.sets(st.sampled_from(V2_RULES), max_size=2)):
+        db.add_rule(parse_rule(source))
+    v3_pool = [r for r in draw(st.sets(st.sampled_from(V3_RULES), max_size=2))]
+    arities = {parse_rule(r).head.arity for r in v3_pool}
+    if len(arities) <= 1:  # avoid mixed-arity V3 definitions
+        has_v2 = any(r.head.predicate == "V2" for r in db.rules)
+        for source in v3_pool:
+            if "V2" in source and not has_v2:
+                continue
+            db.add_rule(parse_rule(source))
+    return db
+
+
+@st.composite
+def transactions(draw):
+    """A well-formed random transaction over B1/B2."""
+    events: dict[tuple, Event] = {}
+    n = draw(st.integers(min_value=0, max_value=4))
+    for _ in range(n):
+        kind = draw(st.sampled_from([EventKind.INSERTION, EventKind.DELETION]))
+        if draw(st.booleans()):
+            predicate, args = "B1", (draw(st.sampled_from(CONSTANTS)),)
+        else:
+            predicate = "B2"
+            args = (draw(st.sampled_from(CONSTANTS)),
+                    draw(st.sampled_from(CONSTANTS)))
+        key = (predicate, tuple(args))
+        if key not in events:
+            events[key] = Event(kind, predicate,
+                                tuple(Constant(a) for a in args))
+    return Transaction(events.values())
+
+
+class TestUpwardAgreesWithOracle:
+    @given(db=databases(), transaction=transactions(),
+           strategy=st.sampled_from(["hybrid", "flat"]),
+           simplify=st.booleans())
+    @settings(max_examples=120, deadline=None)
+    def test_upward_equals_naive_diff(self, db, transaction, strategy, simplify):
+        interpreter = UpwardInterpreter(
+            db, simplify=simplify, options=UpwardOptions(strategy=strategy))
+        result = interpreter.interpret(transaction)
+        oracle = naive_changes(db, transaction)
+        assert result.insertions == oracle.insertions
+        assert result.deletions == oracle.deletions
+
+    @given(db=databases(), transaction=transactions())
+    @settings(max_examples=60, deadline=None)
+    def test_events_are_disjoint_from_old_state(self, db, transaction):
+        """(1)/(2): ιP rows were false before, δP rows were true before."""
+        interpreter = UpwardInterpreter(db)
+        result = interpreter.interpret(transaction)
+        for predicate, rows in result.insertions.items():
+            assert rows.isdisjoint(interpreter.old_extension(predicate))
+        for predicate, rows in result.deletions.items():
+            assert rows <= interpreter.old_extension(predicate)
+
+    @given(db=databases(), transaction=transactions())
+    @settings(max_examples=60, deadline=None)
+    def test_empty_transaction_induces_nothing(self, db, transaction):
+        result = UpwardInterpreter(db).interpret(Transaction())
+        assert result.is_empty()
+
+
+class TestCountingAgreesWithOracle:
+    @given(db=databases(), seeds=st.lists(st.integers(0, 10_000),
+                                          min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_counting_sequence(self, db, seeds):
+        """The counting engine tracks the oracle across whole sequences."""
+        from repro.interpretations.counting import CountingEngine
+        from repro.workloads import random_transaction
+
+        if not db.base_predicates_with_facts():
+            return
+        engine = CountingEngine(db)
+        for seed in seeds:
+            if not db.base_predicates_with_facts():
+                break  # earlier transactions may have emptied the database
+            transaction = random_transaction(db, n_events=2, seed=seed)
+            expected = naive_changes(db, transaction)
+            result = engine.apply(transaction)  # also applies to db
+            assert result.insertions == expected.insertions
+            assert result.deletions == expected.deletions
+
+
+class TestDownwardSoundness:
+    @given(db=databases(),
+           kind=st.sampled_from(["ins", "del"]),
+           constant=st.sampled_from(CONSTANTS))
+    @settings(max_examples=80, deadline=None)
+    def test_translations_achieve_request(self, db, kind, constant):
+        view = "V1"
+        request = want_insert(view, constant) if kind == "ins" \
+            else want_delete(view, constant)
+        result = DownwardInterpreter(db).interpret(request)
+        if result.already_satisfied:
+            # Footnote 1: the requested change already holds; the (empty)
+            # translation is "do nothing" and induces nothing.
+            return
+        row = (Constant(constant),)
+        for translation in result.translations:
+            induced = naive_changes(db, translation.transaction)
+            achieved = induced.insertions_of(view) if kind == "ins" \
+                else induced.deletions_of(view)
+            assert row in achieved
+
+    @given(db=databases(), constant=st.sampled_from(CONSTANTS))
+    @settings(max_examples=50, deadline=None)
+    def test_already_satisfied_requests_are_true(self, db, constant):
+        from repro.datalog.evaluation import BottomUpEvaluator
+
+        evaluator = BottomUpEvaluator(db, db.all_rules())
+        row = (Constant(constant),)
+        if row in evaluator.extension("V1"):
+            result = DownwardInterpreter(db).interpret(
+                want_insert("V1", constant))
+            assert result.dnf.is_true
+
+
+#: Positive-only rule pool for the magic-sets property (its fragment).
+_POSITIVE_V1 = [
+    "V1(x) <- B1(x).",
+    "V1(x) <- B2(x, y).",
+    "V1(x) <- B2(y, x) & B1(y).",
+]
+_POSITIVE_V2 = [
+    "V2(x) <- V1(x) & B1(x).",
+    "V2(x) <- B2(x, y) & V1(y).",
+    "V2(x) <- V1(x).",
+]
+
+
+@st.composite
+def positive_databases(draw):
+    db = DeductiveDatabase()
+    db.declare_base("B1", 1)
+    db.declare_base("B2", 2)
+    for constant in draw(st.sets(st.sampled_from(CONSTANTS), max_size=4)):
+        db.add_fact("B1", constant)
+    pairs = st.tuples(st.sampled_from(CONSTANTS), st.sampled_from(CONSTANTS))
+    for pair in draw(st.sets(pairs, max_size=6)):
+        db.add_fact("B2", *pair)
+    for source in draw(st.sets(st.sampled_from(_POSITIVE_V1),
+                               min_size=1, max_size=3)):
+        db.add_rule(parse_rule(source))
+    for source in draw(st.sets(st.sampled_from(_POSITIVE_V2), max_size=2)):
+        db.add_rule(parse_rule(source))
+    return db
+
+
+class TestMagicEquivalence:
+    @given(db=positive_databases(),
+           view=st.sampled_from(["V1", "V2"]),
+           constant=st.sampled_from(CONSTANTS + [None]))
+    @settings(max_examples=80, deadline=None)
+    def test_magic_matches_full_evaluation(self, db, view, constant):
+        from repro.datalog.evaluation import BottomUpEvaluator
+        from repro.datalog.magic import magic_answers
+        from repro.datalog.parser import parse_atom
+
+        if view == "V2" and not any(r.head.predicate == "V2"
+                                    for r in db.rules):
+            return
+        goal = parse_atom(f"{view}({constant})" if constant else f"{view}(x)")
+        full = BottomUpEvaluator(db, db.all_rules())
+        expected = {
+            row for row in full.extension(view)
+            if constant is None or row[0] == Constant(constant)
+        }
+        assert magic_answers(db, db.all_rules(), goal) == expected
+
+
+def _truth_assignments(literal_pool):
+    atoms = sorted({l.atom for l in literal_pool}, key=str)
+    for bits in itertools.product([False, True], repeat=len(atoms)):
+        yield dict(zip(atoms, bits))
+
+
+def _eval_dnf(dnf, assignment):
+    if dnf.is_true:
+        return True
+    return any(
+        all(assignment[l.atom] == l.positive for l in conjunct)
+        for conjunct in dnf.disjuncts
+    )
+
+
+_LITERAL_POOL = [
+    Literal(Atom("ins$A", (Constant("X"),)), True),
+    Literal(Atom("ins$A", (Constant("X"),)), False),
+    Literal(Atom("del$B", (Constant("Y"),)), True),
+    Literal(Atom("del$B", (Constant("Y"),)), False),
+    Literal(Atom("ins$C"), True),
+    Literal(Atom("ins$C"), False),
+]
+
+_dnfs = st.builds(
+    Dnf.of_disjuncts,
+    st.lists(st.lists(st.sampled_from(_LITERAL_POOL), min_size=1, max_size=3),
+             max_size=4),
+)
+
+
+class TestDnfAlgebra:
+    @given(a=_dnfs, b=_dnfs)
+    @settings(max_examples=150, deadline=None)
+    def test_conjunction_semantics(self, a, b):
+        combined = a.and_(b)
+        for assignment in _truth_assignments(_LITERAL_POOL):
+            expected = _eval_dnf(a, assignment) and _eval_dnf(b, assignment)
+            assert _eval_dnf(combined, assignment) == expected
+
+    @given(a=_dnfs, b=_dnfs)
+    @settings(max_examples=150, deadline=None)
+    def test_disjunction_semantics(self, a, b):
+        combined = a.or_(b)
+        for assignment in _truth_assignments(_LITERAL_POOL):
+            expected = _eval_dnf(a, assignment) or _eval_dnf(b, assignment)
+            assert _eval_dnf(combined, assignment) == expected
+
+    @given(a=_dnfs)
+    @settings(max_examples=150, deadline=None)
+    def test_negation_semantics(self, a):
+        negated = a.negated()
+        for assignment in _truth_assignments(_LITERAL_POOL):
+            assert _eval_dnf(negated, assignment) == (not _eval_dnf(a, assignment))
+
+    @given(a=_dnfs)
+    @settings(max_examples=100, deadline=None)
+    def test_simplified_preserves_semantics(self, a):
+        simplified = a.simplified(subsume=True)
+        for assignment in _truth_assignments(_LITERAL_POOL):
+            assert _eval_dnf(simplified, assignment) == _eval_dnf(a, assignment)
+
+    @given(a=_dnfs)
+    @settings(max_examples=60, deadline=None)
+    def test_identities(self, a):
+        assert a.and_(TRUE_DNF) == a.simplified()
+        assert a.and_(FALSE_DNF).is_false
+        assert a.or_(FALSE_DNF) == a.simplified()
+
+
+class TestRoundTrips:
+    @given(db=databases())
+    @settings(max_examples=60, deadline=None)
+    def test_database_source_round_trip(self, db):
+        again = DeductiveDatabase.from_source(str(db))
+        assert set(again.iter_facts()) == set(db.iter_facts())
+        assert set(map(str, again.rules)) == set(map(str, db.rules))
+
+    @given(transaction=transactions())
+    @settings(max_examples=80, deadline=None)
+    def test_transaction_string_round_trip(self, transaction):
+        assert parse_transaction(str(transaction)) == transaction
+
+    @given(db=databases(), transaction=transactions())
+    @settings(max_examples=60, deadline=None)
+    def test_normalization_preserves_transition(self, db, transaction):
+        """Applying T and applying normalise(T) give the same new state."""
+        direct = transaction.apply_to(db)
+        normalized = transaction.normalized(db).apply_to(db)
+        assert set(direct.iter_facts()) == set(normalized.iter_facts())
+
+
+_CONTRADICTION_NOTE = """
+The transaction strategy already avoids inserting and deleting the same
+fact, matching the paper's well-formedness requirement on T.
+"""

@@ -1,0 +1,118 @@
+"""Unit tests for repro.datalog.rules."""
+
+import pytest
+
+from repro.datalog.rules import (
+    Atom,
+    Literal,
+    Rule,
+    atom,
+    fact,
+    format_program,
+    neg,
+    pos,
+    rule,
+    rules_by_predicate,
+)
+from repro.datalog.terms import Constant, Variable
+
+
+class TestAtom:
+    def test_arity(self):
+        assert atom("P", "x", "A").arity == 2
+        assert atom("P").arity == 0
+
+    def test_is_ground(self):
+        assert atom("P", "A", "B").is_ground()
+        assert not atom("P", "x").is_ground()
+        assert atom("P").is_ground()
+
+    def test_variables_and_constants(self):
+        a = atom("P", "x", "A", "x")
+        assert list(a.variables()) == [Variable("x"), Variable("x")]
+        assert list(a.constants()) == [Constant("A")]
+
+    def test_str(self):
+        assert str(atom("P", "x", "A")) == "P(x, A)"
+        assert str(atom("P")) == "P"
+
+    def test_coercion(self):
+        assert atom("P", 3).args == (Constant(3),)
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("")
+
+
+class TestLiteral:
+    def test_negate_is_involution(self):
+        literal = pos("P", "x")
+        assert literal.negate().negate() == literal
+
+    def test_negate_flips_sign(self):
+        assert not pos("P", "x").negate().positive
+
+    def test_str(self):
+        assert str(neg("R", "x")) == "not R(x)"
+        assert str(pos("R", "x")) == "R(x)"
+
+    def test_accessors(self):
+        literal = pos("P", "x", "A")
+        assert literal.predicate == "P"
+        assert literal.args == (Variable("x"), Constant("A"))
+
+
+class TestRule:
+    def test_fact_detection(self):
+        assert fact("P", "A").is_fact()
+        assert not rule(atom("P", "x"), [pos("Q", "x")]).is_fact()
+
+    def test_fact_requires_ground(self):
+        with pytest.raises(ValueError):
+            fact("P", "x")
+
+    def test_variables(self):
+        r = rule(atom("P", "x"), [pos("Q", "x", "y"), neg("R", "y")])
+        assert r.variables() == {Variable("x"), Variable("y")}
+
+    def test_constants(self):
+        r = rule(atom("P", "x"), [pos("Q", "x", "A")])
+        assert r.constants() == {Constant("A")}
+
+    def test_positive_and_negative_body(self):
+        r = rule(atom("P", "x"), [pos("Q", "x"), neg("R", "x")])
+        assert [l.predicate for l in r.positive_body()] == ["Q"]
+        assert [l.predicate for l in r.negative_body()] == ["R"]
+
+    def test_predicates(self):
+        r = rule(atom("P", "x"), [pos("Q", "x"), neg("R", "x")])
+        assert r.predicates() == {"P", "Q", "R"}
+
+    def test_str(self):
+        r = rule(atom("P", "x"), [pos("Q", "x"), neg("R", "x")])
+        assert str(r) == "P(x) <- Q(x) & not R(x)."
+        assert str(fact("P", "A")) == "P(A)."
+
+    def test_label_ignored_by_equality(self):
+        a = Rule(atom("P", "x"), (pos("Q", "x"),), label="one")
+        b = Rule(atom("P", "x"), (pos("Q", "x"),), label="two")
+        assert a == b
+
+    def test_rule_head_from_literal(self):
+        assert rule(pos("P", "x"), [pos("Q", "x")]).head == atom("P", "x")
+        with pytest.raises(ValueError):
+            rule(neg("P", "x"), [pos("Q", "x")])
+
+
+class TestGrouping:
+    def test_rules_by_predicate_preserves_order(self):
+        r1 = rule(atom("P", "x"), [pos("Q", "x")])
+        r2 = rule(atom("P", "x"), [pos("R", "x")])
+        r3 = rule(atom("S", "x"), [pos("Q", "x")])
+        grouped = rules_by_predicate([r1, r3, r2])
+        assert grouped["P"] == (r1, r2)
+        assert grouped["S"] == (r3,)
+
+    def test_format_program(self):
+        text = format_program([fact("P", "A"), rule(atom("Q", "x"), [pos("P", "x")])])
+        assert text == "P(A).\nQ(x) <- P(x)."

@@ -1,0 +1,99 @@
+"""Unit tests for dependency analysis and stratification."""
+
+import pytest
+
+from repro.datalog.errors import StratificationError
+from repro.datalog.parser import parse_program
+from repro.datalog.stratify import NEGATIVE, POSITIVE, dependency_graph, stratify
+
+
+def rules_of(source):
+    return parse_program(source).all_rules()
+
+
+class TestDependencyGraph:
+    def test_edges_and_labels(self):
+        graph = dependency_graph(rules_of("P(x) <- Q(x) & not R(x)."))
+        assert graph.has_edge("Q", "P")
+        assert graph.labels("Q", "P") == {POSITIVE}
+        assert graph.labels("R", "P") == {NEGATIVE}
+
+    def test_both_polarities_on_one_edge(self):
+        graph = dependency_graph(rules_of(
+            "P(x) <- Q(x).  P(x) <- S(x) & not Q(x)."
+        ))
+        assert graph.labels("Q", "P") == {POSITIVE, NEGATIVE}
+
+
+class TestStratify:
+    def test_base_is_stratum_zero(self):
+        strat = stratify(rules_of("P(x) <- Q(x)."))
+        assert strat.stratum("Q") == 0
+        assert strat.stratum("P") == 1
+
+    def test_negation_increases_stratum(self):
+        strat = stratify(rules_of(
+            "P(x) <- Q(x).  S(x) <- T(x) & not P(x)."
+        ))
+        assert strat.stratum("S") == 2
+
+    def test_positive_chain_shares_stratum_requirements(self):
+        strat = stratify(rules_of(
+            "A(x) <- B(x).  B2(x) <- A(x)."
+        ))
+        assert strat.stratum("A") >= 1
+        assert strat.stratum("B2") >= strat.stratum("A")
+
+    def test_recursion_detected(self):
+        strat = stratify(rules_of(
+            "Path(x,y) <- Edge(x,y).  Path(x,y) <- Edge(x,z) & Path(z,y)."
+        ))
+        assert "Path" in strat.recursive
+        assert "Edge" not in strat.recursive
+
+    def test_mutual_recursion_detected(self):
+        strat = stratify(rules_of(
+            "A(x) <- B(x).  B(x) <- A(x).  A(x) <- S(x)."
+        ))
+        assert {"A", "B"} <= set(strat.recursive)
+
+    def test_negation_in_cycle_rejected(self):
+        with pytest.raises(StratificationError):
+            stratify(rules_of("P(x) <- Q(x) & not P(x)."))
+
+    def test_negation_across_mutual_recursion_rejected(self):
+        with pytest.raises(StratificationError):
+            stratify(rules_of("A(x) <- S(x) & not B(x).  B(x) <- A(x)."))
+
+    def test_strata_grouping(self):
+        strat = stratify(rules_of(
+            "P(x) <- Q(x).  S(x) <- T(x) & not P(x)."
+        ))
+        assert strat.strata[0] >= {"Q", "T"}
+        assert "P" in strat.strata[1]
+        assert "S" in strat.strata[2]
+        assert strat.depth == 2
+
+    def test_negation_on_base_only_needs_stratum_one(self):
+        strat = stratify(rules_of("P(x) <- Q(x) & not R(x)."))
+        assert strat.stratum("P") == 1
+
+    def test_unknown_predicate_defaults_to_base(self):
+        strat = stratify(rules_of("P(x) <- Q(x)."), base_predicates=["Extra"])
+        assert strat.stratum("Extra") == 0
+        assert strat.stratum("NeverSeen") == 0
+
+    def test_deep_negation_tower(self):
+        # Vl negates Vl-1, so every level needs a fresh stratum.
+        source = "V0(A). B(A)."
+        for level in range(1, 30):
+            source += f" V{level}(x) <- B(x) & not V{level - 1}(x)."
+        strat = stratify(rules_of(source))
+        assert strat.stratum("V29") == 29
+
+    def test_positive_tower_stays_flat(self):
+        source = "V0(A). B(A)."
+        for level in range(1, 30):
+            source += f" V{level}(x) <- V{level - 1}(x) & B(x)."
+        strat = stratify(rules_of(source))
+        assert strat.stratum("V29") == 1

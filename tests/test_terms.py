@@ -1,0 +1,78 @@
+"""Unit tests for repro.datalog.terms."""
+
+import pytest
+
+from repro.datalog.terms import (
+    Constant,
+    Variable,
+    const,
+    is_constant,
+    is_variable,
+    term_from_name,
+    var,
+)
+
+
+class TestVariable:
+    def test_str(self):
+        assert str(Variable("x")) == "x"
+
+    def test_equality_is_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_repr_round_trips_name(self):
+        assert "x" in repr(Variable("x"))
+
+
+class TestConstant:
+    def test_str_payloads(self):
+        assert str(Constant("Dolors")) == "Dolors"
+        assert str(Constant(42)) == "42"
+
+    def test_equality_distinguishes_types(self):
+        assert Constant(1) != Constant("1")
+
+    def test_hashable(self):
+        assert len({Constant("A"), Constant("A"), Constant("B")}) == 2
+
+    def test_constant_not_equal_to_variable(self):
+        assert Constant("x") != Variable("x")
+
+
+class TestNamingConvention:
+    def test_capitalised_is_constant(self):
+        assert term_from_name("Dolors") == Constant("Dolors")
+
+    def test_lower_case_is_variable(self):
+        assert term_from_name("x") == Variable("x")
+
+    def test_underscore_is_variable(self):
+        assert is_variable(term_from_name("_tmp"))
+
+    def test_digits_become_int_constant(self):
+        assert term_from_name("42") == Constant(42)
+
+    def test_negative_int(self):
+        assert term_from_name("-7") == Constant(-7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            term_from_name("")
+
+
+class TestHelpers:
+    def test_var_and_const(self):
+        assert var("x") == Variable("x")
+        assert const("A") == Constant("A")
+
+    def test_predicates(self):
+        assert is_variable(var("x")) and not is_constant(var("x"))
+        assert is_constant(const(1)) and not is_variable(const(1))

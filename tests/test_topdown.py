@@ -1,0 +1,92 @@
+"""Unit tests for the top-down prover, including agreement with bottom-up."""
+
+import pytest
+
+from repro.datalog import DeductiveDatabase
+from repro.datalog.errors import SafetyError
+from repro.datalog.evaluation import BottomUpEvaluator
+from repro.datalog.parser import parse_atom, parse_literal
+from repro.datalog.topdown import TopDownProver
+
+
+def prover_for(source):
+    db = DeductiveDatabase.from_source(source)
+    return db, TopDownProver(db, db.all_rules())
+
+
+class TestGroundGoals:
+    def test_fact(self):
+        _, prover = prover_for("Q(A).")
+        assert prover.holds(parse_literal("Q(A)"))
+        assert not prover.holds(parse_literal("Q(B)"))
+
+    def test_derived(self):
+        _, prover = prover_for("Q(A). R(B). Q(B). P(x) <- Q(x) & not R(x).")
+        assert prover.holds(parse_literal("P(A)"))
+        assert not prover.holds(parse_literal("P(B)"))
+
+    def test_negation_as_failure(self):
+        _, prover = prover_for("Q(A). P(x) <- Q(x).")
+        assert prover.holds(parse_literal("not P(B)"))
+
+    def test_propositional(self):
+        _, prover = prover_for("Q(A). P <- Q(x).")
+        assert prover.holds(parse_literal("P"))
+
+
+class TestAnswers:
+    def test_enumeration(self):
+        _, prover = prover_for("Q(A). Q(B). R(B). P(x) <- Q(x) & not R(x).")
+        answers = prover.answers(parse_atom("P(x)"))
+        assert len(answers) == 1
+
+    def test_deduplication_across_rules(self):
+        _, prover = prover_for("Q(A). R(A). P(x) <- Q(x). P(x) <- R(x).")
+        assert len(prover.answers(parse_atom("P(x)"))) == 1
+
+
+class TestRecursionAndLoops:
+    ACYCLIC = """
+        Edge(A,B). Edge(B,C). Edge(C,D).
+        Path(x,y) <- Edge(x,y).
+        Path(x,y) <- Edge(x,z) & Path(z,y).
+    """
+
+    def test_recursive_ground_goal(self):
+        _, prover = prover_for(self.ACYCLIC)
+        assert prover.holds(parse_literal("Path(A,D)"))
+        assert not prover.holds(parse_literal("Path(D,A)"))
+
+    def test_loop_check_terminates_on_cyclic_rules(self):
+        # Left recursion would loop an unchecked SLD prover even on acyclic data.
+        _, prover = prover_for("""
+            Edge(A,B).
+            Path(x,y) <- Path(x,z) & Edge(z,y).
+            Path(x,y) <- Edge(x,y).
+        """)
+        assert prover.holds(parse_literal("Path(A,B)"))
+
+    def test_agreement_with_bottom_up_on_acyclic_data(self):
+        db = DeductiveDatabase.from_source(self.ACYCLIC)
+        bottom_up = BottomUpEvaluator(db, db.all_rules())
+        top_down = TopDownProver(db, db.all_rules())
+        bu_rows = {tuple(t.value for t in row)
+                   for row in bottom_up.extension("Path")}
+        td_rows = set()
+        for answer in top_down.answers(parse_atom("Path(x,y)")):
+            ordered = sorted(answer.items(), key=lambda kv: kv[0].name)
+            td_rows.add(tuple(term.value for _, term in ordered))
+        assert bu_rows == td_rows
+
+
+class TestSafety:
+    def test_non_ground_negative_rejected(self):
+        _, prover = prover_for("Q(A).")
+        with pytest.raises(SafetyError):
+            list(prover.prove([parse_literal("not Q(x)")]))
+
+    def test_negative_delayed_behind_positive(self):
+        _, prover = prover_for("Q(A). Q(B). R(B).")
+        answers = list(prover.prove([parse_literal("not R(x)"),
+                                     parse_literal("Q(x)")]))
+        assert len(answers) == 1

@@ -1,0 +1,110 @@
+"""Unit tests for transition-rule compilation (Section 3.2)."""
+
+from repro.datalog.parser import parse_rule
+from repro.datalog.rules import Literal
+from repro.events.naming import display_literal
+from repro.events.transition import (
+    TransitionCompiler,
+    base_transition_rules,
+    compile_transition_rule,
+    disjunct_has_positive_event,
+    expand_negative,
+    expand_positive,
+)
+
+
+def disjunct_strings(transition):
+    return [
+        " ∧ ".join(display_literal(lit) for lit in disjunct)
+        for disjunct in transition.disjuncts
+    ]
+
+
+class TestLiteralExpansion:
+    def test_positive(self):
+        literal = parse_rule("H(x) <- Q(x).").body[0]
+        old_case, event_case = expand_positive(literal)
+        assert [display_literal(l) for l in old_case] == ["Q(x)", "¬δQ(x)"]
+        assert [display_literal(l) for l in event_case] == ["ιQ(x)"]
+
+    def test_negative(self):
+        literal = parse_rule("H(x) <- not R(x).").body[0]
+        old_case, event_case = expand_negative(literal)
+        assert [display_literal(l) for l in old_case] == ["¬R(x)", "¬ιR(x)"]
+        assert [display_literal(l) for l in event_case] == ["δR(x)"]
+
+
+class TestExample31:
+    """Example 3.1: P(x) <- Q(x) & not R(x) -- the four disjuncts, in order."""
+
+    def test_disjunct_count(self):
+        transition = compile_transition_rule(parse_rule("P(x) <- Q(x) & not R(x)."))
+        assert len(transition.disjuncts) == 4
+
+    def test_disjuncts_verbatim(self):
+        transition = compile_transition_rule(parse_rule("P(x) <- Q(x) & not R(x)."))
+        assert disjunct_strings(transition) == [
+            "Q(x) ∧ ¬δQ(x) ∧ ¬R(x) ∧ ¬ιR(x)",
+            "Q(x) ∧ ¬δQ(x) ∧ δR(x)",
+            "ιQ(x) ∧ ¬R(x) ∧ ¬ιR(x)",
+            "ιQ(x) ∧ δR(x)",
+        ]
+
+    def test_head_is_new_namespace(self):
+        transition = compile_transition_rule(parse_rule("P(x) <- Q(x) & not R(x)."))
+        assert transition.head.predicate == "new$P"
+
+    def test_exponential_shape(self):
+        rule = parse_rule("P(x) <- A(x) & B(x) & not C(x).")
+        assert len(compile_transition_rule(rule).disjuncts) == 8
+
+
+class TestDatalogFlattening:
+    def test_one_rule_per_disjunct(self):
+        transition = compile_transition_rule(parse_rule("P(x) <- Q(x) & not R(x)."))
+        flat = transition.as_datalog_rules()
+        assert len(flat) == 4
+        assert all(r.head.predicate == "new$P" for r in flat)
+
+    def test_head_terms_preserved(self):
+        transition = compile_transition_rule(parse_rule("P(x, x) <- Q(x)."))
+        assert str(transition.head) == "new$P(x, x)"
+
+    def test_constants_in_head(self):
+        transition = compile_transition_rule(parse_rule("P(A, y) <- Q(y)."))
+        assert str(transition.head) == "new$P(A, y)"
+
+
+class TestCompiler:
+    def test_multiple_rules_indexed(self):
+        compiler = TransitionCompiler()
+        rules = [parse_rule("P(x) <- Q(x)."), parse_rule("P(x) <- R(x).")]
+        grouped = compiler.compile_rules(rules)
+        assert [t.index for t in grouped["P"]] == [1, 2]
+
+    def test_datalog_rules_flatten_all(self):
+        compiler = TransitionCompiler()
+        rules = [parse_rule("P(x) <- Q(x)."), parse_rule("P(x) <- R(x).")]
+        grouped = compiler.compile_rules(rules)
+        flat = compiler.datalog_rules(grouped["P"])
+        assert len(flat) == 4  # 2 rules x 2 disjuncts each
+
+
+class TestBaseTransitionRules:
+    def test_shape(self):
+        keep, inserted = base_transition_rules("Q", 1)
+        assert str(keep.head) == "new$Q(x1)"
+        assert [display_literal(l) for l in keep.body] == ["Q(x1)", "¬δQ(x1)"]
+        assert [display_literal(l) for l in inserted.body] == ["ιQ(x1)"]
+
+    def test_propositional(self):
+        keep, inserted = base_transition_rules("Flag", 0)
+        assert keep.head.arity == 0
+
+
+class TestEventDetection:
+    def test_disjunct_has_positive_event(self):
+        transition = compile_transition_rule(parse_rule("P(x) <- Q(x) & not R(x)."))
+        flags = [disjunct_has_positive_event(d) for d in transition.disjuncts]
+        # Only the first (all-old) disjunct lacks a positive event.
+        assert flags == [False, True, True, True]

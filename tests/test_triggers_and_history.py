@@ -1,0 +1,146 @@
+"""Tests for the active-rule layer and the transaction journal."""
+
+import pytest
+
+from repro.datalog import DeductiveDatabase
+from repro.datalog.errors import TransactionError, UnknownPredicateError
+from repro.datalog.terms import Constant
+from repro.events.events import Transaction, delete, insert
+from repro.core.history import Journal, inverse_of
+from repro.core.triggers import ActiveDatabase, TriggerLoopError
+
+
+@pytest.fixture
+def shop_db():
+    return DeductiveDatabase.from_source("""
+        Stock(Widget, 3). Threshold(Widget, 5).
+        LowStock(p) <- Stock(p, n) & Threshold(p, m) & Lt(n, m).
+    """)
+
+
+class TestTriggers:
+    def test_activation_trigger_fires(self, shop_db):
+        active = ActiveDatabase(shop_db)
+        active.on_activate("LowStock", name="reorder")
+        trace = active.execute(Transaction([
+            insert("Stock", "Gadget", 1),
+            insert("Threshold", "Gadget", 10),
+        ]))
+        assert trace.fired("LowStock")
+        assert any("Gadget" in str(f) for f in trace.firings)
+
+    def test_deactivation_trigger(self, shop_db):
+        active = ActiveDatabase(shop_db)
+        active.on_deactivate("LowStock")
+        trace = active.execute(Transaction([
+            delete("Stock", "Widget", 3),
+            insert("Stock", "Widget", 9),
+        ]))
+        assert trace.fired("LowStock")
+
+    def test_action_cascade(self, shop_db):
+        """A reorder action replenishes stock, deactivating the condition."""
+        active = ActiveDatabase(shop_db)
+
+        def reorder(row, _transaction):
+            product = row[0].value
+            return Transaction([delete("Stock", product, 1),
+                                insert("Stock", product, 100)])
+
+        active.on_activate("LowStock", action=reorder, name="auto-reorder")
+        trace = active.execute(Transaction([
+            insert("Stock", "Gadget", 1),
+            insert("Threshold", "Gadget", 10),
+        ]))
+        assert trace.rounds == 2
+        assert shop_db.has_fact("Stock", "Gadget", 100)
+        assert shop_db.query("LowStock(Gadget)") == []
+
+    def test_cyclic_triggers_bounded(self):
+        db = DeductiveDatabase.from_source("Flag(x) <- Raw(x).")
+        db.declare_base("Raw", 1)
+        active = ActiveDatabase(db, max_rounds=3)
+        counter = {"n": 0}
+
+        def flip(row, _transaction):
+            # Perpetually toggles the fact: an intentional cycle.
+            counter["n"] += 1
+            value = row[0].value
+            if db.has_fact("Raw", value):
+                return Transaction([delete("Raw", value)])
+            return Transaction([insert("Raw", value)])
+
+        active.on_activate("Flag", action=flip)
+        active.on_deactivate("Flag", action=flip)
+        with pytest.raises(TriggerLoopError):
+            active.execute(Transaction([insert("Raw", "X")]))
+        assert counter["n"] >= 2
+
+    def test_no_trigger_no_cascade(self, shop_db):
+        active = ActiveDatabase(shop_db)
+        trace = active.execute(Transaction([insert("Stock", "Bolt", 50)]))
+        assert trace.rounds == 1
+        assert not trace.firings
+
+    def test_unknown_condition_rejected(self, shop_db):
+        active = ActiveDatabase(shop_db)
+        with pytest.raises(UnknownPredicateError):
+            active.on_activate("Stock")  # base, not derived
+
+    def test_invalid_on_value(self):
+        from repro.core.triggers import Trigger
+
+        with pytest.raises(ValueError):
+            Trigger("LowStock", on="sometimes")
+
+
+class TestJournal:
+    def test_commit_and_undo_round_trip(self, shop_db):
+        journal = Journal(shop_db)
+        before = set(shop_db.iter_facts())
+        journal.commit(Transaction([insert("Stock", "Bolt", 7)]))
+        journal.commit(Transaction([delete("Stock", "Widget", 3)]))
+        assert len(journal) == 2
+        journal.undo(2)
+        assert set(shop_db.iter_facts()) == before
+        assert len(journal) == 0
+
+    def test_partial_undo(self, shop_db):
+        journal = Journal(shop_db)
+        journal.commit(Transaction([insert("Stock", "Bolt", 7)]))
+        journal.commit(Transaction([insert("Stock", "Nut", 9)]))
+        (undone,) = journal.undo()
+        assert insert("Stock", "Nut", 9) in undone.transaction
+        assert shop_db.has_fact("Stock", "Bolt", 7)
+        assert not shop_db.has_fact("Stock", "Nut", 9)
+
+    def test_noops_normalised_before_recording(self, shop_db):
+        journal = Journal(shop_db)
+        entry = journal.commit(Transaction([
+            insert("Stock", "Widget", 3),   # already present: no-op
+            insert("Stock", "Bolt", 7),
+        ]))
+        assert entry.transaction == Transaction([insert("Stock", "Bolt", 7)])
+
+    def test_undo_too_many(self, shop_db):
+        journal = Journal(shop_db)
+        with pytest.raises(TransactionError):
+            journal.undo()
+
+    def test_undo_requires_positive_steps(self, shop_db):
+        journal = Journal(shop_db)
+        with pytest.raises(ValueError):
+            journal.undo(0)
+
+    def test_inverse_of(self):
+        transaction = Transaction([insert("A", "X"), delete("B", "Y")])
+        assert inverse_of(transaction) == Transaction([
+            delete("A", "X"), insert("B", "Y")])
+
+    def test_replay_onto_backup(self, shop_db):
+        backup = shop_db.copy()
+        journal = Journal(shop_db)
+        journal.commit(Transaction([insert("Stock", "Bolt", 7)]))
+        journal.commit(Transaction([delete("Stock", "Widget", 3)]))
+        journal.replay_onto(backup)
+        assert set(backup.iter_facts()) == set(shop_db.iter_facts())

@@ -1,0 +1,118 @@
+"""Unit tests for substitutions, matching and unification."""
+
+from repro.datalog.rules import atom, pos, rule
+from repro.datalog.terms import Constant, Variable
+from repro.datalog.unification import (
+    compose,
+    fresh_variable,
+    match_atom,
+    match_tuple,
+    rename_apart,
+    resolve,
+    restrict,
+    substitute_atom,
+    substitute_rule,
+    unify_atoms,
+    unify_terms,
+)
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+A, B = Constant("A"), Constant("B")
+
+
+class TestResolve:
+    def test_follows_chains(self):
+        assert resolve(X, {X: Y, Y: A}) == A
+
+    def test_unbound_variable(self):
+        assert resolve(X, {}) == X
+
+    def test_constant(self):
+        assert resolve(A, {X: B}) == A
+
+
+class TestUnifyTerms:
+    def test_var_const(self):
+        assert unify_terms(X, A, {}) == {X: A}
+
+    def test_const_var(self):
+        assert unify_terms(A, X, {}) == {X: A}
+
+    def test_two_constants(self):
+        assert unify_terms(A, A, {}) == {}
+        assert unify_terms(A, B, {}) is None
+
+    def test_var_var(self):
+        result = unify_terms(X, Y, {})
+        assert result in ({X: Y}, {Y: X})
+
+    def test_respects_existing_bindings(self):
+        assert unify_terms(X, B, {X: A}) is None
+
+
+class TestUnifyAtoms:
+    def test_basic(self):
+        result = unify_atoms(atom("P", X, A), atom("P", B, Y))
+        assert resolve(X, result) == B
+        assert resolve(Y, result) == A
+
+    def test_predicate_mismatch(self):
+        assert unify_atoms(atom("P", X), atom("Q", X)) is None
+
+    def test_arity_mismatch(self):
+        assert unify_atoms(atom("P", X), atom("P", X, Y)) is None
+
+    def test_shared_variable(self):
+        result = unify_atoms(atom("P", X, X), atom("P", A, Y))
+        assert resolve(Y, result) == A
+
+
+class TestMatch:
+    def test_match_atom_binds_pattern_vars(self):
+        result = match_atom(atom("P", X, A), atom("P", B, A))
+        assert result == {X: B}
+
+    def test_match_atom_mismatch(self):
+        assert match_atom(atom("P", A), atom("P", B)) is None
+
+    def test_match_tuple_repeated_variable(self):
+        assert match_tuple((X, X), (A, B), {}) is None
+        assert match_tuple((X, X), (A, A), {}) == {X: A}
+
+    def test_match_tuple_no_bindings_returns_input(self):
+        subst = {Y: B}
+        assert match_tuple((A,), (A,), subst) == subst
+
+
+class TestSubstitution:
+    def test_substitute_atom(self):
+        assert substitute_atom(atom("P", X, Y), {X: A}) == atom("P", A, Y)
+
+    def test_substitute_rule(self):
+        r = rule(atom("P", X), [pos("Q", X, Y)])
+        result = substitute_rule(r, {X: A, Y: B})
+        assert str(result) == "P(A) <- Q(A, B)."
+
+    def test_restrict(self):
+        assert restrict({X: Y, Y: A, Z: B}, [X]) == {X: A}
+
+    def test_compose(self):
+        inner = {X: Y}
+        outer = {Y: A, Z: B}
+        composed = compose(outer, inner)
+        assert composed[X] == A
+        assert composed[Z] == B
+
+
+class TestRenaming:
+    def test_fresh_variables_unique(self):
+        names = {fresh_variable().name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_rename_apart_preserves_structure(self):
+        r = rule(atom("P", X, Y), [pos("Q", X), pos("R", Y)])
+        renamed = rename_apart(r)
+        assert renamed.head.predicate == "P"
+        assert renamed.variables().isdisjoint(r.variables())
+        # shared variables stay shared
+        assert renamed.head.args[0] == renamed.body[0].args[0]

@@ -1,0 +1,222 @@
+"""Unit tests for the upward interpretation (both strategies)."""
+
+import pytest
+
+from repro.datalog import DeductiveDatabase
+from repro.datalog.errors import TransactionError
+from repro.datalog.terms import Constant
+from repro.events.events import Transaction, delete, insert
+from repro.events.naming import EventKind
+from repro.interpretations import (
+    UpwardInterpreter,
+    UpwardOptions,
+    naive_changes,
+)
+
+STRATEGIES = ["hybrid", "flat"]
+
+
+def rows(*names):
+    return frozenset(
+        tuple(Constant(part) for part in (name if isinstance(name, tuple) else (name,)))
+        for name in names
+    )
+
+
+def interpret(db, transaction, strategy="hybrid", **kwargs):
+    interpreter = UpwardInterpreter(
+        db, options=UpwardOptions(strategy=strategy, **kwargs))
+    return interpreter.interpret(transaction)
+
+
+class TestBasicInduction:
+    SOURCE = "Q(A). Q(B). R(B). P(x) <- Q(x) & not R(x)."
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_insertion_via_base_insert(self, strategy):
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        result = interpret(db, Transaction([insert("Q", "C")]), strategy)
+        assert result.insertions_of("P") == rows("C")
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_deletion_via_base_delete(self, strategy):
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        result = interpret(db, Transaction([delete("Q", "A")]), strategy)
+        assert result.deletions_of("P") == rows("A")
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_deletion_via_negative_literal(self, strategy):
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        result = interpret(db, Transaction([insert("R", "A")]), strategy)
+        assert result.deletions_of("P") == rows("A")
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_no_change(self, strategy):
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        result = interpret(db, Transaction([insert("R", "Z")]), strategy)
+        assert result.is_empty()
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_compensating_events(self, strategy):
+        # Deleting R(B) inserts P(B); deleting Q(B) prevents it.
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        result = interpret(
+            db, Transaction([delete("R", "B"), delete("Q", "B")]), strategy)
+        assert result.insertions_of("P") == frozenset()
+
+
+class TestDerivedCascades:
+    SOURCE = """
+        Q(A). S(A).
+        P(x) <- Q(x).
+        W(x) <- P(x) & S(x).
+        V(x) <- S(x) & not P(x).
+    """
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_two_level_insertion(self, strategy):
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        result = interpret(db, Transaction([insert("S", "B"), insert("Q", "B")]),
+                           strategy)
+        assert result.insertions_of("W") == rows("B")
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_negative_cascade(self, strategy):
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        result = interpret(db, Transaction([delete("Q", "A")]), strategy)
+        assert result.deletions_of("P") == rows("A")
+        assert result.deletions_of("W") == rows("A")
+        assert result.insertions_of("V") == rows("A")
+
+
+class TestMultiRulePredicates:
+    SOURCE = """
+        Q(A). R(B).
+        P(x) <- Q(x).
+        P(x) <- R(x).
+    """
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_alternative_derivation_prevents_deletion(self, strategy):
+        db = DeductiveDatabase.from_source(self.SOURCE + "R(A).")
+        result = interpret(db, Transaction([delete("Q", "A")]), strategy)
+        assert result.deletions_of("P") == frozenset()
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_last_support_removed(self, strategy):
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        result = interpret(db, Transaction([delete("Q", "A")]), strategy)
+        assert result.deletions_of("P") == rows("A")
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_already_derivable_insert_is_noop(self, strategy):
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        result = interpret(db, Transaction([insert("R", "A")]), strategy)
+        assert result.insertions_of("P") == frozenset()
+
+
+class TestRecursionHybrid:
+    SOURCE = """
+        Edge(A,B). Edge(B,C).
+        Path(x,y) <- Edge(x,y).
+        Path(x,y) <- Edge(x,z) & Path(z,y).
+    """
+
+    def test_insert_edge_extends_paths(self):
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        result = interpret(db, Transaction([insert("Edge", "C", "D")]))
+        assert result.insertions_of("Path") == rows(
+            ("C", "D"), ("B", "D"), ("A", "D"))
+
+    def test_delete_edge_cuts_paths(self):
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        result = interpret(db, Transaction([delete("Edge", "B", "C")]))
+        assert result.deletions_of("Path") == rows(("B", "C"), ("A", "C"))
+
+    def test_cycle_handling(self):
+        db = DeductiveDatabase.from_source(self.SOURCE + "Edge(C,A).")
+        result = interpret(db, Transaction([delete("Edge", "C", "A")]))
+        oracle = naive_changes(db, Transaction([delete("Edge", "C", "A")]))
+        assert result.insertions == oracle.insertions
+        assert result.deletions == oracle.deletions
+
+    def test_flat_strategy_rejects_recursion(self):
+        from repro.datalog.errors import StratificationError
+
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        interpreter = UpwardInterpreter(db, options=UpwardOptions(strategy="flat"))
+        with pytest.raises(StratificationError):
+            interpreter.interpret(Transaction([insert("Edge", "C", "D")]))
+
+
+class TestOptionsAndApi:
+    def test_derived_events_in_transaction_rejected(self, pqr_db):
+        interpreter = UpwardInterpreter(pqr_db)
+        with pytest.raises(TransactionError):
+            interpreter.interpret(Transaction([insert("P", "Z")]))
+
+    def test_unknown_strategy_rejected(self, pqr_db):
+        interpreter = UpwardInterpreter(pqr_db,
+                                        options=UpwardOptions(strategy="bogus"))
+        with pytest.raises(ValueError):
+            interpreter.interpret(Transaction())
+
+    def test_noop_events_normalized_away(self, pqr_db):
+        interpreter = UpwardInterpreter(pqr_db)
+        result = interpreter.interpret(Transaction([insert("Q", "A")]))
+        assert result.transaction == Transaction()
+        assert result.is_empty()
+
+    def test_predicates_filter(self, employment_db):
+        interpreter = UpwardInterpreter(employment_db)
+        result = interpreter.interpret(
+            Transaction([delete("U_benefit", "Dolors")]), predicates=["Ic1"])
+        assert set(result.insertions) <= {"Ic1"}
+        assert result.insertions_of("Ic1")
+
+    def test_holds_after(self, pqr_db):
+        interpreter = UpwardInterpreter(pqr_db)
+        assert interpreter.holds_after("P", (Constant("B"),),
+                                       Transaction([delete("R", "B")]))
+        assert not interpreter.holds_after("P", (Constant("A"),),
+                                           Transaction([delete("Q", "A")]))
+
+    def test_refresh_after_mutation(self, pqr_db):
+        interpreter = UpwardInterpreter(pqr_db)
+        interpreter.interpret(Transaction())
+        pqr_db.add_fact("R", "A")
+        interpreter.refresh()
+        result = interpreter.interpret(Transaction([delete("R", "A")]))
+        assert result.insertions_of("P") == rows("A")
+
+    def test_result_events_and_str(self, pqr_db):
+        interpreter = UpwardInterpreter(pqr_db)
+        result = interpreter.interpret(Transaction([delete("R", "B")]))
+        assert {str(e) for e in result.events()} == {"ιP(B)"}
+        assert str(result) == "{ιP(B)}"
+
+    def test_induced_accessor(self, pqr_db):
+        interpreter = UpwardInterpreter(pqr_db)
+        result = interpreter.interpret(Transaction([delete("R", "B")]))
+        assert result.induced(EventKind.INSERTION, "P")
+        assert not result.induced(EventKind.DELETION, "P")
+
+    def test_old_extension(self, pqr_db):
+        interpreter = UpwardInterpreter(pqr_db)
+        assert interpreter.old_extension("P") == rows("A")
+        assert interpreter.old_extension("Q") == rows("A", "B")
+
+
+class TestSimplificationEquivalence:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_simplified_matches_literal(self, employment_db, strategy):
+        transaction = Transaction([delete("U_benefit", "Dolors"),
+                                   insert("La", "Pere")])
+        results = []
+        for simplify in (True, False):
+            interpreter = UpwardInterpreter(
+                employment_db, simplify=simplify,
+                options=UpwardOptions(strategy=strategy))
+            result = interpreter.interpret(transaction)
+            results.append((result.insertions, result.deletions))
+        assert results[0] == results[1]
