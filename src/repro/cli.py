@@ -9,6 +9,8 @@ Usage (after ``pip install -e .``)::
     python -m repro translate db.dl -r "ins P(B)" # view updating
     python -m repro repair db.dl                  # repair an inconsistent db
     python -m repro monitor db.dl -t "..." -c Cond1,Cond2
+    python -m repro serve data/ --init db.dl      # TCP update server
+    python -m repro call query "Unemp(x)" --port 7407
 
 Database files use the parser grammar (see ``repro.datalog.parser``);
 transactions use ``insert P(A), delete Q(B)``; requests use
@@ -26,36 +28,14 @@ from repro.core import UpdateProcessor, repair_to_consistency
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.errors import DatalogError
 from repro.datalog.parser import parse_atom
-from repro.datalog.rules import Atom, Literal
 from repro.events.event_rules import EventCompiler
 from repro.events.events import parse_transaction
-from repro.events.naming import del_name, ins_name
+from repro.events.requests import parse_request  # noqa: F401 - re-exported API
 from repro.problems import render_table_4_1
 
 
 def _load(path: str) -> DeductiveDatabase:
     return DeductiveDatabase.from_source(Path(path).read_text())
-
-
-def parse_request(text: str) -> Literal:
-    """Parse ``"ins P(A)"`` / ``"del P(A)"`` / ``"not ins P(A)"``."""
-    text = text.strip()
-    positive = True
-    if text.startswith("not "):
-        positive = False
-        text = text[4:].strip()
-    if text.startswith("ins "):
-        name_of = ins_name
-        text = text[4:]
-    elif text.startswith("del "):
-        name_of = del_name
-        text = text[4:]
-    else:
-        raise DatalogError(
-            f"request must start with 'ins' or 'del' (optionally 'not'): {text!r}"
-        )
-    target = parse_atom(text.strip())
-    return Literal(Atom(name_of(target.predicate), target.args), positive)
 
 
 def _cmd_table(_: argparse.Namespace) -> int:
@@ -150,6 +130,7 @@ def _cmd_repl(args: argparse.Namespace) -> int:
     from repro.core.history import Journal
     from repro.events.events import Event, Transaction
     from repro.events.naming import EventKind
+    from repro.server.engine import checked_commit
 
     db = _load(args.database)
     processor = UpdateProcessor(db)
@@ -159,14 +140,13 @@ def _cmd_repl(args: argparse.Namespace) -> int:
     print("type 'help' for commands")
 
     def apply_checked(transaction: Transaction) -> None:
-        if db.constraints and processor.is_consistent():
-            verdict = processor.check(transaction)
-            if not verdict.ok:
-                print(f"rejected: {verdict}")
-                return
-        journal.commit(transaction)
-        processor.refresh()
-        print(f"applied {transaction}")
+        # The same checked-commit path the server protocol uses, so REPL
+        # and server semantics cannot drift.
+        outcome = checked_commit(processor, transaction, journal.commit)
+        if outcome.applied:
+            print(f"applied {outcome.effective}")
+        else:
+            print(f"rejected: {outcome.check}")
 
     while True:
         try:
@@ -219,6 +199,63 @@ def _cmd_repl(args: argparse.Namespace) -> int:
                 print(f"unknown command: {line!r} (try 'help')")
         except DatalogError as error:
             print(f"error: {error}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the TCP update server over a durable data directory."""
+    from repro.server import DatabaseEngine
+    from repro.server.server import run
+
+    initial = _load(args.init) if args.init else None
+    engine = DatabaseEngine.open(args.directory, initial=initial,
+                                 max_batch=args.max_batch,
+                                 on_violation=args.on_violation)
+    run(engine, host=args.host, port=args.port, port_file=args.port_file,
+        max_connections=args.max_connections,
+        request_timeout=args.timeout,
+        checkpoint_on_shutdown=not args.no_checkpoint)
+    return 0
+
+
+def _cmd_call(args: argparse.Namespace) -> int:
+    """Send one request to a running server and print the JSON result."""
+    from repro.server.client import DatabaseClient
+
+    params: dict = {}
+    if args.op == "query":
+        if not args.argument:
+            raise DatalogError("query needs a goal, e.g.: repro call query 'P(x)'")
+        params["goal"] = args.argument
+    elif args.op in ("commit", "check", "upward", "monitor"):
+        transaction = args.transaction or args.argument
+        if not transaction:
+            raise DatalogError(f"{args.op} needs a transaction (-t or positional)")
+        params["transaction"] = transaction
+        if args.op == "monitor":
+            if not args.conditions:
+                raise DatalogError("monitor needs -c CONDITIONS")
+            params["conditions"] = [c.strip() for c in args.conditions.split(",")
+                                    if c.strip()]
+        if args.op == "commit" and args.on_violation:
+            params["on_violation"] = args.on_violation
+    elif args.op == "downward":
+        requests = args.request or (
+            [r for r in args.argument.split(";")] if args.argument else [])
+        if not requests:
+            raise DatalogError("downward needs requests (-r or positional, "
+                               "';'-separated)")
+        params["requests"] = requests
+
+    with DatabaseClient(args.host, args.port, handshake=False) as client:
+        result = client.call(args.op, **params)
+    print(json.dumps(result, indent=2))
+    if args.op == "check":
+        return 0 if result.get("ok") else 1
+    if args.op == "commit":
+        return 0 if result.get("applied") else 1
+    if args.op == "downward":
+        return 0 if result.get("satisfiable") else 1
     return 0
 
 
@@ -276,6 +313,46 @@ def build_parser() -> argparse.ArgumentParser:
     repl = commands.add_parser("repl", help="interactive session")
     repl.add_argument("database")
     repl.set_defaults(run=_cmd_repl)
+
+    serve = commands.add_parser(
+        "serve", help="serve a durable database over TCP (JSON lines)")
+    serve.add_argument("directory", help="durable data directory")
+    serve.add_argument("--init", metavar="DB_FILE",
+                       help="seed a fresh directory from a database file")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7407)
+    serve.add_argument("--port-file", metavar="PATH",
+                       help="write the bound port here once listening "
+                            "(use with --port 0)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="group-commit width (default 64)")
+    serve.add_argument("--max-connections", type=int, default=64)
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="per-request timeout in seconds")
+    serve.add_argument("--on-violation", default="reject",
+                       choices=["reject", "maintain", "ignore"],
+                       help="default commit policy")
+    serve.add_argument("--no-checkpoint", action="store_true",
+                       help="skip the WAL checkpoint on shutdown")
+    serve.set_defaults(run=_cmd_serve)
+
+    call = commands.add_parser(
+        "call", help="send one request to a running server")
+    call.add_argument("op", choices=[
+        "ping", "hello", "query", "upward", "check", "monitor", "downward",
+        "repair", "commit", "stats", "checkpoint", "shutdown"])
+    call.add_argument("argument", nargs="?",
+                      help="query goal / transaction / ';'-separated requests")
+    call.add_argument("--host", default="127.0.0.1")
+    call.add_argument("--port", type=int, required=True)
+    call.add_argument("-t", "--transaction")
+    call.add_argument("-r", "--request", action="append",
+                      help="downward request, e.g. 'ins P(B)' (repeatable)")
+    call.add_argument("-c", "--conditions",
+                      help="comma-separated condition predicates (monitor)")
+    call.add_argument("--on-violation",
+                      choices=["reject", "maintain", "ignore"])
+    call.set_defaults(run=_cmd_call)
     return parser
 
 

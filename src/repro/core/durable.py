@@ -8,20 +8,42 @@ through transactions (log their events).  :class:`DurableDatabase` wraps a
 - a **snapshot** file in the parser's concrete syntax,
 - an **event log** with one committed transaction per line
   (``insert P(A), delete Q(B)`` -- the transaction parser's own syntax),
-- crash recovery: load the snapshot, replay the log;
+- crash recovery: load the snapshot, replay the log, dropping a torn final
+  line (a crash mid-append);
 - :meth:`checkpoint`: fold the log into a fresh snapshot and truncate it.
+
+Durability contract: :meth:`commit` fsyncs the log before returning, so an
+acknowledged commit survives a crash.  The group-commit path of
+:class:`repro.server.engine.DatabaseEngine` amortises that cost by
+appending a whole batch with ``sync=False`` and calling :meth:`sync_log`
+once.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 from repro.datalog.database import DeductiveDatabase
-from repro.datalog.errors import TransactionError
+from repro.datalog.errors import ParseError, TransactionError
 from repro.events.events import Transaction, parse_transaction
 
 SNAPSHOT_NAME = "snapshot.dl"
 LOG_NAME = "events.log"
+
+
+def _fsync_file(handle) -> None:
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def _fsync_directory(directory: Path) -> None:
+    # A rename is only durable once the containing directory is synced.
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 class DurableDatabase:
@@ -45,7 +67,11 @@ class DurableDatabase:
         """Open a durable database, recovering from snapshot + log.
 
         For a fresh directory, ``initial`` (or an empty database) becomes
-        the first snapshot.
+        the first snapshot.  A torn final log line -- the signature of a
+        crash between append and fsync -- is dropped and the durable prefix
+        recovered; corruption anywhere *before* the final line still
+        raises, since silently skipping acknowledged commits would be worse
+        than failing loudly.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -59,20 +85,48 @@ class DurableDatabase:
                 )
             db = DeductiveDatabase.from_source(snapshot_path.read_text())
             if log_path.exists():
-                for line in log_path.read_text().splitlines():
-                    line = line.strip()
-                    if not line:
-                        continue
-                    for event in parse_transaction(line):
-                        if event.is_insertion:
-                            db.add_fact(event.predicate, *event.args)
-                        else:
-                            db.remove_fact(event.predicate, *event.args)
+                cls._replay_log(db, log_path)
         else:
             db = initial.copy() if initial is not None else DeductiveDatabase()
             snapshot_path.write_text(str(db) + "\n")
             log_path.write_text("")
         return cls(db, directory)
+
+    @staticmethod
+    def _replay_log(db: DeductiveDatabase, log_path: Path) -> None:
+        raw = log_path.read_text()
+        lines = raw.splitlines()
+        # Appends always end with a newline, so a file that does not is
+        # missing the tail of its final write: treat that line as torn even
+        # if the fragment happens to parse.
+        torn_tail = bool(raw) and not raw.endswith("\n")
+        good: list[str] = []
+        torn = False
+        for index, line in enumerate(lines):
+            text = line.strip()
+            if not text:
+                continue
+            is_last = not any(l.strip() for l in lines[index + 1:])
+            if is_last and torn_tail:
+                torn = True
+                break
+            try:
+                events = parse_transaction(text)
+            except ParseError:
+                if not is_last:
+                    raise
+                torn = True
+                break
+            for event in events:
+                if event.is_insertion:
+                    db.add_fact(event.predicate, *event.args)
+                else:
+                    db.remove_fact(event.predicate, *event.args)
+            good.append(text)
+        if torn:
+            with log_path.open("w") as log:
+                log.write("".join(line + "\n" for line in good))
+                _fsync_file(log)
 
     @property
     def db(self) -> DeductiveDatabase:
@@ -86,13 +140,18 @@ class DurableDatabase:
 
     # -- writes ---------------------------------------------------------------
 
-    def commit(self, transaction: Transaction) -> Transaction:
+    def commit(self, transaction: Transaction, sync: bool = True) -> Transaction:
         """Durably apply a transaction; returns the effective events.
 
         The effective (normalised) transaction is appended to the log
         *before* being applied in memory, so a crash between the two leaves
         a replayable log.  Replaying an already-applied effective event is
         idempotent under set semantics, so recovery is safe either way.
+
+        With ``sync=True`` (the default) the append is fsynced before the
+        in-memory apply, so the commit is durable once this returns.
+        ``sync=False`` skips the fsync -- the group-commit path uses it to
+        append a whole batch and pay for one :meth:`sync_log` instead.
         """
         transaction.check_base_only(self._db)
         effective = transaction.normalized(self._db)
@@ -103,6 +162,10 @@ class DurableDatabase:
             ))
             with self._log_path.open("a") as log:
                 log.write(rendered + "\n")
+                if sync:
+                    _fsync_file(log)
+                else:
+                    log.flush()
         for event in effective:
             if event.is_insertion:
                 self._db.add_fact(event.predicate, *event.args)
@@ -110,13 +173,28 @@ class DurableDatabase:
                 self._db.remove_fact(event.predicate, *event.args)
         return effective
 
+    def sync_log(self) -> None:
+        """fsync the event log; makes prior ``sync=False`` commits durable."""
+        with self._log_path.open("a") as log:
+            os.fsync(log.fileno())
+
     def checkpoint(self) -> None:
-        """Fold the event log into a fresh snapshot and truncate the log."""
+        """Fold the event log into a fresh snapshot and truncate the log.
+
+        The new snapshot is synced before it replaces the old one and the
+        truncated log before the method returns, so a crash at any point
+        leaves either the old snapshot + full log or the new snapshot +
+        empty log.
+        """
         snapshot_path = self._directory / SNAPSHOT_NAME
         temporary = snapshot_path.with_suffix(".tmp")
-        temporary.write_text(str(self._db) + "\n")
+        with temporary.open("w") as fh:
+            fh.write(str(self._db) + "\n")
+            _fsync_file(fh)
         temporary.replace(snapshot_path)
-        self._log_path.write_text("")
+        with self._log_path.open("w") as log:
+            _fsync_file(log)
+        _fsync_directory(self._directory)
 
     def log_length(self) -> int:
         """Number of committed transactions since the last checkpoint."""

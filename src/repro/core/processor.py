@@ -114,6 +114,17 @@ class UpdateProcessor:
         self._upward = None
         self._downward = None
 
+    def invalidate_state_caches(self) -> None:
+        """Drop interpreter caches after an external fact-level mutation.
+
+        Cheaper than :meth:`refresh`: the compiled transition program
+        depends only on the rules and survives.  Callers that mutate the
+        database's facts directly (the durable commit paths) must call
+        this; rule changes still require :meth:`refresh`.
+        """
+        self._upward = None
+        self._downward = None
+
     def _upward_interpreter(self) -> UpwardInterpreter:
         if self._upward is None:
             self._upward = UpwardInterpreter(
@@ -362,5 +373,4 @@ class UpdateProcessor:
             else:
                 self._db.remove_fact(event.predicate, *event.args)
         # Facts changed: interpreters cache old-state materialisations.
-        self._upward = None
-        self._downward = None
+        self.invalidate_state_caches()

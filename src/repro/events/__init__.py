@@ -29,6 +29,7 @@ from repro.events.naming import (
 )
 from repro.events.events import (Event, Transaction, delete, insert,
                                  parse_transaction, transaction_between)
+from repro.events.requests import parse_request, parse_requests
 from repro.events.dnf import Conjunct, Dnf, FALSE_DNF, TRUE_DNF
 from repro.events.transition import TransitionRule, TransitionCompiler
 from repro.events.event_rules import EventCompiler, EventRule, TransitionProgram
@@ -58,6 +59,8 @@ __all__ = [
     "is_event_predicate",
     "new_name",
     "parse_prefixed",
+    "parse_request",
+    "parse_requests",
     "parse_transaction",
     "transaction_between",
     "strip_prefix",

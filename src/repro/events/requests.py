@@ -1,0 +1,40 @@
+"""Parsing of update *requests* (the downward interpretation's input).
+
+A request is a literal over an event predicate: ``ins P(A)`` asks for a
+translation that makes ``ιP(A)`` true, ``not del P(A)`` forbids ``δP(A)``.
+This is the textual form used by the CLI, the REPL and the server protocol,
+factored here so every entry point parses requests identically.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.errors import DatalogError
+from repro.datalog.parser import parse_atom
+from repro.datalog.rules import Atom, Literal
+from repro.events.naming import del_name, ins_name
+
+
+def parse_request(text: str) -> Literal:
+    """Parse ``"ins P(A)"`` / ``"del P(A)"`` / ``"not ins P(A)"``."""
+    text = text.strip()
+    positive = True
+    if text.startswith("not "):
+        positive = False
+        text = text[4:].strip()
+    if text.startswith("ins "):
+        name_of = ins_name
+        text = text[4:]
+    elif text.startswith("del "):
+        name_of = del_name
+        text = text[4:]
+    else:
+        raise DatalogError(
+            f"request must start with 'ins' or 'del' (optionally 'not'): {text!r}"
+        )
+    target = parse_atom(text.strip())
+    return Literal(Atom(name_of(target.predicate), target.args), positive)
+
+
+def parse_requests(text: str) -> list[Literal]:
+    """Parse a ``;``-separated request set, e.g. ``"ins P(A); not del Q(B)"``."""
+    return [parse_request(piece) for piece in text.split(";") if piece.strip()]

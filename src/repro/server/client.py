@@ -1,0 +1,139 @@
+"""A small blocking JSON-lines client for the repro server.
+
+Used by tests, benchmarks, ``repro call`` and the examples.  One socket,
+one outstanding request at a time; responses are matched to requests by
+id.  Failures reported by the server raise :class:`ServerError` carrying
+the wire error type.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Iterable
+
+from repro.datalog.errors import DatalogError
+from repro.events.events import Transaction
+from repro.server import protocol
+
+
+class ServerError(DatalogError):
+    """An error response from the server (``.type`` is the wire type)."""
+
+    def __init__(self, error_type: str, message: str):
+        super().__init__(message)
+        self.type = error_type
+
+
+class DatabaseClient:
+    """A blocking client for one server connection.
+
+    >>> with DatabaseClient(port=port) as client:
+    ...     client.commit("insert Works(Maria)")
+    ...     client.query("Works(x)")
+    [['Maria']]
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 timeout: float = 30.0, handshake: bool = True):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+        self.server_info: dict | None = None
+        if handshake:
+            try:
+                self.server_info = self.call("hello")
+            except BaseException:
+                self.close()
+                raise
+
+    # -- plumbing --------------------------------------------------------------
+
+    def call(self, op: str, **params) -> dict:
+        """Send one request and return the result dict (or raise)."""
+        self._next_id += 1
+        request = protocol.Request(op=op, params=params, id=self._next_id)
+        self._file.write(request.to_json().encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = protocol.decode_response(line)
+        if not response.ok:
+            error = response.error or {}
+            raise ServerError(error.get("type", "internal"),
+                              error.get("message", "unknown server error"))
+        if response.id is not None and response.id != self._next_id:
+            raise protocol.ProtocolError(
+                f"response id {response.id!r} does not match "
+                f"request id {self._next_id!r}")
+        return response.result or {}
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "DatabaseClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- convenience wrappers --------------------------------------------------
+
+    @staticmethod
+    def _transaction_text(transaction: Transaction | str) -> str:
+        if isinstance(transaction, Transaction):
+            return ", ".join(
+                ("insert " if e.is_insertion else "delete ") + str(e.atom())
+                for e in transaction)
+        return transaction
+
+    def ping(self) -> bool:
+        return bool(self.call("ping").get("pong"))
+
+    def query(self, goal: str) -> list[list]:
+        return self.call("query", goal=goal)["answers"]
+
+    def commit(self, transaction: Transaction | str,
+               on_violation: str | None = None) -> dict:
+        params: dict = {"transaction": self._transaction_text(transaction)}
+        if on_violation is not None:
+            params["on_violation"] = on_violation
+        return self.call("commit", **params)
+
+    def check(self, transaction: Transaction | str) -> dict:
+        return self.call("check",
+                         transaction=self._transaction_text(transaction))
+
+    def upward(self, transaction: Transaction | str,
+               predicates: Iterable[str] | None = None) -> dict:
+        params: dict = {"transaction": self._transaction_text(transaction)}
+        if predicates is not None:
+            params["predicates"] = list(predicates)
+        return self.call("upward", **params)
+
+    def monitor(self, transaction: Transaction | str,
+                conditions: Iterable[str]) -> dict:
+        return self.call("monitor",
+                         transaction=self._transaction_text(transaction),
+                         conditions=list(conditions))
+
+    def translate(self, requests: str | Iterable[str]) -> dict:
+        if isinstance(requests, str):
+            requests = [r for r in requests.split(";") if r.strip()]
+        return self.call("downward", requests=list(requests))
+
+    def repair(self, verify: bool = False) -> dict:
+        return self.call("repair", verify=verify)
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    def checkpoint(self) -> dict:
+        return self.call("checkpoint")
+
+    def shutdown(self) -> dict:
+        """Ask the server to shut down gracefully."""
+        return self.call("shutdown")

@@ -1,0 +1,464 @@
+"""A thread-safe serving engine over ``DurableDatabase`` + ``UpdateProcessor``.
+
+:class:`DatabaseEngine` is the concurrency layer the paper's library never
+needed: it serialises writers, lets readers run concurrently, and batches
+pending commits into **group commits** -- one WAL fsync and one
+transition-program integrity check cover a whole batch of non-conflicting
+transactions instead of one each.
+
+Concurrency model
+-----------------
+- *Single writer, multiple readers.*  A batch commit holds the write lock;
+  ``query`` requests share the read lock.  Requests that go through the
+  update processor's cached interpreters (``check``, ``upward``,
+  ``monitor``, ``downward``, ``repair``) additionally serialise on an
+  interpreter mutex, because the interpreters memoise old-state
+  materialisations and are not re-entrant.
+- *Group commit.*  ``commit`` enqueues the transaction and the first thread
+  through the batch lock becomes the leader: it drains the queue, packs up
+  to ``max_batch`` transactions with pairwise-disjoint fact sets into one
+  batch, integrity-checks their union once, appends them to the WAL with a
+  single fsync, and wakes every waiter.  Followers find their entry already
+  committed by the time they acquire the lock.
+- *Optimistic conflict handling.*  Two pending transactions that touch the
+  same fact (overlapping event sets) never share a batch; the later one is
+  deferred to the next batch and re-validated against the new state, so the
+  result is always equivalent to *some* serial order (transactions in one
+  batch are independent; batches are sequential).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.durable import DurableDatabase
+from repro.core.processor import UpdateProcessor
+from repro.datalog.errors import DatalogError, TransactionError
+from repro.events.events import Transaction
+from repro.problems import ICCheckResult
+from repro.problems.base import StateError
+from repro.server.metrics import MetricsRegistry
+
+
+class EngineClosedError(DatalogError):
+    """Raised when a request reaches an engine after :meth:`close`."""
+
+
+class RWLock:
+    """A writer-preferring read-write lock (stdlib has none)."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._readers_ok = threading.Condition(self._mutex)
+        self._writers_ok = threading.Condition(self._mutex)
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        with self._mutex:
+            while self._writer or self._writers_waiting:
+                self._readers_ok.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._mutex:
+                self._readers -= 1
+                if not self._readers:
+                    self._writers_ok.notify()
+
+    @contextmanager
+    def write(self):
+        with self._mutex:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._writers_ok.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._mutex:
+                self._writer = False
+                self._writers_ok.notify()
+                self._readers_ok.notify_all()
+
+
+@dataclass
+class CommitOutcome:
+    """Result of one checked, durable commit."""
+
+    applied: bool
+    #: The transaction as requested.
+    requested: Transaction
+    #: The effective (normalised) events actually applied; empty on reject.
+    effective: Transaction = field(default_factory=Transaction)
+    #: The integrity verdict, when an individual check ran.  Transactions
+    #: that rode a group commit share one batch-level check and carry None.
+    check: ICCheckResult | None = None
+    #: Repair events added by the ``maintain`` policy.
+    repairs: Transaction | None = None
+
+    def __bool__(self) -> bool:
+        return self.applied
+
+
+def checked_commit(processor: UpdateProcessor, transaction: Transaction,
+                   apply: Callable[[Transaction], object],
+                   on_violation: str = "reject") -> CommitOutcome:
+    """The single checked-commit path shared by REPL, engine and server.
+
+    Integrity-checks *transaction* against *processor*'s database, then
+    durably applies it through the *apply* callback (``journal.commit``,
+    ``durable.commit`` ...) and invalidates the processor's state caches.
+
+    ``on_violation`` follows :meth:`UpdateProcessor.execute`: ``reject``
+    refuses violating transactions, ``maintain`` extends them with the
+    smallest repair, ``ignore`` skips the check.  When the *current* state
+    is already inconsistent the check is skipped (the paper's methods
+    require a consistent old state), matching the REPL's historic
+    behaviour.
+    """
+    if on_violation not in ("reject", "maintain", "ignore"):
+        raise ValueError(f"unknown on_violation policy: {on_violation!r}")
+    db = processor.db
+    transaction.check_base_only(db)
+    check_result: ICCheckResult | None = None
+    repairs: Transaction | None = None
+    to_apply = transaction
+    if on_violation != "ignore" and db.constraints:
+        try:
+            check_result = processor.check(transaction)
+        except StateError:
+            check_result = None  # inconsistent old state: nothing to protect
+        if check_result is not None and not check_result.ok:
+            if on_violation == "reject":
+                return CommitOutcome(False, transaction, check=check_result)
+            from repro.core.maintenance import maintain_iteratively
+
+            chosen = maintain_iteratively(db, transaction).best()
+            if chosen is None:
+                return CommitOutcome(False, transaction, check=check_result)
+            repairs = Transaction(chosen.events - transaction.events)
+            to_apply = chosen
+    effective = to_apply.normalized(db)
+    apply(to_apply)
+    processor.invalidate_state_caches()
+    return CommitOutcome(True, transaction, effective, check_result, repairs)
+
+
+class _Pending:
+    """One queued commit awaiting its batch."""
+
+    __slots__ = ("transaction", "policy", "done", "outcome", "error")
+
+    def __init__(self, transaction: Transaction, policy: str):
+        self.transaction = transaction
+        self.policy = policy
+        self.done = threading.Event()
+        self.outcome: CommitOutcome | None = None
+        self.error: BaseException | None = None
+
+    def fact_keys(self) -> frozenset:
+        return frozenset((e.predicate, e.args) for e in self.transaction)
+
+    def finish(self, outcome: CommitOutcome | None = None,
+               error: BaseException | None = None) -> None:
+        self.outcome = outcome
+        self.error = error
+        self.done.set()
+
+
+class DatabaseEngine:
+    """Concurrent, durable serving engine -- the server's core.
+
+    Parameters
+    ----------
+    store:
+        the durable database to serve.
+    max_batch:
+        group-commit width: at most this many pending transactions share
+        one WAL fsync and one integrity check.
+    on_violation:
+        default commit policy (``reject`` / ``maintain`` / ``ignore``);
+        individual commits may override it.
+    """
+
+    def __init__(self, store: DurableDatabase, *, max_batch: int = 64,
+                 on_violation: str = "reject", simplify: bool = True,
+                 metrics: MetricsRegistry | None = None):
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if on_violation not in ("reject", "maintain", "ignore"):
+            raise ValueError(f"unknown on_violation policy: {on_violation!r}")
+        self._store = store
+        self._processor = UpdateProcessor(store.db, simplify=simplify)
+        self._max_batch = max_batch
+        self._policy = on_violation
+        self.metrics = metrics or MetricsRegistry()
+        self._rwlock = RWLock()
+        self._interp_lock = threading.Lock()
+        self._batch_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: list[_Pending] = []
+        self._closed = False
+
+    @classmethod
+    def open(cls, directory, initial=None, **kwargs) -> "DatabaseEngine":
+        """Open (or create) a durable database directory and wrap it."""
+        return cls(DurableDatabase.open(directory, initial=initial), **kwargs)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def store(self) -> DurableDatabase:
+        """The underlying durable store."""
+        return self._store
+
+    @property
+    def db(self):
+        """The live in-memory database (do not mutate directly)."""
+        return self._store.db
+
+    @property
+    def processor(self) -> UpdateProcessor:
+        """The shared update processor (serialise access when threading)."""
+        return self._processor
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+
+    # -- read requests ---------------------------------------------------------
+
+    def query(self, goal: str) -> list[tuple]:
+        """Answer a query; truly concurrent (fresh evaluator per call)."""
+        self._ensure_open()
+        with self.metrics.time("query"), self._rwlock.read():
+            return self.db.query(goal)
+
+    def _interpret(self, op: str, fn: Callable):
+        self._ensure_open()
+        with self.metrics.time(op), self._rwlock.read(), self._interp_lock:
+            return fn()
+
+    def check(self, transaction: Transaction) -> ICCheckResult:
+        """Integrity checking (5.1.1) without applying."""
+        return self._interpret("check", lambda: self._processor.check(transaction))
+
+    def upward(self, transaction: Transaction,
+               predicates: Iterable[str] | None = None):
+        """Induced derived events of a hypothetical transaction."""
+        return self._interpret(
+            "upward", lambda: self._processor.upward(transaction, predicates))
+
+    def monitor(self, transaction: Transaction,
+                conditions: Iterable[str] | None = None):
+        """Condition monitoring (5.1.2)."""
+        return self._interpret(
+            "monitor", lambda: self._processor.monitor(transaction, conditions))
+
+    def downward(self, requests):
+        """View updating / downward interpretation (5.2)."""
+        return self._interpret(
+            "downward", lambda: self._processor.downward(requests))
+
+    def repair(self, verify: bool = False):
+        """Candidate repairs of an inconsistent database (5.2.3)."""
+        return self._interpret(
+            "repair", lambda: self._processor.repair(verify=verify))
+
+    def stats(self) -> dict:
+        """Engine + metrics snapshot (the ``stats`` protocol request)."""
+        self._ensure_open()
+        with self._rwlock.read():
+            db = self.db
+            engine = {
+                "directory": str(self._store.directory),
+                "facts": db.fact_count(),
+                "rules": len(db.rules),
+                "constraints": len(db.constraints),
+                "log_length": self._store.log_length(),
+                "max_batch": self._max_batch,
+                "on_violation": self._policy,
+            }
+        return {"engine": engine, **self.metrics.snapshot()}
+
+    # -- write requests --------------------------------------------------------
+
+    def commit(self, transaction: Transaction,
+               on_violation: str | None = None) -> CommitOutcome:
+        """Durably commit a transaction; blocks until its batch is synced.
+
+        Concurrent callers are batched automatically: whichever thread
+        reaches the batch lock first commits every compatible pending
+        transaction in one group.
+        """
+        self._ensure_open()
+        with self.metrics.time("commit"):
+            entry = _Pending(transaction, on_violation or self._policy)
+            with self._pending_lock:
+                self._pending.append(entry)
+            with self._batch_lock:
+                if not entry.done.is_set():
+                    self._drain()
+            entry.done.wait()
+        if entry.error is not None:
+            raise entry.error
+        assert entry.outcome is not None
+        return entry.outcome
+
+    def commit_many(self, transactions: Iterable[Transaction],
+                    on_violation: str | None = None,
+                    raise_errors: bool = True) -> list[CommitOutcome]:
+        """Commit a sequence through the group-commit machinery.
+
+        Deterministic counterpart of N threads calling :meth:`commit`
+        (used by tests and benchmarks): transactions are enqueued in order
+        and drained into batches of at most ``max_batch``.
+        """
+        self._ensure_open()
+        entries = [_Pending(t, on_violation or self._policy)
+                   for t in transactions]
+        with self._pending_lock:
+            self._pending.extend(entries)
+        with self._batch_lock:
+            self._drain()
+        outcomes: list[CommitOutcome] = []
+        for entry in entries:
+            entry.done.wait()
+            if entry.error is not None and raise_errors:
+                raise entry.error
+            if entry.outcome is not None:
+                outcomes.append(entry.outcome)
+        return outcomes
+
+    # -- group commit internals ------------------------------------------------
+
+    def _drain(self) -> None:
+        """Leader loop: drain the pending queue batch by batch."""
+        while True:
+            with self._pending_lock:
+                queue, self._pending = self._pending, []
+            if not queue:
+                return
+            batch: list[_Pending] = []
+            try:
+                while queue:
+                    batch, queue = self._take_batch(queue)
+                    self._commit_batch(batch)
+            except BaseException as error:
+                # Storage-level failure: fail every commit this leader owns
+                # rather than leaving waiters blocked forever.
+                for entry in batch + queue:
+                    if not entry.done.is_set():
+                        entry.finish(error=error)
+                raise
+
+    def _take_batch(self, queue: list[_Pending]
+                    ) -> tuple[list[_Pending], list[_Pending]]:
+        """Pack a prefix of *queue* with pairwise-disjoint fact sets."""
+        batch = [queue[0]]
+        touched = set(queue[0].fact_keys())
+        deferred: list[_Pending] = []
+        for entry in queue[1:]:
+            keys = entry.fact_keys()
+            if len(batch) < self._max_batch and touched.isdisjoint(keys):
+                batch.append(entry)
+                touched |= keys
+            else:
+                if not touched.isdisjoint(keys):
+                    self.metrics.increment("commit.conflicts_deferred")
+                deferred.append(entry)
+        return batch, deferred
+
+    def _commit_batch(self, batch: list[_Pending]) -> None:
+        self.metrics.increment("commit.batches")
+        with self._rwlock.write(), self._interp_lock:
+            db = self.db
+            # Per-entry validation: one bad transaction must not sink its
+            # batch mates.
+            valid: list[_Pending] = []
+            for entry in batch:
+                try:
+                    entry.transaction.check_base_only(db)
+                    valid.append(entry)
+                except TransactionError as error:
+                    entry.finish(error=error)
+            if not valid:
+                return
+            if self._group_commit(valid):
+                return
+            # Slow path: a violation (or a non-reject policy) somewhere in
+            # the batch -- process sequentially through the shared checked
+            # path, still paying one fsync for the whole batch.
+            applied_any = False
+            for entry in valid:
+                try:
+                    outcome = checked_commit(
+                        self._processor, entry.transaction,
+                        lambda t: self._store.commit(t, sync=False),
+                        on_violation=entry.policy)
+                    applied_any = applied_any or (
+                        outcome.applied and bool(outcome.effective.events))
+                    entry.finish(outcome=outcome)
+                except DatalogError as error:
+                    entry.finish(error=error)
+            if applied_any:
+                self._store.sync_log()
+                self.metrics.increment("commit.wal_syncs")
+
+    def _group_commit(self, batch: list[_Pending]) -> bool:
+        """Fast path: one merged check, one fsync.  False -> use slow path."""
+        db = self.db
+        if any(entry.policy != "reject" for entry in batch):
+            return False
+        try:
+            merged = Transaction(
+                event for entry in batch for event in entry.transaction)
+        except TransactionError:
+            # Contradictory events across entries (insert vs delete of the
+            # same fact) -- cannot happen for disjoint batches, but keep the
+            # fast path honest.
+            return False
+        if db.constraints:
+            try:
+                verdict = self._processor.check(merged)
+            except StateError:
+                verdict = None  # inconsistent old state: commit unchecked
+            if verdict is not None and not verdict.ok:
+                return False
+        synced = False
+        for entry in batch:
+            effective = self._store.commit(entry.transaction, sync=False)
+            synced = synced or bool(effective.events)
+            entry.finish(outcome=CommitOutcome(
+                True, entry.transaction, effective))
+        if synced:
+            self._store.sync_log()
+            self.metrics.increment("commit.wal_syncs")
+        self._processor.invalidate_state_caches()
+        self.metrics.increment("commit.group_committed", len(batch))
+        return True
+
+    # -- maintenance -----------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Fold the WAL into a fresh snapshot (write-locked)."""
+        self._ensure_open()
+        with self.metrics.time("checkpoint"), self._rwlock.write():
+            self._store.checkpoint()
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Refuse further requests; optionally checkpoint the WAL."""
+        if self._closed:
+            return
+        with self._rwlock.write():
+            self._closed = True
+            if checkpoint:
+                self._store.checkpoint()

@@ -1,0 +1,117 @@
+"""Request metrics: per-request-type counters and latency histograms.
+
+The registry is deliberately dependency-free: fixed exponential latency
+buckets, plain integer counters, one lock.  Everything is surfaced through
+the ``stats`` request of the server protocol, so a load generator can read
+its own results back over the wire.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+
+#: Histogram bucket upper bounds, in seconds (plus a catch-all overflow).
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with bucket-bound quantile estimates."""
+
+    __slots__ = ("_counts", "count", "total_seconds", "max_seconds")
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(LATENCY_BUCKETS) + 1)
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self._counts[bisect_left(LATENCY_BUCKETS, seconds)] += 1
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the q-quantile observation."""
+        if not self.count:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.5))
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index < len(LATENCY_BUCKETS):
+                    return LATENCY_BUCKETS[index]
+                return self.max_seconds
+        return self.max_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_seconds": round(self.total_seconds, 6),
+            "mean_seconds": round(self.total_seconds / self.count, 6)
+            if self.count else 0.0,
+            "max_seconds": round(self.max_seconds, 6),
+            "p50_seconds": self.quantile(0.50),
+            "p95_seconds": self.quantile(0.95),
+            "p99_seconds": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe counters plus one latency histogram per request type."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests: dict[str, dict] = {}
+        self._counters: dict[str, int] = {}
+
+    def observe(self, op: str, seconds: float, error: bool = False) -> None:
+        """Record one request of type *op* taking *seconds*."""
+        with self._lock:
+            entry = self._requests.get(op)
+            if entry is None:
+                entry = {"errors": 0, "latency": LatencyHistogram()}
+                self._requests[op] = entry
+            entry["latency"].observe(seconds)
+            if error:
+                entry["errors"] += 1
+
+    @contextmanager
+    def time(self, op: str):
+        """Time a block as one *op* request; exceptions count as errors."""
+        start = time.perf_counter()
+        error = False
+        try:
+            yield
+        except BaseException:
+            error = True
+            raise
+        finally:
+            self.observe(op, time.perf_counter() - start, error=error)
+
+    def increment(self, counter: str, amount: int = 1) -> None:
+        """Bump a named counter (batches, conflicts, syncs, ...)."""
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view of every counter and histogram."""
+        with self._lock:
+            requests = {
+                op: {"errors": entry["errors"], **entry["latency"].to_dict()}
+                for op, entry in sorted(self._requests.items())
+            }
+            counters = dict(sorted(self._counters.items()))
+        return {"requests": requests, "counters": counters}

@@ -1,0 +1,348 @@
+"""The versioned JSON-lines request/response protocol.
+
+One request per line, one response per line, UTF-8 JSON.  Request::
+
+    {"v": 1, "id": 7, "op": "commit", "params": {"transaction": "insert P(A)"}}
+
+Response::
+
+    {"v": 1, "id": 7, "ok": true, "result": {...}}
+    {"v": 1, "id": 7, "ok": false, "error": {"type": "parse", "message": "..."}}
+
+The request types map 1:1 onto the Table 4.1 problems exposed by
+:class:`~repro.core.processor.UpdateProcessor`:
+
+==========  ==============================================================
+op          meaning
+==========  ==============================================================
+hello       version/identity handshake
+ping        liveness probe
+query       evaluate a goal in the current state
+upward      induced derived events of a transaction (Section 4 upward)
+check       integrity constraint checking (5.1.1)
+monitor     condition monitoring (5.1.2)
+downward    view updating / downward interpretation (5.2.x)
+repair      candidate repairs of an inconsistent database (5.2.3)
+commit      checked, durable, group-committed transaction execution
+stats       engine + per-request-type metrics snapshot
+checkpoint  fold the WAL into a fresh snapshot
+shutdown    graceful server shutdown (handled by the server, not here)
+==========  ==============================================================
+
+:func:`dispatch` executes one decoded request against a
+:class:`~repro.server.engine.DatabaseEngine`; the asyncio server, the
+blocking client's tests and in-process callers all share it, so wire
+semantics cannot drift from engine semantics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.datalog.errors import (
+    ArityError,
+    ComplexityLimitExceeded,
+    DatalogError,
+    ParseError,
+    TransactionError,
+    UnknownPredicateError,
+)
+from repro.events.events import parse_transaction
+from repro.events.requests import parse_request
+from repro.problems.base import StateError
+from repro.server.engine import CommitOutcome, DatabaseEngine, EngineClosedError
+
+PROTOCOL_VERSION = 1
+
+#: Ops the server intercepts before dispatch (they act on the server itself).
+CONTROL_OPS = ("shutdown",)
+
+
+class ProtocolError(DatalogError):
+    """A malformed or unsupported request."""
+
+
+@dataclass
+class Request:
+    """One decoded protocol request."""
+
+    op: str
+    params: dict = field(default_factory=dict)
+    id: int | str | None = None
+    version: int = PROTOCOL_VERSION
+
+    def to_json(self) -> str:
+        payload = {"v": self.version, "op": self.op}
+        if self.id is not None:
+            payload["id"] = self.id
+        if self.params:
+            payload["params"] = self.params
+        return json.dumps(payload, separators=(",", ":"))
+
+
+@dataclass
+class Response:
+    """One protocol response."""
+
+    ok: bool
+    result: dict | None = None
+    error: dict | None = None
+    id: int | str | None = None
+
+    def to_json(self) -> str:
+        payload: dict = {"v": PROTOCOL_VERSION, "id": self.id, "ok": self.ok}
+        if self.ok:
+            payload["result"] = self.result or {}
+        else:
+            payload["error"] = self.error or {}
+        return json.dumps(payload, separators=(",", ":"))
+
+
+def decode_request(line: str | bytes) -> Request:
+    """Parse one request line; raises :class:`ProtocolError` when malformed."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"request is not valid UTF-8: {error}") from None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"request is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+    version = payload.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(this server speaks {PROTOCOL_VERSION})"
+        )
+    op = payload.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("request needs a non-empty string 'op'")
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("request 'params' must be an object")
+    return Request(op=op, params=params, id=payload.get("id"), version=version)
+
+
+def decode_response(line: str | bytes) -> Response:
+    """Parse one response line (the client side of the wire)."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"response is not valid JSON: {error}") from None
+    if not isinstance(payload, dict) or "ok" not in payload:
+        raise ProtocolError("response must be a JSON object with 'ok'")
+    return Response(ok=bool(payload["ok"]), result=payload.get("result"),
+                    error=payload.get("error"), id=payload.get("id"))
+
+
+# -- error mapping -------------------------------------------------------------
+
+_ERROR_TYPES: tuple[tuple[type[BaseException], str], ...] = (
+    (ProtocolError, "protocol"),
+    (ParseError, "parse"),
+    (TransactionError, "transaction"),
+    (StateError, "state"),
+    (UnknownPredicateError, "unknown-predicate"),
+    (ArityError, "arity"),
+    (ComplexityLimitExceeded, "complexity"),
+    (EngineClosedError, "closed"),
+    (DatalogError, "datalog"),
+)
+
+
+def error_type_of(error: BaseException) -> str:
+    """The wire error type for an exception (most specific class wins)."""
+    for cls, name in _ERROR_TYPES:
+        if isinstance(error, cls):
+            return name
+    return "internal"
+
+
+def error_response(request_id, error: BaseException | str,
+                   error_type: str | None = None) -> Response:
+    """Build a failure response from an exception or a message."""
+    if isinstance(error, BaseException):
+        return Response(ok=False, id=request_id, error={
+            "type": error_type or error_type_of(error),
+            "message": str(error),
+        })
+    return Response(ok=False, id=request_id, error={
+        "type": error_type or "internal", "message": error})
+
+
+# -- result serialisation ------------------------------------------------------
+
+def _rows_to_lists(mapping) -> dict:
+    return {predicate: sorted([t.value for t in row] for row in rows)
+            for predicate, rows in sorted(mapping.items())}
+
+
+def check_result_to_dict(result) -> dict:
+    return {
+        "ok": result.ok,
+        "violations": _rows_to_lists(result.violations),
+        "transaction": result.transaction.to_dict(),
+    }
+
+
+def monitor_result_to_dict(changes) -> dict:
+    return {
+        "activated": _rows_to_lists(changes.activated),
+        "deactivated": _rows_to_lists(changes.deactivated),
+        "transaction": changes.transaction.to_dict(),
+    }
+
+
+def repair_result_to_dict(result) -> dict:
+    return {
+        "repairable": result.is_repairable,
+        "repairs": [t.to_dict() for t in result.repairs],
+        "unverified": [t.to_dict() for t in result.unverified],
+    }
+
+
+def commit_outcome_to_dict(outcome: CommitOutcome) -> dict:
+    payload: dict = {
+        "applied": outcome.applied,
+        "effective": outcome.effective.to_dict(),
+    }
+    if outcome.check is not None:
+        payload["check"] = check_result_to_dict(outcome.check)
+    if outcome.repairs is not None:
+        payload["repairs"] = outcome.repairs.to_dict()
+    return payload
+
+
+# -- parameter helpers ---------------------------------------------------------
+
+def _string_param(params: dict, name: str) -> str:
+    value = params.get(name)
+    if not isinstance(value, str) or not value.strip():
+        raise ProtocolError(f"'{name}' must be a non-empty string")
+    return value
+
+
+def _transaction_param(params: dict):
+    return parse_transaction(_string_param(params, "transaction"))
+
+
+# -- handlers ------------------------------------------------------------------
+
+def _handle_hello(engine: DatabaseEngine, params: dict) -> dict:
+    return {"server": "repro", "version": PROTOCOL_VERSION,
+            "ops": sorted(REQUEST_OPS + CONTROL_OPS)}
+
+
+def _handle_ping(engine: DatabaseEngine, params: dict) -> dict:
+    return {"pong": True}
+
+
+def _handle_query(engine: DatabaseEngine, params: dict) -> dict:
+    answers = engine.query(_string_param(params, "goal"))
+    return {"answers": [list(row) for row in answers]}
+
+
+def _handle_upward(engine: DatabaseEngine, params: dict) -> dict:
+    predicates = params.get("predicates")
+    if predicates is not None and (
+            not isinstance(predicates, list)
+            or not all(isinstance(p, str) for p in predicates)):
+        raise ProtocolError("'predicates' must be a list of strings")
+    return engine.upward(_transaction_param(params), predicates).to_dict()
+
+
+def _handle_check(engine: DatabaseEngine, params: dict) -> dict:
+    return check_result_to_dict(engine.check(_transaction_param(params)))
+
+
+def _handle_monitor(engine: DatabaseEngine, params: dict) -> dict:
+    conditions = params.get("conditions")
+    if (not isinstance(conditions, list) or not conditions
+            or not all(isinstance(c, str) for c in conditions)):
+        raise ProtocolError("'conditions' must be a non-empty list of strings")
+    return monitor_result_to_dict(
+        engine.monitor(_transaction_param(params), conditions))
+
+
+def _handle_downward(engine: DatabaseEngine, params: dict) -> dict:
+    raw = params.get("requests")
+    if isinstance(raw, str):
+        raw = [piece for piece in raw.split(";") if piece.strip()]
+    if (not isinstance(raw, list) or not raw
+            or not all(isinstance(r, str) for r in raw)):
+        raise ProtocolError(
+            "'requests' must be a non-empty list of strings "
+            "(e.g. [\"ins P(A)\", \"not del Q(B)\"])")
+    return engine.downward([parse_request(piece) for piece in raw]).to_dict()
+
+
+def _handle_repair(engine: DatabaseEngine, params: dict) -> dict:
+    return repair_result_to_dict(engine.repair(
+        verify=bool(params.get("verify", False))))
+
+
+def _handle_commit(engine: DatabaseEngine, params: dict) -> dict:
+    policy = params.get("on_violation")
+    if policy is not None and policy not in ("reject", "maintain", "ignore"):
+        raise ProtocolError(f"unknown on_violation policy: {policy!r}")
+    outcome = engine.commit(_transaction_param(params), on_violation=policy)
+    return commit_outcome_to_dict(outcome)
+
+
+def _handle_stats(engine: DatabaseEngine, params: dict) -> dict:
+    return engine.stats()
+
+
+def _handle_checkpoint(engine: DatabaseEngine, params: dict) -> dict:
+    engine.checkpoint()
+    return {"checkpointed": True}
+
+
+_HANDLERS: dict[str, Callable[[DatabaseEngine, dict], dict]] = {
+    "hello": _handle_hello,
+    "ping": _handle_ping,
+    "query": _handle_query,
+    "upward": _handle_upward,
+    "check": _handle_check,
+    "monitor": _handle_monitor,
+    "downward": _handle_downward,
+    "repair": _handle_repair,
+    "commit": _handle_commit,
+    "stats": _handle_stats,
+    "checkpoint": _handle_checkpoint,
+}
+
+#: Every op :func:`dispatch` understands.
+REQUEST_OPS = tuple(sorted(_HANDLERS))
+
+#: Ops whose handlers do not go through a self-metering engine method;
+#: :func:`dispatch` times these itself so ``stats`` covers every request type.
+_DISPATCH_METERED = frozenset({"hello", "ping", "stats"})
+
+
+def dispatch(engine: DatabaseEngine, request: Request) -> Response:
+    """Execute one request against the engine, mapping errors to responses."""
+    handler = _HANDLERS.get(request.op)
+    if handler is None:
+        return error_response(
+            request.id,
+            f"unknown op {request.op!r} (known: {', '.join(REQUEST_OPS)})",
+            error_type="protocol")
+    try:
+        if request.op in _DISPATCH_METERED:
+            with engine.metrics.time(request.op):
+                result = handler(engine, request.params)
+        else:  # engine ops meter themselves (query/commit/...)
+            result = handler(engine, request.params)
+        return Response(ok=True, id=request.id, result=result)
+    except DatalogError as error:
+        return error_response(request.id, error)
+    except Exception as error:  # noqa: BLE001 - the wire must answer
+        return error_response(request.id, error, error_type="internal")

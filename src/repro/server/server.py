@@ -1,0 +1,263 @@
+"""Asyncio TCP server speaking the JSON-lines protocol.
+
+One :class:`DatabaseEngine` serves any number of connections; blocking
+engine work runs on a thread pool so the event loop stays responsive.
+Per-connection sessions get request timeouts; connections beyond
+``max_connections`` are refused with a ``capacity`` error (backpressure the
+client can see); shutdown -- whether from the ``shutdown`` request, a
+signal, or :meth:`DatabaseServer.shutdown` -- stops accepting, drains
+in-flight work and checkpoints the WAL.
+
+Use :func:`run` for a foreground server (the ``repro serve`` command) and
+:class:`ServerThread` to host a server inside another process (tests,
+examples, notebooks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import threading
+from pathlib import Path
+
+from repro.server import protocol
+from repro.server.engine import DatabaseEngine
+
+
+class DatabaseServer:
+    """The asyncio TCP front-end of one :class:`DatabaseEngine`."""
+
+    def __init__(self, engine: DatabaseEngine, host: str = "127.0.0.1",
+                 port: int = 0, *, max_connections: int = 64,
+                 request_timeout: float = 30.0, workers: int = 8,
+                 max_line_bytes: int = 1 << 20,
+                 checkpoint_on_shutdown: bool = True):
+        self.engine = engine
+        self.host = host
+        self.port = port  # rebound to the real port by start()
+        self.max_connections = max_connections
+        self.request_timeout = request_timeout
+        self.max_line_bytes = max_line_bytes
+        self.checkpoint_on_shutdown = checkpoint_on_shutdown
+        self._workers = workers
+        self._server: asyncio.AbstractServer | None = None
+        self._executor: concurrent.futures.ThreadPoolExecutor | None = None
+        self._sessions: set[asyncio.Task] = set()
+        self._active_connections = 0
+        self._shutdown_event = asyncio.Event()
+        self._finished = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections; sets :attr:`port`."""
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="repro-engine")
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port,
+            limit=self.max_line_bytes)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a shutdown is requested, then wind down gracefully."""
+        await self._shutdown_event.wait()
+        await self.shutdown()
+
+    def request_shutdown(self) -> None:
+        """Flag the server to shut down (safe from the event loop only)."""
+        self._shutdown_event.set()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain sessions, close the engine."""
+        if self._finished:
+            return
+        self._finished = True
+        self._shutdown_event.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._sessions):
+            task.cancel()
+        if self._sessions:
+            await asyncio.gather(*self._sessions, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self.engine.close(checkpoint=self.checkpoint_on_shutdown)
+
+    # -- sessions --------------------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._sessions.add(task)
+        try:
+            await self._session(reader, writer)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._sessions.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _session(self, reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter) -> None:
+        if self._active_connections >= self.max_connections:
+            self.engine.metrics.increment("server.refused_connections")
+            await self._send(writer, protocol.error_response(
+                None, "server at connection capacity, retry later",
+                error_type="capacity"))
+            return
+        self._active_connections += 1
+        self.engine.metrics.increment("server.connections")
+        try:
+            while not self._shutdown_event.is_set():
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, protocol.error_response(
+                        None, "request line too long", error_type="protocol"))
+                    return
+                if not line:
+                    return  # client closed
+                if not line.strip():
+                    continue
+                if not await self._serve_one(line, writer):
+                    return
+        finally:
+            self._active_connections -= 1
+
+    async def _serve_one(self, line: bytes,
+                         writer: asyncio.StreamWriter) -> bool:
+        """Handle one request line; False ends the session."""
+        try:
+            request = protocol.decode_request(line)
+        except protocol.ProtocolError as error:
+            await self._send(writer, protocol.error_response(None, error))
+            return True
+        if request.op == "shutdown":
+            await self._send(writer, protocol.Response(
+                ok=True, id=request.id, result={"shutting_down": True}))
+            self.engine.metrics.increment("server.shutdown_requests")
+            self._shutdown_event.set()
+            return False
+        loop = asyncio.get_running_loop()
+        try:
+            response = await asyncio.wait_for(
+                loop.run_in_executor(
+                    self._executor, protocol.dispatch, self.engine, request),
+                timeout=self.request_timeout)
+        except asyncio.TimeoutError:
+            # The worker thread keeps running to completion; only the
+            # session gives up waiting (see docs/SERVER.md).
+            self.engine.metrics.increment("server.request_timeouts")
+            response = protocol.error_response(
+                request.id,
+                f"request exceeded the {self.request_timeout}s server timeout",
+                error_type="timeout")
+        await self._send(writer, response)
+        return True
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter,
+                    response: protocol.Response) -> None:
+        writer.write(response.to_json().encode("utf-8") + b"\n")
+        await writer.drain()
+
+
+def run(engine: DatabaseEngine, *, host: str = "127.0.0.1", port: int = 0,
+        port_file: str | Path | None = None, install_signal_handlers: bool = True,
+        **server_kwargs) -> None:
+    """Run a server in the foreground until shutdown (``repro serve``).
+
+    ``port_file`` gets the bound port written to it once listening -- the
+    scripting hook that makes ``--port 0`` usable.
+    """
+
+    async def main() -> None:
+        server = DatabaseServer(engine, host, port, **server_kwargs)
+        await server.start()
+        if install_signal_handlers:
+            import signal
+
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(NotImplementedError, ValueError):
+                    loop.add_signal_handler(signum, server.request_shutdown)
+        if port_file is not None:
+            # Atomic write: pollers must never observe an empty file.
+            target = Path(port_file)
+            temporary = target.with_name(target.name + ".tmp")
+            temporary.write_text(f"{server.port}\n")
+            temporary.replace(target)
+        print(f"repro: serving {engine.store.directory} "
+              f"on {server.host}:{server.port}", flush=True)
+        await server.serve_until_shutdown()
+
+    asyncio.run(main())
+
+
+class ServerThread:
+    """A server hosted on a background thread (tests and examples).
+
+    >>> with ServerThread(engine) as port:
+    ...     client = DatabaseClient(port=port)
+    """
+
+    def __init__(self, engine: DatabaseEngine, **server_kwargs):
+        self._engine = engine
+        self._kwargs = server_kwargs
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: DatabaseServer | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self.port: int | None = None
+
+    def start(self) -> int:
+        """Start serving; returns the bound port."""
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=10)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.port is None:
+            raise RuntimeError("server failed to start within 10s")
+        return self.port
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                self._server = DatabaseServer(self._engine, **self._kwargs)
+                await self._server.start()
+                self._loop = asyncio.get_running_loop()
+                self.port = self._server.port
+            except BaseException as error:  # surfaces in start()
+                self._startup_error = error
+                self._started.set()
+                raise
+            self._started.set()
+            await self._server.serve_until_shutdown()
+
+        try:
+            asyncio.run(main())
+        except BaseException:
+            if not self._started.is_set():
+                self._started.set()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Request a graceful shutdown and join the thread."""
+        if self._loop is not None and self._server is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._server.request_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> int:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

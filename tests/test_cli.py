@@ -183,3 +183,87 @@ class TestJsonOutput:
                      "-r", "ins Unemp(Pere)", "-r", "not del Works(Pere)",
                      "-r", "not del La(Pere)", "--json"])
         assert code == 1
+
+
+class TestCallCommand:
+    """``repro call`` against a server hosted on a background thread."""
+
+    @pytest.fixture
+    def served(self, tmp_path, db_file):
+        from pathlib import Path
+
+        from repro.datalog import DeductiveDatabase
+        from repro.server import DatabaseEngine, ServerThread
+
+        initial = DeductiveDatabase.from_source(Path(db_file).read_text())
+        engine = DatabaseEngine.open(tmp_path / "data", initial=initial)
+        with ServerThread(engine) as port:
+            yield port
+
+    def _call(self, capsys, port, *argv):
+        import json
+
+        code = main(["call", "--port", str(port), *argv])
+        out = capsys.readouterr().out
+        return code, json.loads(out) if out.strip() else None
+
+    def test_ping(self, served, capsys):
+        code, payload = self._call(capsys, served, "ping")
+        assert code == 0 and payload["pong"] is True
+
+    def test_commit_then_query(self, served, capsys):
+        code, payload = self._call(capsys, served, "commit",
+                                   "insert Works(Maria)")
+        assert code == 0 and payload["applied"] is True
+        code, payload = self._call(capsys, served, "query", "Works(x)")
+        assert code == 0
+        assert ["Maria"] in payload["answers"]
+
+    def test_commit_violation_exit_code(self, served, capsys):
+        code, payload = self._call(capsys, served, "commit",
+                                   "delete U_benefit(Dolors)")
+        assert code == 1
+        assert payload["applied"] is False
+
+    def test_check_exit_code_mirrors_consistency(self, served, capsys):
+        code, payload = self._call(capsys, served, "check",
+                                   "delete U_benefit(Dolors)")
+        assert code == 1 and payload["ok"] is False
+        code, payload = self._call(capsys, served, "check",
+                                   "insert Works(Maria)")
+        assert code == 0 and payload["ok"] is True
+
+    def test_monitor_requires_conditions(self, served, capsys):
+        code, payload = self._call(capsys, served, "monitor",
+                                   "delete Works(Pere)", "-c", "Unemp")
+        assert code == 0
+        assert payload["activated"]["Unemp"] == [["Pere"]]
+
+    def test_downward_requests(self, served, capsys):
+        code, payload = self._call(capsys, served, "downward",
+                                   "del Unemp(Dolors)")
+        assert code == 0 and payload["satisfiable"] is True
+
+    def test_stats(self, served, capsys):
+        self._call(capsys, served, "ping")
+        code, payload = self._call(capsys, served, "stats")
+        assert code == 0
+        assert payload["engine"]["facts"] >= 4
+        assert payload["requests"]["ping"]["count"] >= 1
+
+    def test_server_error_reported(self, served, capsys):
+        code = main(["call", "--port", str(served), "commit", "insert (("])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_connection_refused_reported(self, capsys):
+        # Nothing listens on this port (bind-then-close frees it).
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        code = main(["call", "--port", str(free_port), "ping"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

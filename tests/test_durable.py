@@ -94,3 +94,82 @@ class TestCommitAndCheckpoint:
         store = DurableDatabase.open(tmp_path / "d", initial=seed_db)
         with pytest.raises(TransactionError):
             store.commit(Transaction([insert("Unemp", "Zoe")]))
+
+    def test_unsynced_commits_plus_sync_log(self, tmp_path, seed_db):
+        directory = tmp_path / "d"
+        store = DurableDatabase.open(directory, initial=seed_db)
+        for index in range(3):
+            store.commit(Transaction([insert("Works", f"P{index}")]),
+                         sync=False)
+        store.sync_log()  # the group-commit pattern: one fsync per batch
+        recovered = DurableDatabase.open(directory)
+        assert set(recovered.db.iter_facts()) == set(store.db.iter_facts())
+        assert recovered.log_length() == 3
+
+
+class TestTornLogRecovery:
+    """Crash-recovery of a torn/partial final WAL line."""
+
+    def _store_with_commits(self, directory, seed_db, n=3):
+        store = DurableDatabase.open(directory, initial=seed_db)
+        for index in range(n):
+            store.commit(Transaction([insert("Works", f"P{index}")]))
+        return store
+
+    def test_torn_unparsable_tail_is_dropped(self, tmp_path, seed_db):
+        directory = tmp_path / "d"
+        self._store_with_commits(directory, seed_db)
+        log = directory / "events.log"
+        with log.open("a") as fh:
+            fh.write("insert Works(P9")  # crash mid-append: no ')'/newline
+        recovered = DurableDatabase.open(directory)
+        assert recovered.log_length() == 3
+        assert recovered.db.has_fact("Works", "P2")
+        assert not recovered.db.has_fact("Works", "P9")
+        # The log was truncated to the durable prefix and stays replayable.
+        again = DurableDatabase.open(directory)
+        assert set(again.db.iter_facts()) == set(recovered.db.iter_facts())
+
+    def test_missing_final_newline_drops_last_line(self, tmp_path, seed_db):
+        # Appends always end with '\n'; a file that does not lost the tail
+        # of its final write even if the fragment parses.
+        directory = tmp_path / "d"
+        self._store_with_commits(directory, seed_db)
+        log = directory / "events.log"
+        with log.open("a") as fh:
+            fh.write("insert Works")  # parses as a 0-ary atom, but torn
+        recovered = DurableDatabase.open(directory)
+        assert recovered.log_length() == 3
+        assert not recovered.db.has_fact("Works")
+
+    def test_complete_garbage_tail_with_newline_dropped(self, tmp_path,
+                                                        seed_db):
+        directory = tmp_path / "d"
+        self._store_with_commits(directory, seed_db)
+        log = directory / "events.log"
+        with log.open("a") as fh:
+            fh.write("@@ not a transaction @@\n")
+        recovered = DurableDatabase.open(directory)
+        assert recovered.log_length() == 3
+
+    def test_mid_log_corruption_still_raises(self, tmp_path, seed_db):
+        from repro.datalog.errors import ParseError
+
+        directory = tmp_path / "d"
+        self._store_with_commits(directory, seed_db)
+        log = directory / "events.log"
+        lines = log.read_text().splitlines()
+        lines[1] = "@@ corrupted @@"  # not the last line: refuse to guess
+        log.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ParseError):
+            DurableDatabase.open(directory)
+
+    def test_torn_only_line_recovers_to_snapshot(self, tmp_path, seed_db):
+        directory = tmp_path / "d"
+        store = DurableDatabase.open(directory, initial=seed_db)
+        log = directory / "events.log"
+        with log.open("a") as fh:
+            fh.write("insert Works(P0")
+        recovered = DurableDatabase.open(directory)
+        assert recovered.log_length() == 0
+        assert set(recovered.db.iter_facts()) == set(store.db.iter_facts())

@@ -1,0 +1,224 @@
+"""Tests for the asyncio TCP server and the blocking client.
+
+Most tests host the server on a background thread inside this process; the
+end-to-end test at the bottom drives the real ``repro serve`` command in a
+subprocess and checks the full lifecycle the acceptance criteria describe:
+serve, commit, check, monitor, stats, graceful shutdown, recovery.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.durable import DurableDatabase
+from repro.server import DatabaseClient, DatabaseEngine, ServerError, ServerThread
+from repro.workloads import employment_database
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture
+def engine(tmp_path, employment_db):
+    return DatabaseEngine.open(tmp_path / "d", initial=employment_db)
+
+
+@pytest.fixture
+def server(engine):
+    thread = ServerThread(engine)
+    port = thread.start()
+    yield port
+    thread.stop()
+
+
+class TestClientServer:
+    def test_handshake_and_ping(self, server):
+        with DatabaseClient(port=server) as client:
+            assert client.server_info["version"] == 1
+            assert client.ping()
+
+    def test_commit_query_roundtrip(self, server):
+        with DatabaseClient(port=server) as client:
+            result = client.commit("insert Works(Maria), insert La(Maria)")
+            assert result["applied"]
+            assert client.query("Works(x)") == [["Maria"]]
+
+    def test_transaction_object_accepted(self, server):
+        from repro.events.events import Transaction, insert
+
+        with DatabaseClient(port=server) as client:
+            result = client.commit(Transaction([insert("Works", "Zoe")]))
+            assert result["applied"]
+
+    def test_check_monitor_translate(self, server):
+        with DatabaseClient(port=server) as client:
+            assert not client.check("delete U_benefit(Dolors)")["ok"]
+            changes = client.monitor("insert Works(Dolors)", ["Unemp"])
+            assert changes["deactivated"]["Unemp"] == [["Dolors"]]
+            result = client.translate("del Unemp(Dolors)")
+            assert result["satisfiable"]
+
+    def test_server_error_carries_wire_type(self, server):
+        with DatabaseClient(port=server) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.call("commit", transaction="insert ((")
+            assert excinfo.value.type == "parse"
+
+    def test_session_survives_bad_requests(self, server):
+        with DatabaseClient(port=server) as client:
+            with pytest.raises(ServerError):
+                client.call("no-such-op")
+            assert client.ping()  # connection still usable
+
+    def test_stats_count_requests(self, server):
+        with DatabaseClient(port=server) as client:
+            client.commit("insert Works(Maria)")
+            client.query("Works(x)")
+            stats = client.stats()
+            assert stats["requests"]["commit"]["count"] >= 1
+            assert stats["requests"]["query"]["count"] >= 1
+            assert stats["counters"]["server.connections"] >= 1
+
+    def test_two_clients_interleave(self, server):
+        with DatabaseClient(port=server) as one, \
+                DatabaseClient(port=server) as two:
+            one.commit("insert Works(A1)")
+            two.commit("insert Works(A2)")
+            assert one.query("Works(x)") == [["A1"], ["A2"]]
+            assert two.query("Works(x)") == [["A1"], ["A2"]]
+
+    def test_concurrent_clients_no_lost_updates(self, tmp_path):
+        import threading
+
+        engine = DatabaseEngine.open(
+            tmp_path / "many", initial=employment_database(10, seed=2))
+        errors: list[BaseException] = []
+        with ServerThread(engine) as port:
+            def worker(index: int) -> None:
+                try:
+                    with DatabaseClient(port=port) as client:
+                        for j in range(5):
+                            client.commit(f"insert Works(C{index}_{j})")
+                except BaseException as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors
+            with DatabaseClient(port=port) as client:
+                assert client.stats()["engine"]["log_length"] == 30
+
+
+class TestBackpressureAndTimeouts:
+    def test_capacity_refusal(self, tmp_path, employment_db):
+        engine = DatabaseEngine.open(tmp_path / "cap", initial=employment_db)
+        with ServerThread(engine, max_connections=1) as port:
+            with DatabaseClient(port=port) as first:
+                assert first.ping()
+                with pytest.raises(ServerError) as excinfo:
+                    DatabaseClient(port=port)
+                assert excinfo.value.type == "capacity"
+            # Slot freed: a new connection succeeds.
+            time.sleep(0.05)
+            with DatabaseClient(port=port) as again:
+                assert again.ping()
+
+    def test_request_timeout(self, tmp_path, employment_db, monkeypatch):
+        from repro.server import protocol, server as server_mod
+
+        real_dispatch = protocol.dispatch
+
+        def slow_dispatch(engine, request):
+            if request.op == "query":
+                time.sleep(0.5)
+            return real_dispatch(engine, request)
+
+        monkeypatch.setattr(server_mod.protocol, "dispatch", slow_dispatch)
+        engine = DatabaseEngine.open(tmp_path / "slow", initial=employment_db)
+        with ServerThread(engine, request_timeout=0.05) as port:
+            with DatabaseClient(port=port, handshake=False) as client:
+                with pytest.raises(ServerError) as excinfo:
+                    client.query("Unemp(x)")
+                assert excinfo.value.type == "timeout"
+
+
+class TestShutdown:
+    def test_shutdown_request_checkpoints_and_recovers(self, tmp_path,
+                                                       employment_db):
+        directory = tmp_path / "d"
+        engine = DatabaseEngine.open(directory, initial=employment_db)
+        thread = ServerThread(engine)
+        port = thread.start()
+        with DatabaseClient(port=port) as client:
+            client.commit("insert Works(Maria)")
+            assert client.shutdown()["shutting_down"]
+        thread.stop()
+        # Engine was closed with a checkpoint: the WAL is folded in.
+        recovered = DurableDatabase.open(directory)
+        assert recovered.db.has_fact("Works", "Maria")
+        assert recovered.log_length() == 0
+
+
+@pytest.mark.slow
+class TestServeCommandEndToEnd:
+    """The scripted acceptance run: real process, real sockets."""
+
+    def test_serve_commit_monitor_stats_shutdown_recover(self, tmp_path):
+        db_file = tmp_path / "db.dl"
+        db_file.write_text("""
+            La(Dolors). U_benefit(Dolors). Works(Pere). La(Pere).
+            Unemp(x) <- La(x) & not Works(x).
+            Ic1 <- Unemp(x) & not U_benefit(x).
+        """)
+        data_dir = tmp_path / "data"
+        port_file = tmp_path / "port"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(data_dir),
+             "--init", str(db_file), "--port", "0",
+             "--port-file", str(port_file)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+        try:
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if port_file.exists() and port_file.read_text().strip():
+                    break
+                assert process.poll() is None, (
+                    f"server died early:\n"
+                    f"{process.stdout.read().decode(errors='replace')}")
+                time.sleep(0.05)
+            port = int(port_file.read_text().strip())
+
+            with DatabaseClient(port=port) as client:
+                assert client.commit(
+                    "insert Works(Maria), insert La(Maria)")["applied"]
+                assert client.check("delete U_benefit(Dolors)")["ok"] is False
+                monitored = client.monitor("delete Works(Pere)", ["Unemp"])
+                assert monitored["activated"]["Unemp"] == [["Pere"]]
+                stats = client.stats()
+                assert stats["requests"]["commit"]["count"] > 0
+                assert stats["requests"]["monitor"]["count"] > 0
+                client.shutdown()
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.wait()
+
+        # Reopening the data directory recovers the committed state.
+        recovered = DurableDatabase.open(data_dir)
+        assert recovered.db.has_fact("Works", "Maria")
+        assert recovered.db.has_fact("La", "Maria")
+        # Maria was committed as employed, so only Dolors stays unemployed.
+        assert recovered.db.query("Unemp(x)") == [("Dolors",)]
