@@ -241,7 +241,8 @@ def _cmd_call(args: argparse.Namespace) -> int:
             params["on_violation"] = args.on_violation
     elif args.op == "downward":
         requests = args.request or (
-            [r for r in args.argument.split(";")] if args.argument else [])
+            [r for r in args.argument.split(";") if r.strip()]
+            if args.argument else [])
         if not requests:
             raise DatalogError("downward needs requests (-r or positional, "
                                "';'-separated)")

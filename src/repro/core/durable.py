@@ -124,9 +124,16 @@ class DurableDatabase:
                     db.remove_fact(event.predicate, *event.args)
             good.append(text)
         if torn:
-            with log_path.open("w") as log:
+            # Rewrite atomically (temp file + fsync + rename, the same
+            # pattern as checkpoint): truncating the log in place would
+            # open a window where a second crash loses the whole durable
+            # prefix this method exists to recover.
+            temporary = log_path.with_suffix(".tmp")
+            with temporary.open("w") as log:
                 log.write("".join(line + "\n" for line in good))
                 _fsync_file(log)
+            os.replace(temporary, log_path)
+            _fsync_directory(log_path.parent)
 
     @property
     def db(self) -> DeductiveDatabase:

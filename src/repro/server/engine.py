@@ -17,14 +17,23 @@ Concurrency model
 - *Group commit.*  ``commit`` enqueues the transaction and the first thread
   through the batch lock becomes the leader: it drains the queue, packs up
   to ``max_batch`` transactions with pairwise-disjoint fact sets into one
-  batch, integrity-checks their union once, appends them to the WAL with a
-  single fsync, and wakes every waiter.  Followers find their entry already
-  committed by the time they acquire the lock.
+  batch, integrity-checks each member and their union against the shared
+  old state, appends them to the WAL, fsyncs once, and only *then* wakes
+  the waiters -- an acknowledged commit is always on disk.  Followers find
+  their entry already committed by the time they acquire the lock.
 - *Optimistic conflict handling.*  Two pending transactions that touch the
   same fact (overlapping event sets) never share a batch; the later one is
-  deferred to the next batch and re-validated against the new state, so the
-  result is always equivalent to *some* serial order (transactions in one
-  batch are independent; batches are sequential).
+  deferred to the next batch and re-validated against the new state.
+  Batch members commute (disjoint fact sets) and batches are sequential,
+  so the *applied* history is serializable.  Reject semantics are enforced
+  per member: a batch only fast-commits when every member passes its own
+  integrity check against the batch-start state *and* the merged batch
+  passes; otherwise the slow path executes the batch serially, so a
+  transaction that would be rejected on its own is never smuggled in by
+  its batch mates.  (One theoretical gap remains: three or more
+  transactions whose constraint interactions violate at every intermediate
+  prefix but not at the endpoints can fast-commit together although a
+  strictly serial execution would reject one -- see docs/SERVER.md.)
 """
 
 from __future__ import annotations
@@ -98,8 +107,9 @@ class CommitOutcome:
     requested: Transaction
     #: The effective (normalised) events actually applied; empty on reject.
     effective: Transaction = field(default_factory=Transaction)
-    #: The integrity verdict, when an individual check ran.  Transactions
-    #: that rode a group commit share one batch-level check and carry None.
+    #: The integrity verdict of this transaction's own check, when one ran
+    #: (None when the database has no constraints, the policy is ``ignore``
+    #: or the old state was already inconsistent).
     check: ICCheckResult | None = None
     #: Repair events added by the ``maintain`` policy.
     repairs: Transaction | None = None
@@ -396,25 +406,43 @@ class DatabaseEngine:
                 return
             # Slow path: a violation (or a non-reject policy) somewhere in
             # the batch -- process sequentially through the shared checked
-            # path, still paying one fsync for the whole batch.
-            applied_any = False
+            # path, still paying one fsync for the whole batch.  Entries
+            # whose events reached the log are acknowledged only after
+            # sync_log(): waking a waiter before the fsync would let the
+            # server confirm a commit a crash could still lose.  If
+            # sync_log raises, _drain fails every unfinished entry.
+            applied: list[tuple[_Pending, CommitOutcome]] = []
             for entry in valid:
                 try:
                     outcome = checked_commit(
                         self._processor, entry.transaction,
                         lambda t: self._store.commit(t, sync=False),
                         on_violation=entry.policy)
-                    applied_any = applied_any or (
-                        outcome.applied and bool(outcome.effective.events))
-                    entry.finish(outcome=outcome)
                 except DatalogError as error:
                     entry.finish(error=error)
-            if applied_any:
+                    continue
+                if outcome.applied and outcome.effective.events:
+                    applied.append((entry, outcome))
+                else:
+                    entry.finish(outcome=outcome)
+            if applied:
                 self._store.sync_log()
                 self.metrics.increment("commit.wal_syncs")
+            for entry, outcome in applied:
+                entry.finish(outcome=outcome)
 
     def _group_commit(self, batch: list[_Pending]) -> bool:
-        """Fast path: one merged check, one fsync.  False -> use slow path."""
+        """Fast path: shared-state checks, one fsync.  False -> slow path.
+
+        Reject semantics are enforced per member: every transaction must
+        pass its *own* integrity check against the batch-start state (so a
+        transaction each serial order would reject cannot hide behind its
+        batch mates) and the merged batch must pass as a whole (so the
+        post-batch state is consistent).  All checks hit the same old
+        state, so the upward interpreter's memoised materialisations are
+        reused across the whole batch -- that, plus the single fsync, is
+        the amortisation group commit pays for.
+        """
         db = self.db
         if any(entry.policy != "reject" for entry in batch):
             return False
@@ -426,23 +454,38 @@ class DatabaseEngine:
             # same fact) -- cannot happen for disjoint batches, but keep the
             # fast path honest.
             return False
+        checks: dict[int, ICCheckResult] = {}
         if db.constraints:
             try:
-                verdict = self._processor.check(merged)
+                merged_verdict = self._processor.check(merged)
+                if not merged_verdict.ok:
+                    return False
+                if len(batch) == 1:
+                    checks[0] = merged_verdict
+                else:
+                    for index, entry in enumerate(batch):
+                        verdict = self._processor.check(entry.transaction)
+                        if not verdict.ok:
+                            return False
+                        checks[index] = verdict
             except StateError:
-                verdict = None  # inconsistent old state: commit unchecked
-            if verdict is not None and not verdict.ok:
-                return False
+                checks = {}  # inconsistent old state: commit unchecked
+        outcomes: list[tuple[_Pending, CommitOutcome]] = []
         synced = False
-        for entry in batch:
+        for index, entry in enumerate(batch):
             effective = self._store.commit(entry.transaction, sync=False)
             synced = synced or bool(effective.events)
-            entry.finish(outcome=CommitOutcome(
-                True, entry.transaction, effective))
+            outcomes.append((entry, CommitOutcome(
+                True, entry.transaction, effective, checks.get(index))))
         if synced:
             self._store.sync_log()
             self.metrics.increment("commit.wal_syncs")
         self._processor.invalidate_state_caches()
+        # Acknowledge strictly after the fsync: a waiter woken earlier
+        # could see a successful commit a crash then loses.  If sync_log
+        # raised above, _drain fails every unfinished entry instead.
+        for entry, outcome in outcomes:
+            entry.finish(outcome=outcome)
         self.metrics.increment("commit.group_committed", len(batch))
         return True
 

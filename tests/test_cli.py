@@ -244,6 +244,12 @@ class TestCallCommand:
                                    "del Unemp(Dolors)")
         assert code == 0 and payload["satisfiable"] is True
 
+    def test_downward_trailing_semicolon_ignored(self, served, capsys):
+        # 'del X;' must not send an empty request to the server.
+        code, payload = self._call(capsys, served, "downward",
+                                   "del Unemp(Dolors); ")
+        assert code == 0 and payload["satisfiable"] is True
+
     def test_stats(self, served, capsys):
         self._call(capsys, served, "ping")
         code, payload = self._call(capsys, served, "stats")

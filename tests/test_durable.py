@@ -164,6 +164,26 @@ class TestTornLogRecovery:
         with pytest.raises(ParseError):
             DurableDatabase.open(directory)
 
+    def test_torn_rewrite_is_atomic(self, tmp_path, seed_db):
+        # The rewrite of the truncated log goes through a temp file +
+        # atomic rename (never truncate-in-place), so a stale temp file
+        # from a crash during a previous recovery is harmless and none is
+        # left behind afterwards.
+        directory = tmp_path / "d"
+        self._store_with_commits(directory, seed_db)
+        log = directory / "events.log"
+        (directory / "events.tmp").write_text("insert Works(Stale)\n")
+        with log.open("a") as fh:
+            fh.write("insert Works(P9")  # torn tail
+        recovered = DurableDatabase.open(directory)
+        assert recovered.log_length() == 3
+        assert not recovered.db.has_fact("Works", "Stale")
+        assert not (directory / "events.tmp").exists()
+        # The rewritten log is a well-formed replayable prefix.
+        assert log.read_text().endswith("\n")
+        again = DurableDatabase.open(directory)
+        assert set(again.db.iter_facts()) == set(recovered.db.iter_facts())
+
     def test_torn_only_line_recovers_to_snapshot(self, tmp_path, seed_db):
         directory = tmp_path / "d"
         store = DurableDatabase.open(directory, initial=seed_db)

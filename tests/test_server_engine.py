@@ -190,6 +190,39 @@ class TestGroupCommit:
         assert applied == [True, False, True]
         assert big_engine.store.log_length() == 2
 
+    def test_batch_cannot_mask_individually_violating_members(self, tmp_path):
+        # Coupled constraints: P(x) requires Q(x) and vice versa.  Each
+        # transaction alone violates, their union does not -- every serial
+        # order rejects both, so the batch must too (a merged-only check
+        # would wrongly commit both).
+        from repro.datalog import DeductiveDatabase, parse_rule
+
+        db = DeductiveDatabase()
+        db.declare_base("P", 1)
+        db.declare_base("Q", 1)
+        db.add_constraint(parse_rule("Ic1(x) <- P(x) & not Q(x)."))
+        db.add_constraint(parse_rule("Ic2(x) <- Q(x) & not P(x)."))
+        engine = DatabaseEngine.open(tmp_path / "coupled", initial=db)
+        try:
+            outcomes = engine.commit_many(
+                [parse_transaction("insert P(A)"),
+                 parse_transaction("insert Q(A)")],
+                raise_errors=False)
+            assert [o.applied for o in outcomes] == [False, False]
+            assert engine.store.log_length() == 0
+            assert not engine.db.has_fact("P", "A")
+            assert not engine.db.has_fact("Q", "A")
+        finally:
+            engine.close(checkpoint=False)
+
+    def test_group_commit_outcomes_carry_individual_verdicts(self, big_engine):
+        outcomes = big_engine.commit_many([
+            parse_transaction("insert Works(V1)"),
+            parse_transaction("insert Works(V2)"),
+        ])
+        assert big_engine.metrics.counter("commit.group_committed") == 2
+        assert all(o.check is not None and o.check.ok for o in outcomes)
+
     def test_mixed_batch_bad_member_fails_alone(self, big_engine):
         entries = [
             parse_transaction("insert Works(N1)"),
@@ -198,6 +231,74 @@ class TestGroupCommit:
         with pytest.raises(TransactionError):
             big_engine.commit_many(entries)
         assert big_engine.db.has_fact("Works", "N1")
+
+
+class TestDurableAcknowledgement:
+    """Commits must be acknowledged only after the batch fsync."""
+
+    def _spy_sync(self, engine, entries, observed):
+        real_sync = engine.store.sync_log
+
+        def spy():
+            observed.extend(entry.done.is_set() for entry in entries)
+            real_sync()
+
+        return spy
+
+    def test_fast_path_acks_after_fsync(self, big_engine, monkeypatch):
+        from repro.server.engine import _Pending
+
+        entries = [_Pending(parse_transaction("insert Works(A1)"), "reject"),
+                   _Pending(parse_transaction("insert Works(A2)"), "reject")]
+        observed: list[bool] = []
+        monkeypatch.setattr(big_engine.store, "sync_log",
+                            self._spy_sync(big_engine, entries, observed))
+        big_engine._commit_batch(entries)
+        # No waiter was woken before sync_log ran...
+        assert observed == [False, False]
+        # ... and every waiter was woken (successfully) afterwards.
+        assert all(e.done.is_set() and e.outcome and e.outcome.applied
+                   for e in entries)
+
+    def test_slow_path_acks_after_fsync(self, big_engine, monkeypatch):
+        from repro.server.engine import _Pending
+
+        # 'maintain' forces the per-entry slow path.
+        entries = [_Pending(parse_transaction("insert Works(B1)"), "maintain")]
+        observed: list[bool] = []
+        monkeypatch.setattr(big_engine.store, "sync_log",
+                            self._spy_sync(big_engine, entries, observed))
+        big_engine._commit_batch(entries)
+        assert observed == [False]
+        assert entries[0].outcome is not None and entries[0].outcome.applied
+
+    def test_fsync_failure_fails_the_batch(self, big_engine, monkeypatch):
+        def broken_sync():
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(big_engine.store, "sync_log", broken_sync)
+        with pytest.raises(OSError):
+            big_engine.commit_many([parse_transaction("insert Works(C1)"),
+                                    parse_transaction("insert Works(C2)")])
+
+    def test_fsync_failure_fails_every_waiter(self, big_engine, monkeypatch):
+        from repro.server.engine import _Pending
+
+        def broken_sync():
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(big_engine.store, "sync_log", broken_sync)
+        entries = [_Pending(parse_transaction("insert Works(D1)"), "reject"),
+                   _Pending(parse_transaction("insert Works(D2)"), "reject")]
+        with big_engine._pending_lock:
+            big_engine._pending.extend(entries)
+        with pytest.raises(OSError):
+            with big_engine._batch_lock:
+                big_engine._drain()
+        # Nobody is left blocked and nobody saw a success.
+        assert all(e.done.is_set() for e in entries)
+        assert all(isinstance(e.error, OSError) for e in entries)
+        assert all(e.outcome is None for e in entries)
 
 
 class TestConcurrency:
