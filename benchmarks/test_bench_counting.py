@@ -17,7 +17,7 @@ import pytest
 
 from repro.datalog import DeductiveDatabase
 from repro.datalog.parser import parse_rule
-from repro.events.events import Transaction, delete, insert
+from repro.events.events import Transaction, delete
 from repro.interpretations import CountingEngine, UpwardInterpreter
 from repro.workloads import random_database
 

@@ -75,32 +75,68 @@ from repro.core import (
     apply_schema_update,
     repair_to_consistency,
 )
-from repro.problems import render_table_4_1
+from repro.problems import (
+    ConditionChanges,
+    ICCheckResult,
+    RepairResult,
+    render_table_4_1,
+)
+from repro.requests import (
+    CheckRequest,
+    CheckpointRequest,
+    CommitRequest,
+    DownwardRequest,
+    HelloRequest,
+    MonitorRequest,
+    PingRequest,
+    QueryRequest,
+    RepairRequest,
+    StatsRequest,
+    UpdateRequest,
+    UpwardRequest,
+    WireFormatError,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Atom",
+    "CheckRequest",
+    "CheckpointRequest",
+    "CommitRequest",
+    "ConditionChanges",
     "Constant",
     "DatalogError",
     "DeductiveDatabase",
     "DownwardInterpreter",
     "DownwardOptions",
+    "DownwardRequest",
     "DownwardResult",
     "Event",
     "EventCompiler",
     "EventKind",
+    "HelloRequest",
+    "ICCheckResult",
     "Literal",
     "MaterializedViewStore",
+    "MonitorRequest",
+    "PingRequest",
+    "QueryRequest",
+    "RepairRequest",
+    "RepairResult",
     "Rule",
+    "StatsRequest",
     "Transaction",
     "TransitionProgram",
     "Translation",
     "UpdateProcessor",
+    "UpdateRequest",
     "UpwardInterpreter",
     "UpwardOptions",
+    "UpwardRequest",
     "UpwardResult",
     "Variable",
+    "WireFormatError",
     "apply_schema_update",
     "delete",
     "forbid_delete",

@@ -32,6 +32,7 @@ from repro.events.event_rules import EventCompiler
 from repro.events.events import parse_transaction
 from repro.events.requests import parse_request  # noqa: F401 - re-exported API
 from repro.problems import render_table_4_1
+from repro.requests import UpdateRequest
 
 
 def _load(path: str) -> DeductiveDatabase:
@@ -204,9 +205,12 @@ def _cmd_repl(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the TCP update server over a durable data directory."""
+    from repro.obs import tracer as obs
     from repro.server import DatabaseEngine
     from repro.server.server import run
 
+    if args.trace:
+        obs.enable()
     initial = _load(args.init) if args.init else None
     engine = DatabaseEngine.open(args.directory, initial=initial,
                                  max_batch=args.max_batch,
@@ -214,14 +218,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     run(engine, host=args.host, port=args.port, port_file=args.port_file,
         max_connections=args.max_connections,
         request_timeout=args.timeout,
-        checkpoint_on_shutdown=not args.no_checkpoint)
+        checkpoint_on_shutdown=not args.no_checkpoint,
+        slow_op_threshold=args.slow_op_threshold)
     return 0
 
 
-def _cmd_call(args: argparse.Namespace) -> int:
-    """Send one request to a running server and print the JSON result."""
-    from repro.server.client import DatabaseClient
-
+def _request_params(args: argparse.Namespace) -> dict:
+    """Build the wire params of one op from ``call``/``trace`` flags."""
     params: dict = {}
     if args.op == "query":
         if not args.argument:
@@ -237,7 +240,7 @@ def _cmd_call(args: argparse.Namespace) -> int:
                 raise DatalogError("monitor needs -c CONDITIONS")
             params["conditions"] = [c.strip() for c in args.conditions.split(",")
                                     if c.strip()]
-        if args.op == "commit" and args.on_violation:
+        if args.op == "commit" and getattr(args, "on_violation", None):
             params["on_violation"] = args.on_violation
     elif args.op == "downward":
         requests = args.request or (
@@ -247,9 +250,19 @@ def _cmd_call(args: argparse.Namespace) -> int:
             raise DatalogError("downward needs requests (-r or positional, "
                                "';'-separated)")
         params["requests"] = requests
+    return params
 
+
+def _cmd_call(args: argparse.Namespace) -> int:
+    """Send one request to a running server and print the JSON result."""
+    from repro.server.client import DatabaseClient
+
+    params = _request_params(args)
     with DatabaseClient(args.host, args.port, handshake=False) as client:
-        result = client.call(args.op, **params)
+        if args.op == "shutdown":  # control op: the server intercepts it
+            result = client.call("shutdown")
+        else:
+            result = client.send(UpdateRequest.of(args.op, params))
     print(json.dumps(result, indent=2))
     if args.op == "check":
         return 0 if result.get("ok") else 1
@@ -257,6 +270,41 @@ def _cmd_call(args: argparse.Namespace) -> int:
         return 0 if result.get("applied") else 1
     if args.op == "downward":
         return 0 if result.get("satisfiable") else 1
+    return 0
+
+
+def _trace_result_payload(result) -> object:
+    """A JSON-ready rendering of one traced op's result."""
+    if hasattr(result, "to_dict"):
+        return result.to_dict()
+    if isinstance(result, list):  # query answers (rows of constants)
+        return [[getattr(value, "value", value) for value in row]
+                for row in result]
+    return str(result)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one op locally under a scoped tracer and print the breakdown."""
+    from repro.obs import tracer as obs
+
+    db = _load(args.database)
+    processor = UpdateProcessor(db)
+    request = UpdateRequest.of(args.op, _request_params(args))
+    with obs.use() as tracer:
+        with tracer.span(f"request.{args.op}"):
+            result = request.run(processor)
+    root = tracer.last_root
+    if args.json:
+        print(json.dumps({
+            "result": _trace_result_payload(result),
+            "trace": root.to_dict() if root is not None else {},
+            "aggregates": tracer.aggregates(),
+        }, indent=2))
+    else:
+        print(result)
+        if root is not None:
+            print()
+            print(obs.format_span(root))
     return 0
 
 
@@ -335,6 +383,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default commit policy")
     serve.add_argument("--no-checkpoint", action="store_true",
                        help="skip the WAL checkpoint on shutdown")
+    serve.add_argument("--trace", action="store_true",
+                       help="enable execution tracing (span aggregates show "
+                            "up in 'stats')")
+    serve.add_argument("--slow-op-threshold", type=float, metavar="SECONDS",
+                       help="log requests slower than this at WARNING")
     serve.set_defaults(run=_cmd_serve)
 
     call = commands.add_parser(
@@ -354,6 +407,25 @@ def build_parser() -> argparse.ArgumentParser:
     call.add_argument("--on-violation",
                       choices=["reject", "maintain", "ignore"])
     call.set_defaults(run=_cmd_call)
+
+    trace = commands.add_parser(
+        "trace", help="run one op locally with execution tracing")
+    trace.add_argument("op", choices=[
+        "query", "upward", "check", "monitor", "downward", "repair",
+        "commit"])
+    trace.add_argument("database")
+    trace.add_argument("argument", nargs="?",
+                       help="query goal / transaction / ';'-separated requests")
+    trace.add_argument("-t", "--transaction")
+    trace.add_argument("-r", "--request", action="append",
+                       help="downward request, e.g. 'ins P(B)' (repeatable)")
+    trace.add_argument("-c", "--conditions",
+                       help="comma-separated condition predicates (monitor)")
+    trace.add_argument("--on-violation",
+                       choices=["reject", "maintain", "ignore"])
+    trace.add_argument("--json", action="store_true",
+                       help="machine-readable result + trace + aggregates")
+    trace.set_defaults(run=_cmd_trace)
     return parser
 
 

@@ -9,11 +9,11 @@ events in reverse order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.errors import TransactionError
-from repro.events.events import Event, Transaction
+from repro.events.events import Transaction
 
 
 def inverse_of(transaction: Transaction) -> Transaction:

@@ -326,6 +326,16 @@ class UpdateProcessor:
         self._apply_in_place(to_apply)
         return ExecutionResult(True, to_apply, check_result, repairs)
 
+    def handle(self, request):
+        """Run one typed :class:`~repro.requests.UpdateRequest` locally.
+
+        The same request object a :class:`~repro.server.client.DatabaseClient`
+        would :meth:`~repro.server.client.DatabaseClient.send` over the wire,
+        executed in-process; returns the rich result object (not the wire
+        dict).  Server-only ops (``hello``, ``stats``, ...) raise.
+        """
+        return request.run(self)
+
     def explain(self, transaction: Transaction, event: Event,
                 max_explanations: int = 1):
         """Why would *transaction* induce *event*?  (Derivation trees.)

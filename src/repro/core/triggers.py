@@ -13,8 +13,8 @@ semantics, powered entirely by the event rules.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.errors import DatalogError, UnknownPredicateError

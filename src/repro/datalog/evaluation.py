@@ -20,6 +20,7 @@ from typing import Iterable, Iterator, Mapping, Protocol, Sequence
 
 from repro.datalog.builtins import evaluate_builtin, is_builtin
 from repro.datalog.errors import SafetyError
+from repro.obs import tracer as obs
 from repro.datalog.rules import Atom, Literal, Rule
 from repro.datalog.stratify import Stratification, stratify
 from repro.datalog.terms import Constant, Term
@@ -96,6 +97,35 @@ class EvaluationStats:
             self.facts_derived + other.facts_derived,
             self.literals_matched + other.literals_matched,
         )
+
+    def delta_since(self, earlier: "EvaluationStats") -> "EvaluationStats":
+        """Pointwise difference against an earlier snapshot of this object."""
+        return EvaluationStats(
+            self.iterations - earlier.iterations,
+            self.rule_firings - earlier.rule_firings,
+            self.facts_derived - earlier.facts_derived,
+            self.literals_matched - earlier.literals_matched,
+        )
+
+    def snapshot(self) -> "EvaluationStats":
+        """A frozen copy (pair with :meth:`delta_since`)."""
+        return EvaluationStats(self.iterations, self.rule_firings,
+                               self.facts_derived, self.literals_matched)
+
+    def to_counters(self) -> dict[str, int]:
+        """The span-counter form used by the tracing subsystem."""
+        return {
+            "iterations": self.iterations,
+            "rule_firings": self.rule_firings,
+            "facts_derived": self.facts_derived,
+            "literals_matched": self.literals_matched,
+        }
+
+    def record_to(self, span: "obs.Span") -> None:
+        """Add these stats to a span's counters (the shared span model)."""
+        for counter, amount in self.to_counters().items():
+            if amount:
+                span.add(counter, amount)
 
 
 @dataclass
@@ -305,16 +335,38 @@ class BottomUpEvaluator:
     def _compute(self) -> dict[str, set[Row]]:
         """Stratum-by-stratum fixpoint computation of the perfect model."""
         extensions: dict[str, set[Row]] = {p: set() for p in self._derived_predicates}
-        for stratum in self._stratification.strata:
-            # Stratum 0 is normally rule-free (base predicates), but ground
-            # bodiless rules -- e.g. magic seeds -- land there and must fire.
-            stratum_rules = [r for r in self._rules if r.head.predicate in stratum]
-            if not stratum_rules:
-                continue
-            if self._semi_naive:
-                self._evaluate_stratum_semi_naive(stratum_rules, stratum, extensions)
-            else:
-                self._evaluate_stratum_naive(stratum_rules, extensions)
+        with obs.span("eval.materialize") as root:
+            for index, stratum in enumerate(self._stratification.strata):
+                # Stratum 0 is normally rule-free (base predicates), but ground
+                # bodiless rules -- e.g. magic seeds -- land there and must fire.
+                stratum_rules = [r for r in self._rules
+                                 if r.head.predicate in stratum]
+                if not stratum_rules:
+                    continue
+                with obs.span("eval.stratum") as span:
+                    traced = obs.enabled()
+                    if traced:
+                        span.set(index=index,
+                                 mode="semi-naive" if self._semi_naive
+                                 else "naive",
+                                 predicates=sorted(
+                                     stratum & self._derived_predicates))
+                        span.add("rules", len(stratum_rules))
+                        before = self.stats.snapshot()
+                    if self._semi_naive:
+                        self._evaluate_stratum_semi_naive(
+                            stratum_rules, stratum, extensions)
+                    else:
+                        self._evaluate_stratum_naive(stratum_rules, extensions)
+                    if traced:
+                        self.stats.delta_since(before).record_to(span)
+                        span.add("rows", sum(
+                            len(extensions.get(p, ()))
+                            for p in stratum & self._derived_predicates))
+            if obs.enabled():
+                root.set(strata=len(self._stratification.strata),
+                         rules=len(self._rules))
+                self.stats.record_to(root)
         return extensions
 
     def _evaluate_stratum_naive(self, stratum_rules: list[Rule],
@@ -348,6 +400,10 @@ class BottomUpEvaluator:
         ]
         while delta:
             self.stats.iterations += 1
+            if obs.enabled():
+                delta_rows = sum(len(rows) for rows in delta.values())
+                obs.add("delta_rounds")
+                obs.add("delta_rows", delta_rows)
             next_delta: dict[str, set[Row]] = {}
             for r in recursive_rules:
                 for literal in r.body:

@@ -24,8 +24,8 @@ Sketch (supplementary-free, left-to-right SIPS):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.datalog.builtins import is_builtin
 from repro.datalog.errors import SafetyError

@@ -55,6 +55,7 @@ from repro.events.transition import (
     base_transition_rules,
     disjunct_has_positive_event,
 )
+from repro.obs import tracer as obs
 
 
 @dataclass(frozen=True)
@@ -180,6 +181,19 @@ class EventCompiler:
 
     def compile(self, db: DeductiveDatabase) -> TransitionProgram:
         """Compile the intensional part of *db* (facts are not consulted)."""
+        with obs.span("compile.transition") as span:
+            program = self._compile(db)
+            if obs.enabled():
+                span.set(simplified=self._simplify)
+                span.add("derived", len(program.derived))
+                span.add("upward_rules", len(program.upward_rules))
+                span.add("disjuncts", sum(
+                    len(t.disjuncts)
+                    for items in program.transition_rules.values()
+                    for t in items))
+        return program
+
+    def _compile(self, db: DeductiveDatabase) -> TransitionProgram:
         source_rules = (db.rules_with_global_ic() if self._include_global_ic
                         else db.all_rules())
         derived = {r.head.predicate for r in source_rules}

@@ -77,6 +77,28 @@ class Event:
             "args": [a.value for a in self.args],
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Event":
+        """Inverse of :meth:`to_dict`."""
+        kind = payload.get("kind")
+        if kind not in ("insert", "delete"):
+            raise TransactionError(
+                f"event 'kind' must be 'insert' or 'delete': {kind!r}")
+        predicate = payload.get("predicate")
+        if not isinstance(predicate, str) or not predicate:
+            raise TransactionError(
+                f"event 'predicate' must be a non-empty string: {predicate!r}")
+        return cls(
+            EventKind.INSERTION if kind == "insert" else EventKind.DELETION,
+            predicate,
+            tuple(Constant(value) for value in payload.get("args", ())),
+        )
+
+    def to_text(self) -> str:
+        """The :func:`parse_transaction`-compatible form, e.g. ``insert P(A)``."""
+        prefix = "insert " if self.is_insertion else "delete "
+        return prefix + str(self.atom())
+
     def __str__(self) -> str:
         if not self.args:
             return f"{self.kind.symbol}{self.predicate}"
@@ -185,6 +207,21 @@ class Transaction:
     def to_dict(self) -> list[dict]:
         """A JSON-ready representation (sorted for determinism)."""
         return [e.to_dict() for e in sorted(self._events, key=str)]
+
+    @classmethod
+    def from_dict(cls, payload: Iterable[dict]) -> "Transaction":
+        """Inverse of :meth:`to_dict`."""
+        return cls(Event.from_dict(item) for item in payload)
+
+    def to_text(self) -> str:
+        """The :func:`parse_transaction`-compatible textual form.
+
+        ``parse_transaction(t.to_text()) == t`` for every transaction
+        (the empty transaction renders as ``{}``).
+        """
+        if not self._events:
+            return "{}"
+        return ", ".join(sorted(e.to_text() for e in self._events))
 
     def __str__(self) -> str:
         if not self._events:

@@ -35,6 +35,7 @@ from repro.events.naming import (
     ins_name,
     new_name,
 )
+from repro.obs import tracer as obs
 
 #: One disjunct of a transition rule: an ordered tuple of literals.
 Disjunct = tuple[Literal, ...]
@@ -167,11 +168,16 @@ class TransitionCompiler:
         :class:`TransitionRule` objects carry ``index`` 1..m and the new
         state is their union (they share the ``new$P`` head predicate).
         """
-        grouped: dict[str, list[TransitionRule]] = {}
-        for source in rules:
-            index = len(grouped.get(source.head.predicate, ())) + 1
-            compiled = compile_transition_rule(source, index)
-            grouped.setdefault(source.head.predicate, []).append(compiled)
+        with obs.span("compile.expand") as span:
+            grouped: dict[str, list[TransitionRule]] = {}
+            for source in rules:
+                index = len(grouped.get(source.head.predicate, ())) + 1
+                compiled = compile_transition_rule(source, index)
+                grouped.setdefault(source.head.predicate, []).append(compiled)
+            if obs.enabled():
+                span.add("rules", sum(len(v) for v in grouped.values()))
+                span.add("disjuncts", sum(
+                    len(t.disjuncts) for v in grouped.values() for t in v))
         return {name: tuple(items) for name, items in grouped.items()}
 
     def datalog_rules(self, rules: Iterable[TransitionRule]) -> list[Rule]:

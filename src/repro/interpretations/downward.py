@@ -59,6 +59,7 @@ from repro.events.naming import (
     new_name,
     parse_prefixed,
 )
+from repro.obs import tracer as obs
 
 Row = tuple[Constant, ...]
 
@@ -98,6 +99,21 @@ class Translation:
                                                         key=str)],
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Translation":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            transaction=Transaction.from_dict(payload.get("transaction", [])),
+            constraints=frozenset(Event.from_dict(item)
+                                  for item in payload.get("constraints", [])),
+        )
+
+    def as_conjunct(self) -> tuple[Literal, ...]:
+        """The DNF disjunct this translation came from (event literals)."""
+        positives = [request_of(event) for event in self.transaction]
+        negatives = [request_of(event).negate() for event in self.constraints]
+        return tuple(sorted(positives + negatives, key=str))
+
     def respects_constraints(self, transaction: Transaction) -> bool:
         """True when *transaction* avoids every forbidden event."""
         return not any(forbidden in transaction for forbidden in self.constraints)
@@ -120,6 +136,29 @@ class DownwardStats:
     descents: int = 0
     enumerations: int = 0
     old_queries: int = 0
+    #: Branches cut off by ``on_depth_limit="prune"``.
+    pruned: int = 0
+
+    def snapshot(self) -> "DownwardStats":
+        """A frozen copy (for computing per-stage deltas)."""
+        return DownwardStats(**vars(self))
+
+    def delta_since(self, earlier: "DownwardStats") -> "DownwardStats":
+        """The pointwise difference ``self - earlier``."""
+        return DownwardStats(**{
+            name: value - getattr(earlier, name)
+            for name, value in vars(self).items()
+        })
+
+    def to_counters(self) -> dict[str, int]:
+        """The counters as a plain dict (span/JSON friendly)."""
+        return dict(vars(self))
+
+    def record_to(self, span) -> None:
+        """Add every non-zero counter onto an :mod:`repro.obs` span."""
+        for name, value in vars(self).items():
+            if value:
+                span.add(name, value)
 
 
 @dataclass
@@ -143,12 +182,49 @@ class DownwardResult:
         return tuple(t.transaction for t in self.translations)
 
     def to_dict(self) -> dict:
-        """A JSON-ready representation."""
+        """A JSON-ready representation.
+
+        Request literals use the canonical ``ins P(A)`` textual form, so
+        they round-trip through :func:`repro.events.requests.parse_request`.
+        """
+        from repro.events.requests import request_text
+
         return {
             "satisfiable": self.is_satisfiable,
-            "already_satisfied": [str(l) for l in self.already_satisfied],
+            "requests": [request_text(l) for l in self.requests],
+            "already_satisfied": [request_text(l)
+                                  for l in self.already_satisfied],
             "translations": [t.to_dict() for t in self.translations],
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DownwardResult":
+        """Inverse of :meth:`to_dict` (stats are not carried on the wire).
+
+        The DNF is reconstructed from the translations: satisfiable results
+        without translations were already satisfied (true), unsatisfiable
+        ones have the empty (false) DNF.
+        """
+        from repro.events.requests import parse_request
+
+        translations = tuple(Translation.from_dict(item)
+                             for item in payload.get("translations", []))
+        satisfiable = bool(payload.get("satisfiable", translations))
+        if translations:
+            dnf = FALSE_DNF
+            for translation in translations:
+                dnf = dnf.or_(Dnf.of_conjunct(translation.as_conjunct()))
+        else:
+            dnf = TRUE_DNF if satisfiable else FALSE_DNF
+        return cls(
+            requests=tuple(parse_request(text)
+                           for text in payload.get("requests", [])),
+            dnf=dnf,
+            translations=translations,
+            already_satisfied=tuple(
+                parse_request(text)
+                for text in payload.get("already_satisfied", [])),
+        )
 
     def __str__(self) -> str:
         if not self.translations:
@@ -253,13 +329,26 @@ class DownwardInterpreter:
         self.stats = DownwardStats()
         combined = TRUE_DNF
         satisfied: list[Literal] = []
-        for literal in literals:
-            piece = self._down_request(literal, satisfied)
-            combined = combined.and_(piece)
-            if combined.is_false:
-                break
-        combined = combined.simplified()
-        translations = self._extract_translations(combined)
+        with obs.span("downward.interpret") as span:
+            if obs.enabled():
+                span.add("requests", len(literals))
+            for literal in literals:
+                with obs.span("downward.request") as request_span:
+                    if obs.enabled():
+                        request_span.set(request=str(literal))
+                        before = self.stats.snapshot()
+                    piece = self._down_request(literal, satisfied)
+                    if obs.enabled():
+                        self.stats.delta_since(before).record_to(request_span)
+                        request_span.add("disjuncts", len(piece))
+                combined = combined.and_(piece)
+                if combined.is_false:
+                    break
+            combined = combined.simplified()
+            translations = self._extract_translations(combined)
+            if obs.enabled():
+                self.stats.record_to(span)
+                span.add("translations", len(translations))
         return DownwardResult(
             requests=tuple(literals),
             dnf=combined,
@@ -305,6 +394,7 @@ class DownwardInterpreter:
                        depth: int) -> Dnf:
         if depth > self._options.max_depth:
             if self._options.on_depth_limit == "prune":
+                self.stats.pruned += 1
                 return FALSE_DNF
             raise DepthLimitExceeded(
                 f"downward interpretation exceeded depth {self._options.max_depth}; "

@@ -41,7 +41,7 @@ from repro.datalog.database import DeductiveDatabase
 from repro.datalog.evaluation import BottomUpEvaluator, EvaluationStats
 from repro.datalog.rules import Atom, Literal
 from repro.datalog.stratify import dependency_graph
-from repro.datalog.terms import Constant, Term, Variable
+from repro.datalog.terms import Constant, Term
 from repro.datalog.unification import match_tuple, resolve
 from repro.events.event_rules import EventCompiler, TransitionProgram
 from repro.events.events import Event, Transaction
@@ -53,6 +53,7 @@ from repro.events.naming import (
     ins_name,
 )
 from repro.events.transition import disjunct_has_positive_event
+from repro.obs import tracer as obs
 
 
 def _delta_first(literals) -> list:
@@ -136,17 +137,24 @@ class UpwardResult:
 
     def to_dict(self) -> dict:
         """A JSON-ready representation."""
-        def rows(mapping):
-            return {
-                predicate: sorted([t.value for t in row] for row in items)
-                for predicate, items in sorted(mapping.items())
-            }
+        from repro.serde import rows_to_lists
 
         return {
             "transaction": self.transaction.to_dict(),
-            "insertions": rows(self.insertions),
-            "deletions": rows(self.deletions),
+            "insertions": rows_to_lists(self.insertions),
+            "deletions": rows_to_lists(self.deletions),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "UpwardResult":
+        """Inverse of :meth:`to_dict` (stats are not carried on the wire)."""
+        from repro.serde import rows_from_lists
+
+        return cls(
+            insertions=rows_from_lists(payload.get("insertions", {})),
+            deletions=rows_from_lists(payload.get("deletions", {})),
+            transaction=Transaction.from_dict(payload.get("transaction", [])),
+        )
 
     def __str__(self) -> str:
         rendered = sorted(str(e) for e in self.events())
@@ -297,14 +305,23 @@ class UpwardInterpreter:
         transaction.check_base_only(self._db)
         if self._options.normalize:
             transaction = transaction.normalized(self._db)
-        if self._options.strategy == "flat":
-            result = self._interpret_flat(transaction)
-            if predicates is not None:
-                result = result.restricted_to(predicates)
-            return result
-        if self._options.strategy == "hybrid":
-            return self._interpret_hybrid(transaction, predicates)
-        raise ValueError(f"unknown upward strategy: {self._options.strategy!r}")
+        with obs.span("upward.interpret") as span:
+            if obs.enabled():
+                span.set(strategy=self._options.strategy)
+                span.add("transaction_events", len(transaction))
+            if self._options.strategy == "flat":
+                result = self._interpret_flat(transaction)
+                if predicates is not None:
+                    result = result.restricted_to(predicates)
+            elif self._options.strategy == "hybrid":
+                result = self._interpret_hybrid(transaction, predicates)
+            else:
+                raise ValueError(
+                    f"unknown upward strategy: {self._options.strategy!r}")
+            if obs.enabled():
+                result.stats.record_to(span)
+                span.add("induced_events", len(result.events()))
+        return result
 
     def holds_after(self, predicate: str, row: Row,
                     transaction: Transaction) -> bool:
@@ -349,11 +366,15 @@ class UpwardInterpreter:
     def _ensure_old_state(self) -> None:
         if self._old_evaluator is not None:
             return
-        self._old_evaluator = BottomUpEvaluator(
-            self._db, self._program.source_rules,
-            semi_naive=self._options.semi_naive,
-        )
-        materialization = self._old_evaluator.materialize()
+        with obs.span("upward.old_state") as span:
+            self._old_evaluator = BottomUpEvaluator(
+                self._db, self._program.source_rules,
+                semi_naive=self._options.semi_naive,
+            )
+            materialization = self._old_evaluator.materialize()
+            if obs.enabled():
+                span.add("derived_rows", sum(
+                    len(rows) for rows in materialization.derived.values()))
         self._old_view = OldStateView(self._db, materialization.derived)
 
     # -- flat strategy -------------------------------------------------------------
@@ -419,12 +440,21 @@ class UpwardInterpreter:
         for scc in self._derived_sccs():
             if relevant is not None and not (scc & relevant):
                 continue
-            if scc & recursive:
-                scc_ins, scc_del = self._recompute_scc(scc, new_view, stats)
-            else:
-                scc_ins, scc_del = self._incremental_scc(
-                    scc, transition_view, new_view, stats
-                )
+            with obs.span("upward.scc") as scc_span:
+                if scc & recursive:
+                    scc_ins, scc_del = self._recompute_scc(scc, new_view, stats)
+                    mode = "recompute"
+                else:
+                    scc_ins, scc_del = self._incremental_scc(
+                        scc, transition_view, new_view, stats
+                    )
+                    mode = "incremental"
+                if obs.enabled():
+                    scc_span.set(mode=mode, predicates=sorted(scc))
+                    scc_span.add("insertions", sum(
+                        len(rows) for rows in scc_ins.values()))
+                    scc_span.add("deletions", sum(
+                        len(rows) for rows in scc_del.values()))
             for predicate in scc:
                 old_rows = self._old_evaluator.extension(predicate)
                 ins_rows = frozenset(scc_ins.get(predicate, frozenset()))

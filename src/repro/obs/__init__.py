@@ -1,0 +1,66 @@
+"""repro.obs -- lightweight end-to-end execution tracing.
+
+A context-var span stack with a ~zero-cost no-op path when disabled.  The
+instrumented stages (see docs/OBSERVABILITY.md for the full span table):
+
+==========================  ==================================================
+span name                   where
+==========================  ==================================================
+``compile.transition``      :class:`repro.events.event_rules.EventCompiler`
+``compile.expand``          transition-rule expansion (§3.2)
+``eval.materialize``        bottom-up materialisation of a program
+``eval.stratum``            one stratum's fixpoint (iterations, delta sizes)
+``upward.interpret``        one upward interpretation (§4.1)
+``upward.old_state``        old-state materialisation (amortised)
+``upward.scc``              one derived SCC (incremental or recompute)
+``downward.interpret``      one downward interpretation (§4.2)
+``downward.request``        one request literal's search (nodes, prunes)
+``engine.commit_batch``     one group commit (batch size, lock wait)
+``engine.fsync``            one WAL fsync
+``request.<op>``            one server request end to end
+==========================  ==================================================
+
+Enable with :func:`enable` / the ``REPRO_TRACE`` environment variable /
+``repro serve --trace``; inspect with :meth:`Tracer.aggregates`, the
+extended ``stats`` protocol op, or the ``repro trace`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.histogram import LATENCY_BUCKETS, LatencyHistogram
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    add,
+    current_span,
+    disable,
+    enable,
+    enabled,
+    format_span,
+    get_tracer,
+    span,
+    use,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "LatencyHistogram",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "add",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "format_span",
+    "get_tracer",
+    "span",
+    "use",
+]
+
+if os.environ.get("REPRO_TRACE"):  # pragma: no cover - env-dependent
+    enable()

@@ -1,0 +1,90 @@
+"""Fixed-bucket latency histograms shared by metrics and tracing.
+
+One implementation serves both the per-request metrics of
+:mod:`repro.server.metrics` and the per-span aggregates of
+:mod:`repro.obs.tracer`, so the ``stats`` protocol op reports the same
+bucket layout everywhere and clients can merge histograms from either
+source.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: Histogram bucket upper bounds, in seconds (plus a catch-all overflow).
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with bucket-bound quantile estimates."""
+
+    __slots__ = ("_counts", "count", "total_seconds", "max_seconds")
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(LATENCY_BUCKETS) + 1)
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self._counts[bisect_left(LATENCY_BUCKETS, seconds)] += 1
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket observation counts (last entry is the overflow bucket)."""
+        return list(self._counts)
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the q-quantile observation."""
+        if not self.count:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.5))
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index < len(LATENCY_BUCKETS):
+                    return LATENCY_BUCKETS[index]
+                return self.max_seconds
+        return self.max_seconds
+
+    def to_dict(self, buckets: bool = False) -> dict:
+        payload = {
+            "count": self.count,
+            "total_seconds": round(self.total_seconds, 6),
+            "mean_seconds": round(self.total_seconds / self.count, 6)
+            if self.count else 0.0,
+            "max_seconds": round(self.max_seconds, 6),
+            "p50_seconds": self.quantile(0.50),
+            "p95_seconds": self.quantile(0.95),
+            "p99_seconds": self.quantile(0.99),
+        }
+        if buckets:
+            payload["buckets"] = self.bucket_counts()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LatencyHistogram":
+        """Rebuild a histogram from a ``to_dict(buckets=True)`` payload.
+
+        Quantiles are bucket-bound estimates, so a rebuilt histogram
+        reports the same ``p50``/``p95``/``p99`` as the original.
+        """
+        histogram = cls()
+        buckets = payload.get("buckets")
+        if buckets is not None:
+            if len(buckets) != len(histogram._counts):
+                raise ValueError(
+                    f"expected {len(histogram._counts)} buckets, "
+                    f"got {len(buckets)}")
+            histogram._counts = [int(b) for b in buckets]
+        histogram.count = int(payload.get("count", sum(histogram._counts)))
+        histogram.total_seconds = float(payload.get("total_seconds", 0.0))
+        histogram.max_seconds = float(payload.get("max_seconds", 0.0))
+        return histogram

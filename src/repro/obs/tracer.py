@@ -1,0 +1,312 @@
+"""Execution tracing: a context-var span stack with a no-op fast path.
+
+The interpretations are search/fixpoint procedures whose cost structure --
+transition-rule expansion, stratum-by-stratum evaluation, downward
+branching, group-commit batching -- is invisible from wall-clock timings
+alone.  This module gives every stage a *span*: a named, timed scope
+carrying numeric counters (rows derived, delta sizes, search nodes, fsync
+latency).  Spans nest through a :class:`contextvars.ContextVar`, so
+concurrent engine writers each see their own stack.
+
+Tracing is off by default and costs ~nothing when off:
+:func:`span` returns a shared no-op context manager without allocating,
+and :func:`add` is a dict lookup plus a falsy check.  Instrumented code is
+therefore free to call these unconditionally on every stage boundary (but
+must keep them *off* per-tuple hot loops; guard any expensive attribute
+computation with :func:`enabled`).
+
+Enable tracing with :func:`enable`, or scoped with :func:`use`::
+
+    with obs.use() as tracer:
+        processor.upward(transaction)
+    print(tracer.aggregates()["spans"]["eval.stratum"]["count"])
+
+Setting the ``REPRO_TRACE`` environment variable (to anything non-empty)
+enables a process-wide tracer at import time -- the hook used by the CI
+benchmark smoke job and ``repro serve --trace``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+from repro.obs.histogram import LATENCY_BUCKETS, LatencyHistogram
+
+
+class Span:
+    """One timed, named scope with numeric counters and nested children."""
+
+    __slots__ = ("name", "attributes", "counters", "children", "elapsed",
+                 "_start")
+
+    def __init__(self, name: str, attributes: dict | None = None):
+        self.name = name
+        self.attributes: dict = attributes or {}
+        self.counters: dict[str, float] = {}
+        self.children: list[Span] = []
+        self.elapsed: float = 0.0
+        self._start: float = 0.0
+
+    def set(self, **attributes) -> None:
+        """Attach descriptive attributes (not aggregated, shown per trace)."""
+        self.attributes.update(attributes)
+
+    def add(self, counter: str, amount: float = 1) -> None:
+        """Bump a numeric counter (summed into the tracer's aggregates)."""
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def to_dict(self) -> dict:
+        """A JSON-ready representation of this span's subtree."""
+        payload: dict = {"name": self.name,
+                         "seconds": round(self.elapsed, 6)}
+        if self.attributes:
+            payload["attributes"] = {k: _jsonable(v)
+                                     for k, v in self.attributes.items()}
+        if self.counters:
+            payload["counters"] = dict(sorted(self.counters.items()))
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sorted(str(v) for v in value)
+    return str(value)
+
+
+class _NullSpan:
+    """The shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+    name = ""
+    elapsed = 0.0
+
+    def set(self, **attributes) -> None:
+        pass
+
+    def add(self, counter: str, amount: float = 1) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+#: The singleton returned by :func:`span` when tracing is disabled.
+NULL_SPAN = _NullSpan()
+
+#: Per-context stack of open spans (a tuple: cheap to extend, never shared
+#: mutably across contexts).  Threads each start from the empty default.
+_stack: ContextVar[tuple] = ContextVar("repro_obs_spans", default=())
+
+
+class _SpanScope:
+    """Context manager for one live span (only allocated while enabled)."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _stack.set(_stack.get() + (self._span,))
+        self._span._start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc_info) -> bool:
+        span = self._span
+        span.elapsed = time.perf_counter() - span._start
+        if self._token is not None:
+            _stack.reset(self._token)
+        stack = _stack.get()
+        self._tracer._finish(span, stack[-1] if stack else None)
+        return False
+
+
+class _Aggregate:
+    __slots__ = ("histogram", "counters")
+
+    def __init__(self) -> None:
+        self.histogram = LatencyHistogram()
+        self.counters: dict[str, float] = {}
+
+
+class Tracer:
+    """Collects finished spans into per-name aggregates.
+
+    Thread-safe: spans from any thread aggregate into one registry.  The
+    last finished *root* span (one with no parent) is kept on
+    :attr:`last_root` for trace printing (``repro trace``, the slow-op
+    log); non-root spans are attached to their parent's ``children``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._aggregates: dict[str, _Aggregate] = {}
+        self.last_root: Span | None = None
+
+    def span(self, name: str, **attributes) -> _SpanScope:
+        """Open a span; use as a context manager."""
+        return _SpanScope(self, Span(name, attributes or None))
+
+    def _finish(self, span: Span, parent: Span | None) -> None:
+        if parent is not None:
+            parent.children.append(span)
+        with self._lock:
+            entry = self._aggregates.get(span.name)
+            if entry is None:
+                entry = self._aggregates[span.name] = _Aggregate()
+            entry.histogram.observe(span.elapsed)
+            for counter, amount in span.counters.items():
+                entry.counters[counter] = entry.counters.get(counter, 0) + amount
+            if parent is None:
+                self.last_root = span
+
+    # -- reading ---------------------------------------------------------------
+
+    def count(self, name: str) -> int:
+        """How many spans of *name* finished."""
+        with self._lock:
+            entry = self._aggregates.get(name)
+            return entry.histogram.count if entry else 0
+
+    def counter(self, name: str, counter: str) -> float:
+        """Aggregated value of one counter of one span name (0 when absent)."""
+        with self._lock:
+            entry = self._aggregates.get(name)
+            return entry.counters.get(counter, 0) if entry else 0
+
+    def aggregates(self) -> dict:
+        """A JSON-ready snapshot: per-span-name histograms and counters.
+
+        ``bucket_bounds`` gives the shared bucket upper bounds; each span's
+        ``buckets`` lists observation counts per bucket (plus overflow), so
+        histograms survive the wire intact.
+        """
+        with self._lock:
+            spans = {}
+            for name, entry in sorted(self._aggregates.items()):
+                payload = entry.histogram.to_dict(buckets=True)
+                if entry.counters:
+                    payload["counters"] = {
+                        k: round(v, 9) if isinstance(v, float) else v
+                        for k, v in sorted(entry.counters.items())
+                    }
+                spans[name] = payload
+        return {"bucket_bounds": list(LATENCY_BUCKETS), "spans": spans}
+
+    def reset(self) -> None:
+        """Drop every aggregate and the last root."""
+        with self._lock:
+            self._aggregates.clear()
+            self.last_root = None
+
+
+# -- module-level switchboard --------------------------------------------------
+
+_active: Tracer | None = None
+
+
+def enabled() -> bool:
+    """True when a tracer is installed."""
+    return _active is not None
+
+
+def get_tracer() -> Tracer | None:
+    """The installed tracer, or None while disabled."""
+    return _active
+
+
+def enable(tracer: Tracer | None = None) -> Tracer:
+    """Install (and return) a process-wide tracer."""
+    global _active
+    _active = tracer or Tracer()
+    return _active
+
+
+def disable() -> Tracer | None:
+    """Uninstall the tracer; returns it for post-hoc reading."""
+    global _active
+    tracer, _active = _active, None
+    return tracer
+
+
+@contextmanager
+def use(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Scoped tracing: install a tracer, restore the previous one on exit."""
+    global _active
+    previous = _active
+    installed = tracer or Tracer()
+    _active = installed
+    try:
+        yield installed
+    finally:
+        _active = previous
+
+
+def span(name: str, **attributes):
+    """Open a span on the current tracer (or the shared no-op when off).
+
+    The disabled path allocates nothing: the kwargs dict is the only cost,
+    so call sites on very hot paths should pass none and :meth:`Span.set`
+    attributes behind an :func:`enabled` guard instead.
+    """
+    tracer = _active
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attributes)
+
+
+def current_span() -> Span | _NullSpan:
+    """The innermost open span of this context (no-op span when none)."""
+    if _active is None:
+        return NULL_SPAN
+    stack = _stack.get()
+    return stack[-1] if stack else NULL_SPAN
+
+
+def add(counter: str, amount: float = 1) -> None:
+    """Bump a counter on the innermost open span (no-op when disabled)."""
+    if _active is not None:
+        stack = _stack.get()
+        if stack:
+            stack[-1].add(counter, amount)
+
+
+# -- rendering -----------------------------------------------------------------
+
+def format_span(span_: Span, indent: int = 0) -> str:
+    """Render a span tree as an indented per-stage breakdown."""
+    lines: list[str] = []
+    _format_into(span_, indent, lines)
+    return "\n".join(lines)
+
+
+def _format_into(span_: Span, depth: int, lines: list[str]) -> None:
+    detail: list[str] = []
+    for key, value in sorted(span_.attributes.items()):
+        detail.append(f"{key}={_jsonable(value)}")
+    for key, value in sorted(span_.counters.items()):
+        if isinstance(value, float) and not value.is_integer():
+            detail.append(f"{key}={value:.6f}")
+        else:
+            detail.append(f"{key}={int(value)}")
+    suffix = ("  [" + " ".join(detail) + "]") if detail else ""
+    lines.append(f"{'  ' * depth}{span_.name:<24s} "
+                 f"{span_.elapsed * 1e3:9.3f} ms{suffix}")
+    for child in span_.children:
+        _format_into(child, depth + 1, lines)

@@ -56,6 +56,27 @@ class ConditionChanges:
             return not self.activated and not self.deactivated
         return condition not in self.activated and condition not in self.deactivated
 
+    def to_dict(self) -> dict:
+        """A JSON-ready representation (the ``monitor`` wire shape)."""
+        from repro.serde import rows_to_lists
+
+        return {
+            "activated": rows_to_lists(self.activated),
+            "deactivated": rows_to_lists(self.deactivated),
+            "transaction": self.transaction.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ConditionChanges":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serde import rows_from_lists
+
+        return cls(
+            activated=rows_from_lists(payload.get("activated", {})),
+            deactivated=rows_from_lists(payload.get("deactivated", {})),
+            transaction=Transaction.from_dict(payload.get("transaction", [])),
+        )
+
     def __str__(self) -> str:
         def render(sign: str, condition: str, row) -> str:
             if not row:

@@ -63,6 +63,27 @@ class ICCheckResult:
         """Names of the violated ``IcN`` predicates, sorted."""
         return tuple(sorted(self.violations))
 
+    def to_dict(self) -> dict:
+        """A JSON-ready representation (the ``check`` wire shape)."""
+        from repro.serde import rows_to_lists
+
+        return {
+            "ok": self.ok,
+            "violations": rows_to_lists(self.violations),
+            "transaction": self.transaction.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ICCheckResult":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serde import rows_from_lists
+
+        return cls(
+            ok=bool(payload.get("ok")),
+            violations=rows_from_lists(payload.get("violations", {})),
+            transaction=Transaction.from_dict(payload.get("transaction", [])),
+        )
+
     def __str__(self) -> str:
         if self.ok:
             return "consistent"

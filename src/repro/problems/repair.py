@@ -55,6 +55,27 @@ class RepairResult:
         """True when at least one repair exists."""
         return bool(self.repairs)
 
+    def to_dict(self) -> dict:
+        """A JSON-ready representation (the ``repair`` wire shape)."""
+        return {
+            "repairable": self.is_repairable,
+            "repairs": [t.to_dict() for t in self.repairs],
+            "unverified": [t.to_dict() for t in self.unverified],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RepairResult":
+        """Inverse of :meth:`to_dict` (the downward DNF is reconstructed)."""
+        repairs = tuple(Translation.from_dict(item)
+                        for item in payload.get("repairs", []))
+        unverified = tuple(Translation.from_dict(item)
+                           for item in payload.get("unverified", []))
+        downward = DownwardResult.from_dict({
+            "satisfiable": bool(repairs or unverified),
+            "translations": [t.to_dict() for t in repairs + unverified],
+        })
+        return cls(downward, repairs, unverified)
+
     def __str__(self) -> str:
         if not self.repairs:
             return "no repair found"

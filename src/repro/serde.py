@@ -1,0 +1,29 @@
+"""Shared JSON (de)serialisation helpers for result and request types.
+
+Every result class carries symmetric ``to_dict()`` / ``from_dict()``
+methods; the row-mapping helpers here keep their wire shape identical
+across the upward results, integrity checks and condition monitors:
+``{"P": [["A"], ["B", "C"]]}`` -- predicate to sorted lists of constant
+values.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.datalog.terms import Constant
+
+Row = tuple[Constant, ...]
+
+
+def rows_to_lists(mapping: Mapping[str, frozenset[Row]]) -> dict:
+    """``{predicate: rows}`` with constant rows as sorted JSON lists."""
+    return {predicate: sorted([t.value for t in row] for row in rows)
+            for predicate, rows in sorted(mapping.items())}
+
+
+def rows_from_lists(payload: Mapping[str, list]) -> dict[str, frozenset[Row]]:
+    """Inverse of :func:`rows_to_lists`."""
+    return {predicate: frozenset(tuple(Constant(value) for value in row)
+                                 for row in rows)
+            for predicate, rows in payload.items()}

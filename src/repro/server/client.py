@@ -13,6 +13,7 @@ from typing import Iterable
 
 from repro.datalog.errors import DatalogError
 from repro.events.events import Transaction
+from repro.requests import UpdateRequest
 from repro.server import protocol
 
 
@@ -67,6 +68,11 @@ class DatabaseClient:
                 f"response id {response.id!r} does not match "
                 f"request id {self._next_id!r}")
         return response.result or {}
+
+    def send(self, request: UpdateRequest) -> dict:
+        """Send one typed :class:`~repro.requests.UpdateRequest`."""
+        wire = request.to_wire()
+        return self.call(wire["op"], **wire.get("params", {}))
 
     def close(self) -> None:
         try:

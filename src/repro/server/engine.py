@@ -39,6 +39,7 @@ Concurrency model
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
@@ -47,6 +48,7 @@ from repro.core.durable import DurableDatabase
 from repro.core.processor import UpdateProcessor
 from repro.datalog.errors import DatalogError, TransactionError
 from repro.events.events import Transaction
+from repro.obs import tracer as obs
 from repro.problems import ICCheckResult
 from repro.problems.base import StateError
 from repro.server.metrics import MetricsRegistry
@@ -54,6 +56,16 @@ from repro.server.metrics import MetricsRegistry
 
 class EngineClosedError(DatalogError):
     """Raised when a request reaches an engine after :meth:`close`."""
+
+
+class ConflictDeferralTimeout(DatalogError):
+    """A ``commit(timeout=...)`` expired before its batch acknowledged it.
+
+    When the entry could be withdrawn from the pending queue the
+    transaction was definitely **not** applied; when a batch leader had
+    already claimed it, it *may still be applied* -- the message says
+    which, and callers should re-query before retrying in the latter case.
+    """
 
 
 class RWLock:
@@ -113,6 +125,37 @@ class CommitOutcome:
     check: ICCheckResult | None = None
     #: Repair events added by the ``maintain`` policy.
     repairs: Transaction | None = None
+
+    def to_dict(self) -> dict:
+        """A JSON-ready representation (the ``commit`` wire shape)."""
+        payload: dict = {
+            "applied": self.applied,
+            "effective": self.effective.to_dict(),
+        }
+        if self.check is not None:
+            payload["check"] = self.check.to_dict()
+        if self.repairs is not None:
+            payload["repairs"] = self.repairs.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CommitOutcome":
+        """Inverse of :meth:`to_dict`.
+
+        The requested transaction is not carried on the wire; the effective
+        one stands in for it.
+        """
+        effective = Transaction.from_dict(payload.get("effective", []))
+        check = payload.get("check")
+        repairs = payload.get("repairs")
+        return cls(
+            applied=bool(payload.get("applied")),
+            requested=effective,
+            effective=effective,
+            check=ICCheckResult.from_dict(check) if check is not None else None,
+            repairs=(Transaction.from_dict(repairs)
+                     if repairs is not None else None),
+        )
 
     def __bool__(self) -> bool:
         return self.applied
@@ -297,31 +340,73 @@ class DatabaseEngine:
                 "max_batch": self._max_batch,
                 "on_violation": self._policy,
             }
-        return {"engine": engine, **self.metrics.snapshot()}
+        snapshot = {"engine": engine, **self.metrics.snapshot()}
+        tracer = obs.get_tracer()
+        if tracer is not None:
+            snapshot["tracing"] = tracer.aggregates()
+        return snapshot
 
     # -- write requests --------------------------------------------------------
 
     def commit(self, transaction: Transaction,
-               on_violation: str | None = None) -> CommitOutcome:
+               on_violation: str | None = None,
+               timeout: float | None = None) -> CommitOutcome:
         """Durably commit a transaction; blocks until its batch is synced.
 
         Concurrent callers are batched automatically: whichever thread
         reaches the batch lock first commits every compatible pending
         transaction in one group.
+
+        With a *timeout* (seconds), waiting for the batch is bounded:
+        expiry raises :class:`ConflictDeferralTimeout`.  An entry still in
+        the pending queue at expiry is withdrawn (definitely not applied);
+        one already claimed by a batch leader may still be applied -- the
+        exception message distinguishes the two cases.
         """
         self._ensure_open()
         with self.metrics.time("commit"):
             entry = _Pending(transaction, on_violation or self._policy)
             with self._pending_lock:
                 self._pending.append(entry)
-            with self._batch_lock:
-                if not entry.done.is_set():
-                    self._drain()
-            entry.done.wait()
+            if timeout is None:
+                with self._batch_lock:
+                    if not entry.done.is_set():
+                        self._drain()
+                entry.done.wait()
+            else:
+                deadline = time.monotonic() + timeout
+                if self._batch_lock.acquire(timeout=timeout):
+                    try:
+                        if not entry.done.is_set():
+                            self._drain()
+                    finally:
+                        self._batch_lock.release()
+                if not entry.done.wait(max(0.0, deadline - time.monotonic())):
+                    self._withdraw(entry, timeout)
         if entry.error is not None:
             raise entry.error
         assert entry.outcome is not None
         return entry.outcome
+
+    def _withdraw(self, entry: _Pending, timeout: float) -> None:
+        """Give up on a timed-out pending commit (see :meth:`commit`)."""
+        with self._pending_lock:
+            if not entry.done.is_set() and entry in self._pending:
+                # Still queued: no leader owns it, withdrawal is exact.
+                self._pending.remove(entry)
+                self.metrics.increment("commit.deferral_timeouts")
+                entry.finish(error=ConflictDeferralTimeout(
+                    f"commit timed out after {timeout:g}s waiting for its "
+                    "batch; the transaction was withdrawn and NOT applied"))
+                return
+        # A leader already claimed the entry; give it a short grace period
+        # (it is usually mid-fsync), then report the undecided state.
+        if not entry.done.wait(min(timeout, 0.05)):
+            self.metrics.increment("commit.deferral_timeouts")
+            raise ConflictDeferralTimeout(
+                f"commit timed out after {timeout:g}s but a batch leader "
+                "already claimed the transaction; it may still be applied "
+                "-- re-query before retrying")
 
     def commit_many(self, transactions: Iterable[Transaction],
                     on_violation: str | None = None,
@@ -389,47 +474,63 @@ class DatabaseEngine:
 
     def _commit_batch(self, batch: list[_Pending]) -> None:
         self.metrics.increment("commit.batches")
-        with self._rwlock.write(), self._interp_lock:
-            db = self.db
-            # Per-entry validation: one bad transaction must not sink its
-            # batch mates.
-            valid: list[_Pending] = []
-            for entry in batch:
-                try:
-                    entry.transaction.check_base_only(db)
-                    valid.append(entry)
-                except TransactionError as error:
-                    entry.finish(error=error)
-            if not valid:
-                return
-            if self._group_commit(valid):
-                return
-            # Slow path: a violation (or a non-reject policy) somewhere in
-            # the batch -- process sequentially through the shared checked
-            # path, still paying one fsync for the whole batch.  Entries
-            # whose events reached the log are acknowledged only after
-            # sync_log(): waking a waiter before the fsync would let the
-            # server confirm a commit a crash could still lose.  If
-            # sync_log raises, _drain fails every unfinished entry.
-            applied: list[tuple[_Pending, CommitOutcome]] = []
-            for entry in valid:
-                try:
-                    outcome = checked_commit(
-                        self._processor, entry.transaction,
-                        lambda t: self._store.commit(t, sync=False),
-                        on_violation=entry.policy)
-                except DatalogError as error:
-                    entry.finish(error=error)
-                    continue
-                if outcome.applied and outcome.effective.events:
-                    applied.append((entry, outcome))
-                else:
-                    entry.finish(outcome=outcome)
-            if applied:
-                self._store.sync_log()
-                self.metrics.increment("commit.wal_syncs")
-            for entry, outcome in applied:
+        with obs.span("engine.commit_batch") as span:
+            lock_start = time.perf_counter()
+            with self._rwlock.write(), self._interp_lock:
+                if obs.enabled():
+                    span.add("batch_size", len(batch))
+                    span.add("lock_wait_seconds",
+                             time.perf_counter() - lock_start)
+                self._commit_batch_locked(batch, span)
+
+    def _commit_batch_locked(self, batch: list[_Pending], span) -> None:
+        db = self.db
+        # Per-entry validation: one bad transaction must not sink its
+        # batch mates.
+        valid: list[_Pending] = []
+        for entry in batch:
+            try:
+                entry.transaction.check_base_only(db)
+                valid.append(entry)
+            except TransactionError as error:
+                entry.finish(error=error)
+        if not valid:
+            return
+        if self._group_commit(valid):
+            span.set(path="group")
+            return
+        span.set(path="serial")
+        # Slow path: a violation (or a non-reject policy) somewhere in
+        # the batch -- process sequentially through the shared checked
+        # path, still paying one fsync for the whole batch.  Entries
+        # whose events reached the log are acknowledged only after
+        # sync_log(): waking a waiter before the fsync would let the
+        # server confirm a commit a crash could still lose.  If
+        # sync_log raises, _drain fails every unfinished entry.
+        applied: list[tuple[_Pending, CommitOutcome]] = []
+        for entry in valid:
+            try:
+                outcome = checked_commit(
+                    self._processor, entry.transaction,
+                    lambda t: self._store.commit(t, sync=False),
+                    on_violation=entry.policy)
+            except DatalogError as error:
+                entry.finish(error=error)
+                continue
+            if outcome.applied and outcome.effective.events:
+                applied.append((entry, outcome))
+            else:
                 entry.finish(outcome=outcome)
+        if applied:
+            self._sync_log()
+        for entry, outcome in applied:
+            entry.finish(outcome=outcome)
+
+    def _sync_log(self) -> None:
+        """One WAL fsync, traced and counted."""
+        with obs.span("engine.fsync"):
+            self._store.sync_log()
+        self.metrics.increment("commit.wal_syncs")
 
     def _group_commit(self, batch: list[_Pending]) -> bool:
         """Fast path: shared-state checks, one fsync.  False -> slow path.
@@ -478,8 +579,7 @@ class DatabaseEngine:
             outcomes.append((entry, CommitOutcome(
                 True, entry.transaction, effective, checks.get(index))))
         if synced:
-            self._store.sync_log()
-            self.metrics.increment("commit.wal_syncs")
+            self._sync_log()
         self._processor.invalidate_state_caches()
         # Acknowledge strictly after the fsync: a waiter woken earlier
         # could see a successful commit a crash then loses.  If sync_log

@@ -10,54 +10,54 @@ Response::
     {"v": 1, "id": 7, "ok": false, "error": {"type": "parse", "message": "..."}}
 
 The request types map 1:1 onto the Table 4.1 problems exposed by
-:class:`~repro.core.processor.UpdateProcessor`:
+:class:`~repro.core.processor.UpdateProcessor`; each is a typed
+:class:`~repro.requests.UpdateRequest` subclass (see :mod:`repro.requests`
+for the op table).  ``shutdown`` is the one control op the server
+intercepts before dispatch.
 
-==========  ==============================================================
-op          meaning
-==========  ==============================================================
-hello       version/identity handshake
-ping        liveness probe
-query       evaluate a goal in the current state
-upward      induced derived events of a transaction (Section 4 upward)
-check       integrity constraint checking (5.1.1)
-monitor     condition monitoring (5.1.2)
-downward    view updating / downward interpretation (5.2.x)
-repair      candidate repairs of an inconsistent database (5.2.3)
-commit      checked, durable, group-committed transaction execution
-stats       engine + per-request-type metrics snapshot
-checkpoint  fold the WAL into a fresh snapshot
-shutdown    graceful server shutdown (handled by the server, not here)
-==========  ==============================================================
-
-:func:`dispatch` executes one decoded request against a
-:class:`~repro.server.engine.DatabaseEngine`; the asyncio server, the
-blocking client's tests and in-process callers all share it, so wire
-semantics cannot drift from engine semantics.
+:func:`dispatch` deserialises one decoded request into its typed form and
+executes it against a :class:`~repro.server.engine.DatabaseEngine`; the
+asyncio server, the blocking client's tests and in-process callers all
+share it, so wire semantics cannot drift from engine semantics.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Callable
 
 from repro.datalog.errors import (
     ArityError,
     ComplexityLimitExceeded,
     DatalogError,
+    DepthLimitExceeded,
+    DomainError,
     ParseError,
+    SafetyError,
+    StratificationError,
     TransactionError,
     UnknownPredicateError,
 )
-from repro.events.events import parse_transaction
-from repro.events.requests import parse_request
 from repro.problems.base import StateError
-from repro.server.engine import CommitOutcome, DatabaseEngine, EngineClosedError
+from repro.requests import REQUEST_TYPES, UpdateRequest, WireFormatError
+from repro.server.engine import (
+    ConflictDeferralTimeout,
+    DatabaseEngine,
+    EngineClosedError,
+)
 
 PROTOCOL_VERSION = 1
 
 #: Ops the server intercepts before dispatch (they act on the server itself).
 CONTROL_OPS = ("shutdown",)
+
+#: Every op :func:`dispatch` understands.
+REQUEST_OPS = tuple(sorted(REQUEST_TYPES))
+
+
+def known_ops() -> list[str]:
+    """Every op a server answers (dispatchable + control), sorted."""
+    return sorted(REQUEST_OPS + CONTROL_OPS)
 
 
 class ProtocolError(DatalogError):
@@ -146,12 +146,18 @@ def decode_response(line: str | bytes) -> Response:
 
 _ERROR_TYPES: tuple[tuple[type[BaseException], str], ...] = (
     (ProtocolError, "protocol"),
+    (WireFormatError, "protocol"),
     (ParseError, "parse"),
     (TransactionError, "transaction"),
     (StateError, "state"),
     (UnknownPredicateError, "unknown-predicate"),
     (ArityError, "arity"),
+    (SafetyError, "safety"),
+    (StratificationError, "stratification"),
+    (DomainError, "domain"),
     (ComplexityLimitExceeded, "complexity"),
+    (DepthLimitExceeded, "depth-limit"),
+    (ConflictDeferralTimeout, "conflict-timeout"),
     (EngineClosedError, "closed"),
     (DatalogError, "datalog"),
 )
@@ -177,170 +183,27 @@ def error_response(request_id, error: BaseException | str,
         "type": error_type or "internal", "message": error})
 
 
-# -- result serialisation ------------------------------------------------------
+# -- dispatch ------------------------------------------------------------------
 
-def _rows_to_lists(mapping) -> dict:
-    return {predicate: sorted([t.value for t in row] for row in rows)
-            for predicate, rows in sorted(mapping.items())}
-
-
-def check_result_to_dict(result) -> dict:
-    return {
-        "ok": result.ok,
-        "violations": _rows_to_lists(result.violations),
-        "transaction": result.transaction.to_dict(),
-    }
-
-
-def monitor_result_to_dict(changes) -> dict:
-    return {
-        "activated": _rows_to_lists(changes.activated),
-        "deactivated": _rows_to_lists(changes.deactivated),
-        "transaction": changes.transaction.to_dict(),
-    }
-
-
-def repair_result_to_dict(result) -> dict:
-    return {
-        "repairable": result.is_repairable,
-        "repairs": [t.to_dict() for t in result.repairs],
-        "unverified": [t.to_dict() for t in result.unverified],
-    }
-
-
-def commit_outcome_to_dict(outcome: CommitOutcome) -> dict:
-    payload: dict = {
-        "applied": outcome.applied,
-        "effective": outcome.effective.to_dict(),
-    }
-    if outcome.check is not None:
-        payload["check"] = check_result_to_dict(outcome.check)
-    if outcome.repairs is not None:
-        payload["repairs"] = outcome.repairs.to_dict()
-    return payload
-
-
-# -- parameter helpers ---------------------------------------------------------
-
-def _string_param(params: dict, name: str) -> str:
-    value = params.get(name)
-    if not isinstance(value, str) or not value.strip():
-        raise ProtocolError(f"'{name}' must be a non-empty string")
-    return value
-
-
-def _transaction_param(params: dict):
-    return parse_transaction(_string_param(params, "transaction"))
-
-
-# -- handlers ------------------------------------------------------------------
-
-def _handle_hello(engine: DatabaseEngine, params: dict) -> dict:
-    return {"server": "repro", "version": PROTOCOL_VERSION,
-            "ops": sorted(REQUEST_OPS + CONTROL_OPS)}
-
-
-def _handle_ping(engine: DatabaseEngine, params: dict) -> dict:
-    return {"pong": True}
-
-
-def _handle_query(engine: DatabaseEngine, params: dict) -> dict:
-    answers = engine.query(_string_param(params, "goal"))
-    return {"answers": [list(row) for row in answers]}
-
-
-def _handle_upward(engine: DatabaseEngine, params: dict) -> dict:
-    predicates = params.get("predicates")
-    if predicates is not None and (
-            not isinstance(predicates, list)
-            or not all(isinstance(p, str) for p in predicates)):
-        raise ProtocolError("'predicates' must be a list of strings")
-    return engine.upward(_transaction_param(params), predicates).to_dict()
-
-
-def _handle_check(engine: DatabaseEngine, params: dict) -> dict:
-    return check_result_to_dict(engine.check(_transaction_param(params)))
-
-
-def _handle_monitor(engine: DatabaseEngine, params: dict) -> dict:
-    conditions = params.get("conditions")
-    if (not isinstance(conditions, list) or not conditions
-            or not all(isinstance(c, str) for c in conditions)):
-        raise ProtocolError("'conditions' must be a non-empty list of strings")
-    return monitor_result_to_dict(
-        engine.monitor(_transaction_param(params), conditions))
-
-
-def _handle_downward(engine: DatabaseEngine, params: dict) -> dict:
-    raw = params.get("requests")
-    if isinstance(raw, str):
-        raw = [piece for piece in raw.split(";") if piece.strip()]
-    if (not isinstance(raw, list) or not raw
-            or not all(isinstance(r, str) for r in raw)):
-        raise ProtocolError(
-            "'requests' must be a non-empty list of strings "
-            "(e.g. [\"ins P(A)\", \"not del Q(B)\"])")
-    return engine.downward([parse_request(piece) for piece in raw]).to_dict()
-
-
-def _handle_repair(engine: DatabaseEngine, params: dict) -> dict:
-    return repair_result_to_dict(engine.repair(
-        verify=bool(params.get("verify", False))))
-
-
-def _handle_commit(engine: DatabaseEngine, params: dict) -> dict:
-    policy = params.get("on_violation")
-    if policy is not None and policy not in ("reject", "maintain", "ignore"):
-        raise ProtocolError(f"unknown on_violation policy: {policy!r}")
-    outcome = engine.commit(_transaction_param(params), on_violation=policy)
-    return commit_outcome_to_dict(outcome)
-
-
-def _handle_stats(engine: DatabaseEngine, params: dict) -> dict:
-    return engine.stats()
-
-
-def _handle_checkpoint(engine: DatabaseEngine, params: dict) -> dict:
-    engine.checkpoint()
-    return {"checkpointed": True}
-
-
-_HANDLERS: dict[str, Callable[[DatabaseEngine, dict], dict]] = {
-    "hello": _handle_hello,
-    "ping": _handle_ping,
-    "query": _handle_query,
-    "upward": _handle_upward,
-    "check": _handle_check,
-    "monitor": _handle_monitor,
-    "downward": _handle_downward,
-    "repair": _handle_repair,
-    "commit": _handle_commit,
-    "stats": _handle_stats,
-    "checkpoint": _handle_checkpoint,
-}
-
-#: Every op :func:`dispatch` understands.
-REQUEST_OPS = tuple(sorted(_HANDLERS))
-
-#: Ops whose handlers do not go through a self-metering engine method;
+#: Ops whose typed requests do not go through a self-metering engine method;
 #: :func:`dispatch` times these itself so ``stats`` covers every request type.
 _DISPATCH_METERED = frozenset({"hello", "ping", "stats"})
 
 
 def dispatch(engine: DatabaseEngine, request: Request) -> Response:
     """Execute one request against the engine, mapping errors to responses."""
-    handler = _HANDLERS.get(request.op)
-    if handler is None:
+    if request.op not in REQUEST_TYPES:
         return error_response(
             request.id,
             f"unknown op {request.op!r} (known: {', '.join(REQUEST_OPS)})",
             error_type="protocol")
     try:
+        typed = UpdateRequest.of(request.op, request.params)
         if request.op in _DISPATCH_METERED:
             with engine.metrics.time(request.op):
-                result = handler(engine, request.params)
+                result = typed.execute(engine)
         else:  # engine ops meter themselves (query/commit/...)
-            result = handler(engine, request.params)
+            result = typed.execute(engine)
         return Response(ok=True, id=request.id, result=result)
     except DatalogError as error:
         return error_response(request.id, error)

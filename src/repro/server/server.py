@@ -18,21 +18,33 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import contextlib
+import logging
 import threading
+import time
 from pathlib import Path
 
+from repro.obs import tracer as obs
 from repro.server import protocol
 from repro.server.engine import DatabaseEngine
 
+logger = logging.getLogger("repro.server")
+
 
 class DatabaseServer:
-    """The asyncio TCP front-end of one :class:`DatabaseEngine`."""
+    """The asyncio TCP front-end of one :class:`DatabaseEngine`.
+
+    ``slow_op_threshold`` (seconds) turns on the slow-op log: any request
+    whose dispatch exceeds it is logged at WARNING on the ``repro.server``
+    logger -- with its span breakdown when tracing is enabled -- and
+    counted in the ``server.slow_ops`` metric.
+    """
 
     def __init__(self, engine: DatabaseEngine, host: str = "127.0.0.1",
                  port: int = 0, *, max_connections: int = 64,
                  request_timeout: float = 30.0, workers: int = 8,
                  max_line_bytes: int = 1 << 20,
-                 checkpoint_on_shutdown: bool = True):
+                 checkpoint_on_shutdown: bool = True,
+                 slow_op_threshold: float | None = None):
         self.engine = engine
         self.host = host
         self.port = port  # rebound to the real port by start()
@@ -40,6 +52,7 @@ class DatabaseServer:
         self.request_timeout = request_timeout
         self.max_line_bytes = max_line_bytes
         self.checkpoint_on_shutdown = checkpoint_on_shutdown
+        self.slow_op_threshold = slow_op_threshold
         self._workers = workers
         self._server: asyncio.AbstractServer | None = None
         self._executor: concurrent.futures.ThreadPoolExecutor | None = None
@@ -146,8 +159,7 @@ class DatabaseServer:
         loop = asyncio.get_running_loop()
         try:
             response = await asyncio.wait_for(
-                loop.run_in_executor(
-                    self._executor, protocol.dispatch, self.engine, request),
+                loop.run_in_executor(self._executor, self._dispatch, request),
                 timeout=self.request_timeout)
         except asyncio.TimeoutError:
             # The worker thread keeps running to completion; only the
@@ -159,6 +171,22 @@ class DatabaseServer:
                 error_type="timeout")
         await self._send(writer, response)
         return True
+
+    def _dispatch(self, request: protocol.Request) -> protocol.Response:
+        """Dispatch one request on a worker thread, watching for slow ops."""
+        started = time.perf_counter()
+        with obs.span(f"request.{request.op}") as span:
+            response = protocol.dispatch(self.engine, request)
+        elapsed = time.perf_counter() - started
+        threshold = self.slow_op_threshold
+        if threshold is not None and elapsed >= threshold:
+            self.engine.metrics.increment("server.slow_ops")
+            detail = ""
+            if span is not obs.NULL_SPAN:
+                detail = "\n" + obs.format_span(span)
+            logger.warning("slow op %r took %.3fs (threshold %.3fs)%s",
+                           request.op, elapsed, threshold, detail)
+        return response
 
     @staticmethod
     async def _send(writer: asyncio.StreamWriter,

@@ -3,7 +3,6 @@
 import pytest
 
 import repro.problems  # noqa: F401  -- importing registers every problem
-from repro.datalog import DeductiveDatabase
 from repro.datalog.terms import Constant
 from repro.events.events import Transaction, delete, insert
 from repro.interpretations import want_delete, want_insert

@@ -273,3 +273,47 @@ class TestCallCommand:
         code = main(["call", "--port", str(free_port), "ping"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    """``repro trace``: local execution with a per-stage span breakdown."""
+
+    def test_trace_upward_shows_stage_timings(self, db_file, capsys):
+        assert main(["trace", "upward", db_file,
+                     "-t", "delete Works(Pere)"]) == 0
+        out = capsys.readouterr().out
+        assert "ιUnemp(Pere)" in out
+        for stage in ("request.upward", "upward.interpret",
+                      "eval.materialize", "eval.stratum", "ms"):
+            assert stage in out
+
+    def test_trace_downward(self, db_file, capsys):
+        assert main(["trace", "downward", db_file,
+                     "-r", "del Unemp(Dolors)"]) == 0
+        out = capsys.readouterr().out
+        assert "downward.interpret" in out and "downward.request" in out
+
+    def test_trace_query_json(self, db_file, capsys):
+        import json
+
+        assert main(["trace", "query", db_file, "Unemp(x)", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"] == [["Dolors"]]
+        assert payload["trace"]["name"] == "request.query"
+        assert "eval.stratum" in payload["aggregates"]["spans"]
+
+    def test_trace_does_not_leak_a_global_tracer(self, db_file, capsys):
+        from repro.obs import tracer as obs
+
+        assert not obs.enabled()
+        main(["trace", "check", db_file, "-t", "insert Works(Dolors)"])
+        assert not obs.enabled()
+
+    def test_trace_commit_runs_locally(self, db_file, capsys):
+        assert main(["trace", "commit", db_file,
+                     "-t", "insert Works(Maria)"]) == 0
+        assert "request.commit" in capsys.readouterr().out
+
+    def test_trace_missing_argument_reported(self, db_file, capsys):
+        assert main(["trace", "query", db_file]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.datalog import DeductiveDatabase
 from repro.datalog.errors import UnknownPredicateError
 from repro.datalog.parser import parse_rule
 from repro.datalog.terms import Constant
-from repro.events.events import Transaction, delete, insert
+from repro.events.events import Transaction, insert
 from repro.core import (
     MaterializedViewStore,
     apply_schema_update,

@@ -1,9 +1,7 @@
 """Tests for the query/persistence conveniences on DeductiveDatabase."""
 
-import pytest
 
 from repro.datalog import DeductiveDatabase
-from repro.datalog.terms import Constant
 
 
 class TestQuery:

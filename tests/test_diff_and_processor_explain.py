@@ -1,8 +1,6 @@
 """Tests for transaction_between and UpdateProcessor.explain."""
 
-import pytest
 
-from repro.datalog import DeductiveDatabase
 from repro.core import UpdateProcessor
 from repro.events import Transaction, transaction_between
 from repro.events.events import delete, insert, parse_transaction

@@ -8,7 +8,6 @@ on each other) and checks the claimed outputs.
 import re
 from pathlib import Path
 
-import pytest
 
 README = Path(__file__).resolve().parent.parent / "README.md"
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.datalog import DeductiveDatabase
 from repro.datalog.errors import (
-    ComplexityLimitExceeded,
     DepthLimitExceeded,
     TransactionError,
 )

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.datalog import DeductiveDatabase
 from repro.datalog.errors import TransactionError
 from repro.events.events import Transaction, delete, insert
 from repro.core.durable import DurableDatabase

@@ -5,7 +5,7 @@ import pytest
 from repro.datalog import DeductiveDatabase
 from repro.datalog.errors import SafetyError
 from repro.datalog.evaluation import BottomUpEvaluator, ExtensionalStore
-from repro.datalog.parser import parse_atom, parse_literal, parse_program
+from repro.datalog.parser import parse_atom, parse_literal
 from repro.datalog.terms import Constant
 
 

@@ -15,7 +15,6 @@ from repro import (
     UpdateProcessor,
     apply_schema_update,
     delete,
-    insert,
     naive_changes,
     parse_transaction,
     repair_to_consistency,

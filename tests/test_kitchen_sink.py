@@ -13,9 +13,7 @@ from repro.events.events import Transaction, delete, insert
 from repro.core import UpdateProcessor
 from repro.interpretations import (
     UpwardInterpreter,
-    UpwardOptions,
     naive_changes,
-    want_delete,
     want_insert,
 )
 from repro.workloads import random_transaction

@@ -1,0 +1,215 @@
+"""Tests for the execution-tracing subsystem (repro.obs)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import LATENCY_BUCKETS, LatencyHistogram
+from repro.obs import tracer as obs
+from repro.server.client import DatabaseClient
+from repro.server.engine import DatabaseEngine
+from repro.server.server import ServerThread
+
+
+@pytest.fixture(autouse=True)
+def _tracing_disabled():
+    """Every test starts (and, via use(), ends) with tracing off."""
+    previous = obs.disable()
+    yield
+    if previous is not None:
+        obs.enable(previous)
+    else:
+        obs.disable()
+
+
+class TestDisabledFastPath:
+    def test_span_returns_the_shared_null_span(self):
+        assert obs.span("eval.stratum") is obs.NULL_SPAN
+        assert obs.span("anything.else") is obs.NULL_SPAN
+
+    def test_current_span_is_null(self):
+        assert obs.current_span() is obs.NULL_SPAN
+
+    def test_null_span_absorbs_everything(self):
+        with obs.span("x") as span:
+            span.set(mode="ignored")
+            span.add("rows", 7)
+            obs.add("rows", 3)
+        assert span is obs.NULL_SPAN
+        assert span.to_dict() == {}
+
+    def test_disabled_path_does_not_allocate_spans(self):
+        # The whole point of NULL_SPAN: no Span/_SpanScope objects are
+        # created while tracing is off, so hot loops can call span()
+        # unconditionally.  Identity (is) proves no allocation happened.
+        seen = {obs.span(f"s{i}") for i in range(100)}
+        assert seen == {obs.NULL_SPAN}
+        assert not obs.enabled()
+
+
+class TestSpans:
+    def test_nesting_attaches_children(self):
+        with obs.use() as tracer:
+            with obs.span("outer") as outer:
+                with obs.span("inner") as inner:
+                    inner.add("rows", 2)
+                with obs.span("inner") as again:
+                    again.add("rows", 3)
+        assert [child.name for child in outer.children] == ["inner", "inner"]
+        assert tracer.last_root is outer
+        assert tracer.count("inner") == 2
+        assert tracer.counter("inner", "rows") == 5
+
+    def test_elapsed_is_measured(self):
+        with obs.use():
+            with obs.span("timed") as span:
+                pass
+        assert span.elapsed >= 0.0
+
+    def test_add_reaches_the_innermost_open_span(self):
+        with obs.use():
+            with obs.span("outer") as outer:
+                with obs.span("inner") as inner:
+                    obs.add("hits")
+        assert inner.counters == {"hits": 1}
+        assert "hits" not in outer.counters
+
+    def test_to_dict_shape(self):
+        with obs.use():
+            with obs.span("outer") as outer:
+                outer.set(mode="hybrid")
+                with obs.span("inner") as inner:
+                    inner.add("rows", 4)
+        payload = outer.to_dict()
+        assert payload["name"] == "outer"
+        assert payload["attributes"] == {"mode": "hybrid"}
+        assert payload["children"][0]["counters"] == {"rows": 4}
+
+    def test_format_span_renders_the_tree(self):
+        with obs.use() as tracer:
+            with obs.span("outer"):
+                with obs.span("inner") as inner:
+                    inner.add("rows", 4)
+        rendered = obs.format_span(tracer.last_root)
+        assert "outer" in rendered and "inner" in rendered
+        assert "rows=4" in rendered
+
+    def test_use_restores_the_previous_tracer(self):
+        installed = obs.enable()
+        with obs.use() as scoped:
+            assert obs.get_tracer() is scoped
+        assert obs.get_tracer() is installed
+        obs.disable()
+
+
+class TestConcurrentWriters:
+    def test_threads_nest_independently(self):
+        """Two threads' span stacks never interleave (context isolation)."""
+        barrier = threading.Barrier(2)
+        roots: dict[str, obs.Span] = {}
+        errors: list[BaseException] = []
+
+        def worker(name: str) -> None:
+            try:
+                with obs.span(f"root.{name}") as root:
+                    barrier.wait(timeout=5)  # both roots open at once
+                    with obs.span(f"child.{name}") as child:
+                        child.add("rows", 1)
+                    barrier.wait(timeout=5)
+                roots[name] = root
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        with obs.use() as tracer:
+            threads = [threading.Thread(target=worker, args=(n,))
+                       for n in ("a", "b")]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10)
+        assert not errors
+        assert [c.name for c in roots["a"].children] == ["child.a"]
+        assert [c.name for c in roots["b"].children] == ["child.b"]
+        assert tracer.count("root.a") == tracer.count("root.b") == 1
+
+    def test_aggregates_sum_across_threads(self):
+        def worker() -> None:
+            for _ in range(10):
+                with obs.span("work") as span:
+                    span.add("rows", 2)
+
+        with obs.use() as tracer:
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10)
+        assert tracer.count("work") == 40
+        assert tracer.counter("work", "rows") == 80
+
+
+class TestAggregates:
+    def test_aggregates_payload_shape(self):
+        with obs.use() as tracer:
+            with obs.span("stage") as span:
+                span.add("rows", 3)
+        payload = tracer.aggregates()
+        assert payload["bucket_bounds"] == list(LATENCY_BUCKETS)
+        stage = payload["spans"]["stage"]
+        assert stage["count"] == 1
+        assert stage["counters"] == {"rows": 3}
+        assert len(stage["buckets"]) == len(LATENCY_BUCKETS) + 1
+        assert sum(stage["buckets"]) == 1
+
+    def test_reset_clears_everything(self):
+        with obs.use() as tracer:
+            with obs.span("stage"):
+                pass
+            tracer.reset()
+            assert tracer.aggregates()["spans"] == {}
+            assert tracer.last_root is None
+
+
+class TestHistogramRoundTrip:
+    def test_histogram_buckets_round_trip(self):
+        original = LatencyHistogram()
+        for seconds in (0.0002, 0.0002, 0.003, 0.08, 2.0, 42.0):
+            original.observe(seconds)
+        rebuilt = LatencyHistogram.from_dict(original.to_dict(buckets=True))
+        assert rebuilt.bucket_counts() == original.bucket_counts()
+        assert rebuilt.count == original.count
+        assert rebuilt.max_seconds == original.max_seconds
+        for q in (0.5, 0.95, 0.99):
+            assert rebuilt.quantile(q) == original.quantile(q)
+
+    def test_bucket_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram.from_dict({"buckets": [1, 2, 3]})
+
+    def test_stats_histograms_round_trip_through_client(self, tmp_path,
+                                                        employment_db):
+        """Server-side span histograms survive the wire bucket-for-bucket."""
+        engine = DatabaseEngine.open(tmp_path / "d", initial=employment_db)
+        try:
+            with obs.use() as tracer:
+                with ServerThread(engine) as port:
+                    with DatabaseClient(port=port) as client:
+                        client.query("Unemp(x)")
+                        client.commit("insert Works(Maria)")
+                        stats = client.stats()
+                tracing = stats["tracing"]
+                assert tracing["bucket_bounds"] == list(LATENCY_BUCKETS)
+                assert "request.query" in tracing["spans"]
+                assert "eval.stratum" in tracing["spans"]
+                local = tracer.aggregates()["spans"]
+                for name, payload in tracing["spans"].items():
+                    rebuilt = LatencyHistogram.from_dict(payload)
+                    # stats ran before use() exited, so the local tracer
+                    # saw at least as many spans as the wire snapshot.
+                    assert rebuilt.count <= local[name]["count"]
+                    assert len(rebuilt.bucket_counts()) == \
+                        len(LATENCY_BUCKETS) + 1
+        finally:
+            engine.close(checkpoint=False)

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.datalog import DeductiveDatabase
 from repro.datalog.errors import UnknownPredicateError
 from repro.datalog.terms import Constant
-from repro.events.events import Transaction, delete, insert, parse_transaction
+from repro.events.events import Transaction, insert, parse_transaction
 from repro.events.naming import EventKind
 from repro.core import UpdateProcessor
 from repro.interpretations import want_delete, want_insert

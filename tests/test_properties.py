@@ -15,7 +15,7 @@ import itertools
 from hypothesis import given, settings, strategies as st
 
 from repro.datalog import DeductiveDatabase
-from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.parser import parse_rule
 from repro.datalog.rules import Atom, Literal
 from repro.datalog.terms import Constant
 from repro.events.dnf import Dnf, FALSE_DNF, TRUE_DNF

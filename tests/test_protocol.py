@@ -4,8 +4,15 @@ import json
 
 import pytest
 
+from repro.datalog import errors
+from repro.problems.base import StateError
+from repro.requests import WireFormatError
 from repro.server import protocol
-from repro.server.engine import DatabaseEngine
+from repro.server.engine import (
+    ConflictDeferralTimeout,
+    DatabaseEngine,
+    EngineClosedError,
+)
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -198,3 +205,64 @@ class TestDispatch:
         text = call(engine, "query", goal="Unemp(x)").to_json()
         assert "\n" not in text
         assert json.loads(text)["ok"] is True
+
+
+class TestErrorMapping:
+    """Every engine/evaluation exception gets a stable wire error type."""
+
+    @pytest.mark.parametrize("error,expected", [
+        (ProtocolError("x"), "protocol"),
+        (errors.ParseError("x"), "parse"),
+        (errors.TransactionError("x"), "transaction"),
+        (StateError("x"), "state"),
+        (errors.UnknownPredicateError("x"), "unknown-predicate"),
+        (errors.ArityError("x"), "arity"),
+        (errors.SafetyError("x"), "safety"),
+        (errors.StratificationError("x"), "stratification"),
+        (errors.DomainError("x"), "domain"),
+        (errors.ComplexityLimitExceeded("x"), "complexity"),
+        (errors.DepthLimitExceeded("x"), "depth-limit"),
+        (ConflictDeferralTimeout("x"), "conflict-timeout"),
+        (EngineClosedError("x"), "closed"),
+        (errors.DatalogError("x"), "datalog"),
+        (WireFormatError("x"), "protocol"),
+        (RuntimeError("x"), "internal"),
+    ])
+    def test_error_type_of(self, error, expected):
+        assert protocol.error_type_of(error) == expected
+
+    def test_safety_error_over_the_wire(self, engine, monkeypatch):
+        def raise_safety(goal):
+            raise errors.SafetyError("unsafe rule: unbound head variable")
+
+        monkeypatch.setattr(engine, "query", raise_safety)
+        response = call(engine, "query", goal="P(x)")
+        assert not response.ok and response.error["type"] == "safety"
+
+    def test_stratification_error_over_the_wire(self, engine, monkeypatch):
+        def raise_strat(transaction, predicates=None):
+            raise errors.StratificationError("negative cycle through P")
+
+        monkeypatch.setattr(engine, "upward", raise_strat)
+        response = call(engine, "upward", transaction="insert Works(Maria)")
+        assert not response.ok
+        assert response.error["type"] == "stratification"
+
+    def test_conflict_timeout_over_the_wire(self, engine):
+        # Deterministic: while the batch lock is held, a bounded commit's
+        # wait expires with the entry still queued (exact withdrawal).
+        assert engine._batch_lock.acquire(timeout=5)
+        try:
+            response = call(engine, "commit",
+                            transaction="insert Works(Maria)", timeout=0.05)
+        finally:
+            engine._batch_lock.release()
+        assert not response.ok
+        assert response.error["type"] == "conflict-timeout"
+        assert "NOT applied" in response.error["message"]
+        assert engine.metrics.counter("commit.deferral_timeouts") == 1
+
+    def test_wire_format_error_maps_to_protocol(self, engine):
+        response = call(engine, "commit", transaction="insert Works(Maria)",
+                        timeout="soon")
+        assert not response.ok and response.error["type"] == "protocol"

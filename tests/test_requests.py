@@ -1,0 +1,240 @@
+"""Tests for the typed UpdateRequest hierarchy and result serde symmetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import UpdateProcessor
+from repro.events.events import Transaction, parse_transaction
+from repro.events.requests import parse_request
+from repro.requests import (
+    REQUEST_TYPES,
+    CheckRequest,
+    CommitRequest,
+    DownwardRequest,
+    MonitorRequest,
+    QueryRequest,
+    RepairRequest,
+    UpdateRequest,
+    UpwardRequest,
+    WireFormatError,
+)
+from repro.server.engine import DatabaseEngine
+
+
+@pytest.fixture
+def engine(tmp_path, employment_db):
+    engine = DatabaseEngine.open(tmp_path / "d", initial=employment_db)
+    yield engine
+    engine.close(checkpoint=False)
+
+
+class TestRegistry:
+    def test_every_protocol_op_is_registered(self):
+        assert set(REQUEST_TYPES) == {
+            "hello", "ping", "query", "upward", "check", "monitor",
+            "downward", "repair", "commit", "stats", "checkpoint"}
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(WireFormatError, match="unknown op"):
+            UpdateRequest.of("nonsense", {})
+
+    def test_from_wire_validates_shape(self):
+        with pytest.raises(WireFormatError):
+            UpdateRequest.from_wire({"params": {}})
+        with pytest.raises(WireFormatError):
+            UpdateRequest.from_wire({"op": "query", "params": [1]})
+
+
+class TestWireRoundTrips:
+    @pytest.mark.parametrize("request_", [
+        QueryRequest(goal="Unemp(x)"),
+        UpwardRequest(transaction="delete Works(Pere)"),
+        UpwardRequest(transaction="insert La(Anna)", predicates=("Unemp",)),
+        CheckRequest(transaction="insert La(Anna), insert U_benefit(Anna)"),
+        MonitorRequest(transaction="insert Works(Dolors)",
+                       conditions=("Unemp",)),
+        DownwardRequest(requests="ins Unemp(Anna)"),
+        DownwardRequest(requests=["ins Unemp(Anna)", "not del La(Dolors)"]),
+        RepairRequest(verify=True),
+        CommitRequest(transaction="insert Works(Maria)",
+                      on_violation="maintain", timeout=2.5),
+    ])
+    def test_to_wire_from_wire_round_trip(self, request_):
+        rebuilt = UpdateRequest.from_wire(request_.to_wire())
+        assert type(rebuilt) is type(request_)
+        assert rebuilt.to_wire() == request_.to_wire()
+
+    def test_strings_are_coerced_on_construction(self):
+        request = UpwardRequest(transaction="delete Works(Pere)")
+        assert isinstance(request.transaction, Transaction)
+        downward = DownwardRequest(requests="ins P(A); del Q(B)")
+        assert len(downward.requests) == 2
+
+    def test_paramless_ops_omit_params(self):
+        assert UpdateRequest.of("ping").to_wire() == {"op": "ping"}
+        assert RepairRequest().to_wire() == {"op": "repair"}
+
+    def test_legacy_downward_string_payload_accepted(self):
+        request = UpdateRequest.of(
+            "downward", {"requests": "ins Unemp(Anna); not del La(Dolors)"})
+        assert isinstance(request, DownwardRequest)
+        assert len(request.requests) == 2
+        # ...but it re-serialises in the canonical list form.
+        assert request.to_wire()["params"]["requests"] == [
+            "ins Unemp(Anna)", "not del La(Dolors)"]
+
+    @pytest.mark.parametrize("op,params", [
+        ("query", {}),
+        ("query", {"goal": "   "}),
+        ("upward", {"transaction": "insert P(A)", "predicates": "P"}),
+        ("monitor", {"transaction": "insert P(A)", "conditions": []}),
+        ("downward", {"requests": []}),
+        ("commit", {"transaction": "insert P(A)", "on_violation": "explode"}),
+        ("commit", {"transaction": "insert P(A)", "timeout": 0}),
+        ("commit", {"transaction": "insert P(A)", "timeout": "soon"}),
+    ])
+    def test_bad_params_raise_wire_format_error(self, op, params):
+        with pytest.raises(WireFormatError):
+            UpdateRequest.of(op, params)
+
+
+class TestExecuteAndRun:
+    def test_execute_matches_legacy_handler_shapes(self, engine):
+        assert UpdateRequest.of("ping").execute(engine) == {"pong": True}
+        hello = UpdateRequest.of("hello").execute(engine)
+        assert hello["server"] == "repro" and "shutdown" in hello["ops"]
+        answers = UpdateRequest.of(
+            "query", {"goal": "Unemp(x)"}).execute(engine)
+        assert answers == {"answers": [["Dolors"]]}
+        checked = UpdateRequest.of(
+            "check", {"transaction": "delete U_benefit(Dolors)"}
+        ).execute(engine)
+        assert checked["ok"] is False and "Ic1" in checked["violations"]
+
+    def test_commit_timeout_param_reaches_the_engine(self, engine):
+        # Deterministic conflict: hold the batch lock so the request's
+        # bounded wait expires while the entry is still queued.
+        assert engine._batch_lock.acquire(timeout=5)
+        try:
+            request = UpdateRequest.of("commit", {
+                "transaction": "insert Works(Maria)", "timeout": 0.05})
+            from repro.server.engine import ConflictDeferralTimeout
+
+            with pytest.raises(ConflictDeferralTimeout, match="NOT applied"):
+                request.execute(engine)
+        finally:
+            engine._batch_lock.release()
+
+    def test_run_executes_locally(self, employment_db):
+        processor = UpdateProcessor(employment_db)
+        answers = processor.handle(QueryRequest(goal="Unemp(x)"))
+        assert [tuple(str(v) for v in row) for row in answers] == [("Dolors",)]
+        result = processor.handle(
+            UpwardRequest(transaction="insert Works(Dolors)"))
+        assert result.deletions_of("Unemp")
+        outcome = processor.handle(
+            CommitRequest(transaction="insert La(Anna), "
+                                      "insert U_benefit(Anna)"))
+        assert outcome.applied
+
+    def test_server_only_ops_refuse_to_run_locally(self, employment_db):
+        processor = UpdateProcessor(employment_db)
+        from repro.datalog.errors import DatalogError
+
+        with pytest.raises(DatalogError, match="server"):
+            processor.handle(UpdateRequest.of("stats"))
+
+
+class TestClientSend(object):
+    def test_send_equals_call(self, engine):
+        from repro.server.client import DatabaseClient
+        from repro.server.server import ServerThread
+
+        with ServerThread(engine) as port:
+            with DatabaseClient(port=port) as client:
+                typed = client.send(QueryRequest(goal="Unemp(x)"))
+                classic = client.call("query", goal="Unemp(x)")
+                assert typed == classic == {"answers": [["Dolors"]]}
+                outcome = client.send(CommitRequest(
+                    transaction="insert Works(Maria)"))
+                assert outcome["applied"]
+
+
+class TestResultSerdeSymmetry:
+    def test_transaction_round_trip(self):
+        transaction = parse_transaction("insert P(A), delete Q(B, C)")
+        rebuilt = Transaction.from_dict(transaction.to_dict())
+        assert rebuilt == transaction
+        assert parse_transaction(transaction.to_text()) == transaction
+
+    def test_upward_result_round_trip(self, employment_db):
+        from repro.interpretations.upward import UpwardResult
+
+        processor = UpdateProcessor(employment_db)
+        result = processor.upward(parse_transaction("insert Works(Dolors)"))
+        rebuilt = UpwardResult.from_dict(result.to_dict())
+        assert rebuilt.insertions == result.insertions
+        assert rebuilt.deletions == result.deletions
+        assert rebuilt.transaction == result.transaction
+        assert rebuilt.to_dict() == result.to_dict()
+
+    def test_downward_result_round_trip(self, employment_db):
+        from repro.interpretations.downward import DownwardResult
+
+        processor = UpdateProcessor(employment_db)
+        result = processor.downward([parse_request("ins Unemp(Anna)")])
+        payload = result.to_dict()
+        rebuilt = DownwardResult.from_dict(payload)
+        assert rebuilt.is_satisfiable == result.is_satisfiable
+        assert {str(t) for t in rebuilt.translations} == \
+            {str(t) for t in result.translations}
+        assert rebuilt.to_dict() == payload
+
+    def test_check_result_round_trip(self, employment_db):
+        from repro.problems import ICCheckResult
+
+        processor = UpdateProcessor(employment_db)
+        result = processor.check(
+            parse_transaction("delete U_benefit(Dolors)"))
+        rebuilt = ICCheckResult.from_dict(result.to_dict())
+        assert rebuilt.ok == result.ok
+        assert rebuilt.violations == result.violations
+        assert rebuilt.to_dict() == result.to_dict()
+
+    def test_monitor_result_round_trip(self, employment_db):
+        from repro.problems import ConditionChanges
+
+        processor = UpdateProcessor(employment_db)
+        result = processor.monitor(
+            parse_transaction("insert Works(Dolors)"), ["Unemp"])
+        rebuilt = ConditionChanges.from_dict(result.to_dict())
+        assert rebuilt.activated == result.activated
+        assert rebuilt.deactivated == result.deactivated
+        assert rebuilt.to_dict() == result.to_dict()
+
+    def test_commit_outcome_round_trip(self, engine):
+        from repro.server.engine import CommitOutcome
+
+        outcome = engine.commit(parse_transaction("insert Works(Maria)"))
+        rebuilt = CommitOutcome.from_dict(outcome.to_dict())
+        assert rebuilt.applied == outcome.applied
+        assert rebuilt.effective == outcome.effective
+        assert rebuilt.to_dict() == outcome.to_dict()
+
+    def test_repair_result_round_trip(self):
+        from repro.datalog.database import DeductiveDatabase
+        from repro.problems import RepairResult, repair_database
+
+        db = DeductiveDatabase.from_source("""
+            P(A).
+            Ic1 <- P(x) & not Q(x).
+        """)
+        db.declare_base("Q", 1)
+        result = repair_database(db)
+        payload = result.to_dict()
+        rebuilt = RepairResult.from_dict(payload)
+        assert rebuilt.is_repairable == result.is_repairable
+        assert {str(t) for t in rebuilt.repairs} == \
+            {str(t) for t in result.repairs}
+        assert rebuilt.to_dict() == payload

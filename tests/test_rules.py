@@ -4,7 +4,6 @@ import pytest
 
 from repro.datalog.rules import (
     Atom,
-    Literal,
     Rule,
     atom,
     fact,

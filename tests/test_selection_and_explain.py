@@ -5,7 +5,7 @@ import pytest
 from repro.datalog import DeductiveDatabase
 from repro.datalog.explain import Explainer
 from repro.datalog.terms import Constant
-from repro.events.events import Transaction, delete, insert
+from repro.events.events import delete, insert
 from repro.interpretations import DownwardInterpreter, want_delete, want_insert
 from repro.problems.selection import (
     deletion_averse,

@@ -151,6 +151,43 @@ class TestBackpressureAndTimeouts:
                 assert excinfo.value.type == "timeout"
 
 
+class TestSlowOpLog:
+    def test_slow_ops_logged_and_counted(self, engine, caplog):
+        import logging
+
+        with ServerThread(engine, slow_op_threshold=0.0) as port:
+            with caplog.at_level(logging.WARNING, logger="repro.server"):
+                with DatabaseClient(port=port) as client:
+                    client.query("Unemp(x)")
+        assert engine.metrics.counter("server.slow_ops") >= 1
+        messages = [r.getMessage() for r in caplog.records]
+        assert any("slow op" in m and "query" in m for m in messages)
+
+    def test_slow_op_log_includes_trace_when_enabled(self, engine, caplog):
+        import logging
+
+        from repro.obs import tracer as obs
+
+        with obs.use():
+            with ServerThread(engine, slow_op_threshold=0.0) as port:
+                with caplog.at_level(logging.WARNING, logger="repro.server"):
+                    with DatabaseClient(port=port, handshake=False) as client:
+                        client.query("Unemp(x)")
+        messages = [r.getMessage() for r in caplog.records]
+        assert any("request.query" in m and "eval.materialize" in m
+                   for m in messages)
+
+    def test_fast_ops_not_logged_without_threshold(self, engine, caplog):
+        import logging
+
+        with ServerThread(engine) as port:
+            with caplog.at_level(logging.WARNING, logger="repro.server"):
+                with DatabaseClient(port=port) as client:
+                    client.ping()
+        assert engine.metrics.counter("server.slow_ops") == 0
+        assert not [r for r in caplog.records if "slow op" in r.getMessage()]
+
+
 class TestShutdown:
     def test_shutdown_request_checkpoints_and_recovers(self, tmp_path,
                                                        employment_db):

@@ -1,7 +1,6 @@
 """Unit tests for transition-rule compilation (Section 3.2)."""
 
 from repro.datalog.parser import parse_rule
-from repro.datalog.rules import Literal
 from repro.events.naming import display_literal
 from repro.events.transition import (
     TransitionCompiler,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.datalog import DeductiveDatabase
 from repro.datalog.errors import TransactionError, UnknownPredicateError
-from repro.datalog.terms import Constant
 from repro.events.events import Transaction, delete, insert
 from repro.core.history import Journal, inverse_of
 from repro.core.triggers import ActiveDatabase, TriggerLoopError
