@@ -214,7 +214,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     initial = _load(args.init) if args.init else None
     engine = DatabaseEngine.open(args.directory, initial=initial,
                                  max_batch=args.max_batch,
-                                 on_violation=args.on_violation)
+                                 on_violation=args.on_violation,
+                                 cache_mode=args.cache_mode)
     run(engine, host=args.host, port=args.port, port_file=args.port_file,
         max_connections=args.max_connections,
         request_timeout=args.timeout,
@@ -381,6 +382,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--on-violation", default="reject",
                        choices=["reject", "maintain", "ignore"],
                        help="default commit policy")
+    serve.add_argument("--cache-mode", default="advance",
+                       choices=["advance", "invalidate"],
+                       help="derived-state cache maintenance across commits "
+                            "(default: advance)")
     serve.add_argument("--no-checkpoint", action="store_true",
                        help="skip the WAL checkpoint on shutdown")
     serve.add_argument("--trace", action="store_true",

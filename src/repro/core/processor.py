@@ -9,7 +9,7 @@ deal with all these problems as a whole".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.errors import UnknownPredicateError
@@ -40,8 +40,10 @@ from repro.problems import (
     can_reach_inconsistency,
     check_restores_consistency,
     check_transaction,
+    check_transaction_full,
     condition_activation,
     constraints_satisfiable,
+    current_violations,
     is_consistent,
     monitor_conditions,
     prevent_side_effects,
@@ -93,6 +95,12 @@ class UpdateProcessor:
         self._program: TransitionProgram | None = None
         self._upward: UpwardInterpreter | None = None
         self._downward: DownwardInterpreter | None = None
+        #: Optional observer called with ``"advance"`` / ``"invalidate"`` /
+        #: ``"rematerialize"`` on every state-cache lifecycle event; the
+        #: serving engine hooks this into its metrics registry.
+        self.on_cache_event: Callable[[str], None] | None = None
+        self._cache_counters = {"advance": 0, "invalidate": 0,
+                                "rematerialize": 0}
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -111,8 +119,7 @@ class UpdateProcessor:
     def refresh(self) -> None:
         """Recompile after the database (facts or rules) changed."""
         self._program = None
-        self._upward = None
-        self._downward = None
+        self.invalidate_state_caches()
 
     def invalidate_state_caches(self) -> None:
         """Drop interpreter caches after an external fact-level mutation.
@@ -120,15 +127,59 @@ class UpdateProcessor:
         Cheaper than :meth:`refresh`: the compiled transition program
         depends only on the rules and survives.  Callers that mutate the
         database's facts directly (the durable commit paths) must call
-        this; rule changes still require :meth:`refresh`.
+        this; rule changes still require :meth:`refresh`.  Callers that
+        know the induced events of the mutation should prefer
+        :meth:`advance_state_caches`, which keeps the memoised state warm.
         """
+        warm = self._upward is not None or self._downward is not None
         self._upward = None
         self._downward = None
+        if warm:
+            self._cache_event("invalidate")
+
+    def advance_state_caches(self, result: UpwardResult) -> None:
+        """Patch interpreter caches across an *applied* transaction.
+
+        The delta-driven alternative to :meth:`invalidate_state_caches`:
+        *result* must be the full-coverage upward interpretation of a
+        transaction that has since been applied to the database (e.g. from
+        :meth:`check_full`).  Cached old-state materialisations are
+        advanced in place, so the next read starts warm.  Raises
+        :class:`ValueError` on a partial result -- callers should fall
+        back to :meth:`invalidate_state_caches` in that case.
+        """
+        advanced = False
+        if self._upward is not None:
+            self._upward.advance(result)
+            advanced = True
+        if self._downward is not None:
+            self._downward.advance(result)
+            advanced = True
+        if advanced:
+            self._cache_event("advance")
+
+    @property
+    def has_warm_state(self) -> bool:
+        """Whether an old-state materialisation is cached and advanceable."""
+        return self._upward is not None and self._upward.has_cached_state
+
+    def state_cache_counters(self) -> dict[str, int]:
+        """Lifetime counts of cache advances / invalidations / rebuilds."""
+        return dict(self._cache_counters)
+
+    def _cache_event(self, kind: str) -> None:
+        self._cache_counters[kind] += 1
+        if self.on_cache_event is not None:
+            self.on_cache_event(kind)
+
+    def _note_rematerialize(self) -> None:
+        self._cache_event("rematerialize")
 
     def _upward_interpreter(self) -> UpwardInterpreter:
         if self._upward is None:
             self._upward = UpwardInterpreter(
-                self._db, program=self.program, options=self._upward_options)
+                self._db, program=self.program, options=self._upward_options,
+                on_materialize=self._note_rematerialize)
         return self._upward
 
     def _downward_interpreter(self) -> DownwardInterpreter:
@@ -190,6 +241,23 @@ class UpdateProcessor:
         """Integrity constraint checking (5.1.1): upward ``ιIc``."""
         return check_transaction(self._db, transaction,
                                  interpreter=self._upward_interpreter())
+
+    def check_full(self, transaction: Transaction
+                   ) -> tuple[ICCheckResult, UpwardResult]:
+        """Integrity check plus the full-coverage upward interpretation.
+
+        Same verdict as :meth:`check`, but the returned
+        :class:`UpwardResult` covers every derived predicate, so a caller
+        that applies the transaction afterwards can hand it to
+        :meth:`advance_state_caches` instead of invalidating.
+        """
+        return check_transaction_full(self._db, transaction,
+                                      interpreter=self._upward_interpreter())
+
+    def inconsistency_witnesses(self) -> dict[str, frozenset]:
+        """Constraints the *current* state violates, with witness rows."""
+        return current_violations(self._db,
+                                  interpreter=self._upward_interpreter())
 
     def check_restoration(self, transaction: Transaction) -> ICCheckResult:
         """Consistency-restoration checking (5.1.1): upward ``δIc``."""

@@ -82,7 +82,8 @@ def apply_schema_update(db: DeductiveDatabase,
             insertions[predicate] = frozenset(gained)
         if lost:
             deletions[predicate] = frozenset(lost)
-    induced = UpwardResult(insertions, deletions, Transaction())
+    induced = UpwardResult(insertions, deletions, Transaction(),
+                           covered=frozenset(derived))
 
     constraint_heads = {r.head.predicate for r in updated.constraints}
     constraint_heads |= {r.head.predicate for r in db.constraints}

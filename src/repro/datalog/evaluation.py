@@ -225,13 +225,34 @@ class BottomUpEvaluator:
         induced events are already known (incremental maintenance), instead
         of recomputing from scratch.  The caller is responsible for the
         delta being correct; base facts are always read live from the fact
-        source.
+        source.  Only derived (rule-head) predicates can be patched.
         """
+        if predicate not in self._derived_predicates:
+            raise ValueError(
+                f"apply_delta targets derived predicates only; "
+                f"{predicate!r} has no rules here")
         self._ensure_materialized()
         assert self._extensions is not None
         rows = self._extensions.setdefault(predicate, set())
         rows.update(inserted)
         rows.difference_update(deleted)
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the derived extensions have been computed already."""
+        return self._extensions is not None
+
+    def live_extensions(self) -> Mapping[str, set[Row]]:
+        """The internal derived-extensions mapping, materialising on demand.
+
+        The returned mapping stays *live*: :meth:`apply_delta` patches are
+        visible through it, which is what lets cached fact-source views
+        (:class:`repro.interpretations.upward.OldStateView`) survive an
+        advance without re-snapshotting.  Treat it as read-only.
+        """
+        self._ensure_materialized()
+        assert self._extensions is not None
+        return self._extensions
 
     # -- internals -------------------------------------------------------------
 

@@ -186,7 +186,8 @@ class CountingEngine:
             else:
                 self._db.remove_fact(event.predicate, *event.args)
         self._extensions.update(new_extensions)
-        return UpwardResult(insertions, deletions, transaction)
+        return UpwardResult(insertions, deletions, transaction,
+                            covered=frozenset(self._order))
 
     # -- delta computation ---------------------------------------------------------------
 

@@ -310,6 +310,32 @@ class DownwardInterpreter:
             self._domain = self._db.active_domain() | self._options.extra_domain
         return self._domain | self._request_constants
 
+    def advance(self, result) -> None:
+        """Advance the cached old state across an applied transaction.
+
+        The downward counterpart of
+        :meth:`~repro.interpretations.upward.UpwardInterpreter.advance`:
+        *result* is the full-coverage :class:`UpwardResult` of a
+        transaction that has already been applied to the database.  The
+        memoised derived extensions are patched in place (when they have
+        been materialised at all) and the cached active domain is dropped,
+        so the next interpretation runs against the new state without a
+        from-scratch re-materialisation.  Partial results raise
+        :class:`ValueError`.
+        """
+        if result.covered is None or self._program.derived - result.covered:
+            raise ValueError(
+                "cannot advance from a partial UpwardResult: advancing "
+                "needs deltas for every derived predicate; recompute with "
+                "an unfiltered interpret()")
+        if self._old.materialized:
+            for predicate in self._program.derived:
+                inserted = result.insertions_of(predicate)
+                deleted = result.deletions_of(predicate)
+                if inserted or deleted:
+                    self._old.apply_delta(predicate, inserted, deleted)
+        self._domain = None
+
     # -- public API ------------------------------------------------------------------
 
     def interpret(self, requests: Iterable[Literal | Event] |

@@ -56,4 +56,5 @@ def naive_changes(db: DeductiveDatabase, transaction: Transaction,
         if lost:
             deletions[predicate] = frozenset(lost)
     stats = old_evaluator.stats.merged_with(new_evaluator.stats)
-    return UpwardResult(insertions, deletions, transaction, stats)
+    return UpwardResult(insertions, deletions, transaction, stats,
+                        frozenset(derived))

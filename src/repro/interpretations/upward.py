@@ -35,7 +35,7 @@ invariant.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.evaluation import BottomUpEvaluator, EvaluationStats
@@ -97,6 +97,12 @@ class UpwardResult:
     #: The (normalised) transaction the result was computed for.
     transaction: Transaction = field(default_factory=Transaction)
     stats: EvaluationStats = field(default_factory=EvaluationStats)
+    #: The derived predicates this result has deltas for.  ``None`` means
+    #: "unknown" (hand-built or wire-decoded results); :meth:`interpret`
+    #: always records the exact coverage, so consumers that patch cached
+    #: state (:meth:`UpwardInterpreter.advance`) can refuse partial results
+    #: instead of silently dropping deltas for uncovered predicates.
+    covered: frozenset[str] | None = None
 
     def insertions_of(self, predicate: str) -> frozenset[Row]:
         """Induced ``ιpredicate`` rows."""
@@ -127,12 +133,14 @@ class UpwardResult:
 
     def restricted_to(self, predicates: Iterable[str]) -> "UpwardResult":
         """Project the result onto a set of derived predicates."""
-        wanted = set(predicates)
+        wanted = frozenset(predicates)
+        covered = wanted if self.covered is None else wanted & self.covered
         return UpwardResult(
             {p: rows for p, rows in self.insertions.items() if p in wanted},
             {p: rows for p, rows in self.deletions.items() if p in wanted},
             self.transaction,
             self.stats,
+            covered,
         )
 
     def to_dict(self) -> dict:
@@ -270,13 +278,18 @@ class UpwardInterpreter:
     def __init__(self, db: DeductiveDatabase,
                  program: TransitionProgram | None = None,
                  options: UpwardOptions | None = None,
-                 simplify: bool = True):
+                 simplify: bool = True,
+                 on_materialize: Callable[[], None] | None = None):
         self._db = db
         self._options = options or UpwardOptions()
         self._program = program or EventCompiler(simplify=simplify).compile(db)
         self._old_evaluator: BottomUpEvaluator | None = None
         self._old_view: OldStateView | None = None
         self._scc_order: list[frozenset[str]] | None = None
+        #: Invoked each time the old state is materialised from scratch
+        #: (the expensive ``upward.old_state`` span); lets owners count
+        #: cache rematerialisations.
+        self.on_materialize = on_materialize
 
     @property
     def program(self) -> TransitionProgram:
@@ -337,17 +350,42 @@ class UpwardInterpreter:
 
         Call *after* ``result.transaction`` has been applied to the
         database.  The cached derived extensions are patched with the
-        induced events (``result`` must cover every derived predicate, i.e.
-        come from an unfiltered :meth:`interpret`), so the next
-        interpretation starts from the new state without re-materialising.
+        induced events, so the next interpretation starts from the new
+        state without re-materialising.
+
+        ``result`` must cover every derived predicate of the program, i.e.
+        come from an unfiltered :meth:`interpret`; a partial (filtered or
+        hand-built) result raises :class:`ValueError` instead of silently
+        corrupting the uncovered extensions.  When no old state is cached
+        yet the call is a no-op: the next interpretation materialises the
+        (already advanced) database directly.
         """
-        self._ensure_old_state()
-        assert self._old_evaluator is not None
+        if result.covered is None:
+            raise ValueError(
+                "cannot advance from an UpwardResult of unknown coverage "
+                "(hand-built or wire-decoded); recompute with an "
+                "unfiltered interpret()")
+        missing = self._program.derived - result.covered
+        if missing:
+            raise ValueError(
+                "cannot advance from a partial UpwardResult: advancing "
+                "needs deltas for every derived predicate, but this one "
+                "misses {}; recompute with an unfiltered "
+                "interpret()".format(", ".join(sorted(missing))))
+        if self._old_evaluator is None:
+            # Nothing cached: materialising now would read the *new* state
+            # and then double-apply the deltas.  Stay cold instead.
+            return
         for predicate in self._program.derived:
             inserted = result.insertions_of(predicate)
             deleted = result.deletions_of(predicate)
             if inserted or deleted:
                 self._old_evaluator.apply_delta(predicate, inserted, deleted)
+
+    @property
+    def has_cached_state(self) -> bool:
+        """Whether an old-state materialisation is currently cached."""
+        return self._old_evaluator is not None
 
     def old_extension(self, predicate: str) -> frozenset[Row]:
         """The old-state extension of any predicate."""
@@ -375,7 +413,14 @@ class UpwardInterpreter:
             if obs.enabled():
                 span.add("derived_rows", sum(
                     len(rows) for rows in materialization.derived.values()))
-        self._old_view = OldStateView(self._db, materialization.derived)
+        # The view must read the evaluator's *live* extensions, not the
+        # frozen materialization snapshot: advance() patches the evaluator
+        # in place and transition rules that mention derived predicates in
+        # their old-state literals must see the patched rows.
+        self._old_view = OldStateView(self._db,
+                                      self._old_evaluator.live_extensions())
+        if self.on_materialize is not None:
+            self.on_materialize()
 
     # -- flat strategy -------------------------------------------------------------
 
@@ -396,7 +441,8 @@ class UpwardInterpreter:
                 insertions[predicate] = ins_rows
             if del_rows:
                 deletions[predicate] = del_rows
-        return UpwardResult(insertions, deletions, transaction, evaluator.stats)
+        return UpwardResult(insertions, deletions, transaction, evaluator.stats,
+                            frozenset(self._program.derived))
 
     # -- hybrid strategy --------------------------------------------------------------
 
@@ -428,6 +474,7 @@ class UpwardInterpreter:
         insertions: dict[str, frozenset[Row]] = {}
         deletions: dict[str, frozenset[Row]] = {}
         relevant = self._relevant_predicates(predicates)
+        computed: set[str] = set()
         transition_view = TransitionView(self._old_view, events)
         new_view = NewStateView(self._db, events, new_derived)
         recursive = {
@@ -440,6 +487,7 @@ class UpwardInterpreter:
         for scc in self._derived_sccs():
             if relevant is not None and not (scc & relevant):
                 continue
+            computed |= scc
             with obs.span("upward.scc") as scc_span:
                 if scc & recursive:
                     scc_ins, scc_del = self._recompute_scc(scc, new_view, stats)
@@ -466,7 +514,8 @@ class UpwardInterpreter:
                     deletions[predicate] = del_rows
                     events[del_name(predicate)] = set(del_rows)
                 new_derived[predicate] = (old_rows | ins_rows) - del_rows
-        result = UpwardResult(insertions, deletions, transaction, stats)
+        result = UpwardResult(insertions, deletions, transaction, stats,
+                              frozenset(computed))
         if predicates is not None:
             result = result.restricted_to(predicates)
         return result

@@ -21,13 +21,17 @@ LATENCY_BUCKETS: tuple[float, ...] = (
 class LatencyHistogram:
     """Fixed-bucket latency histogram with bucket-bound quantile estimates."""
 
-    __slots__ = ("_counts", "count", "total_seconds", "max_seconds")
+    __slots__ = ("_counts", "count", "total_seconds", "max_seconds",
+                 "_quantile_overrides")
 
     def __init__(self) -> None:
         self._counts = [0] * (len(LATENCY_BUCKETS) + 1)
         self.count = 0
         self.total_seconds = 0.0
         self.max_seconds = 0.0
+        #: Quantiles carried through a bucket-less wire payload
+        #: (``{q: seconds}``); dropped on the first fresh observation.
+        self._quantile_overrides: dict[float, float] | None = None
 
     def observe(self, seconds: float) -> None:
         self._counts[bisect_left(LATENCY_BUCKETS, seconds)] += 1
@@ -35,6 +39,7 @@ class LatencyHistogram:
         self.total_seconds += seconds
         if seconds > self.max_seconds:
             self.max_seconds = seconds
+        self._quantile_overrides = None
 
     def bucket_counts(self) -> list[int]:
         """Per-bucket observation counts (last entry is the overflow bucket)."""
@@ -44,6 +49,11 @@ class LatencyHistogram:
         """Upper bound of the bucket holding the q-quantile observation."""
         if not self.count:
             return 0.0
+        if self._quantile_overrides is not None:
+            try:
+                return self._quantile_overrides[q]
+            except KeyError:
+                pass  # unusual quantile: fall back to the (empty) buckets
         rank = max(1, int(q * self.count + 0.5))
         seen = 0
         for index, bucket_count in enumerate(self._counts):
@@ -71,10 +81,14 @@ class LatencyHistogram:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "LatencyHistogram":
-        """Rebuild a histogram from a ``to_dict(buckets=True)`` payload.
+        """Rebuild a histogram from a ``to_dict`` payload.
 
-        Quantiles are bucket-bound estimates, so a rebuilt histogram
-        reports the same ``p50``/``p95``/``p99`` as the original.
+        With a ``buckets`` payload the rebuilt histogram is exact.  Without
+        one (the compact per-op shape) the counts cannot be recovered, so
+        the shipped ``p50``/``p95``/``p99`` values are carried through as
+        overrides -- previously :meth:`quantile` fell through the empty
+        buckets and reported ``max_seconds`` for every quantile.  Either
+        way a round trip preserves the reported quantiles.
         """
         histogram = cls()
         buckets = payload.get("buckets")
@@ -84,6 +98,13 @@ class LatencyHistogram:
                     f"expected {len(histogram._counts)} buckets, "
                     f"got {len(buckets)}")
             histogram._counts = [int(b) for b in buckets]
+        else:
+            histogram._quantile_overrides = {
+                quantile: float(payload.get(key, 0.0))
+                for quantile, key in ((0.50, "p50_seconds"),
+                                      (0.95, "p95_seconds"),
+                                      (0.99, "p99_seconds"))
+            }
         histogram.count = int(payload.get("count", sum(histogram._counts)))
         histogram.total_seconds = float(payload.get("total_seconds", 0.0))
         histogram.max_seconds = float(payload.get("max_seconds", 0.0))

@@ -34,10 +34,21 @@ Concurrency model
   transactions whose constraint interactions violate at every intermediate
   prefix but not at the endpoints can fast-commit together although a
   strictly serial execution would reject one -- see docs/SERVER.md.)
+- *Warm derived-state cache.*  The interpreters memoise the old-state
+  materialisation of every derived predicate.  A fast-path commit computes
+  its integrity check as a *full-coverage* upward interpretation and, after
+  applying the batch, **advances** the memoised extensions with the induced
+  events instead of invalidating them (``cache_mode="advance"``); readers
+  interleaved with commits therefore keep hitting warm state.  Slow-path
+  commits, unchecked commits, checkpoints and advance failures fall back to
+  full invalidation.  Surfaced as ``cache.advance`` / ``cache.invalidate``
+  / ``cache.rematerialize`` counters and a ``cache_epoch`` in ``stats``;
+  see docs/SERVER.md for the lifecycle table.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from contextlib import contextmanager
@@ -52,6 +63,8 @@ from repro.obs import tracer as obs
 from repro.problems import ICCheckResult
 from repro.problems.base import StateError
 from repro.server.metrics import MetricsRegistry
+
+logger = logging.getLogger("repro.server.engine")
 
 
 class EngineClosedError(DatalogError):
@@ -240,26 +253,51 @@ class DatabaseEngine:
     on_violation:
         default commit policy (``reject`` / ``maintain`` / ``ignore``);
         individual commits may override it.
+    cache_mode:
+        what happens to the memoised derived state on a fast-path commit:
+        ``advance`` (default) patches it with the commit's own induced
+        events (the upward interpretation the integrity check already
+        computes), so interleaved readers keep a warm cache; ``invalidate``
+        always drops it, forcing the next read to re-materialise -- the
+        pre-delta-maintenance behaviour, kept as a baseline and escape
+        hatch.  Slow-path commits, unchecked commits and checkpoints
+        always invalidate, whatever the mode.
     """
 
     def __init__(self, store: DurableDatabase, *, max_batch: int = 64,
                  on_violation: str = "reject", simplify: bool = True,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 cache_mode: str = "advance"):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if on_violation not in ("reject", "maintain", "ignore"):
             raise ValueError(f"unknown on_violation policy: {on_violation!r}")
+        if cache_mode not in ("advance", "invalidate"):
+            raise ValueError(f"unknown cache_mode: {cache_mode!r}")
         self._store = store
         self._processor = UpdateProcessor(store.db, simplify=simplify)
         self._max_batch = max_batch
         self._policy = on_violation
+        self._cache_mode = cache_mode
+        #: Bumped on every full cache invalidation; readers can compare
+        #: epochs across ``stats`` calls to see whether their reads stayed
+        #: on warm state.
+        self._cache_epoch = 0
         self.metrics = metrics or MetricsRegistry()
+        self._processor.on_cache_event = self._record_cache_event
         self._rwlock = RWLock()
         self._interp_lock = threading.Lock()
         self._batch_lock = threading.Lock()
         self._pending_lock = threading.Lock()
         self._pending: list[_Pending] = []
         self._closed = False
+
+    def _record_cache_event(self, kind: str) -> None:
+        """Processor cache-lifecycle hook -> metrics, tracing, epoch."""
+        self.metrics.increment(f"cache.{kind}")
+        obs.add(f"cache.{kind}")
+        if kind == "invalidate":
+            self._cache_epoch += 1
 
     @classmethod
     def open(cls, directory, initial=None, **kwargs) -> "DatabaseEngine":
@@ -339,6 +377,8 @@ class DatabaseEngine:
                 "log_length": self._store.log_length(),
                 "max_batch": self._max_batch,
                 "on_violation": self._policy,
+                "cache_mode": self._cache_mode,
+                "cache_epoch": self._cache_epoch,
             }
         snapshot = {"engine": engine, **self.metrics.snapshot()}
         tracer = obs.get_tracer()
@@ -517,6 +557,10 @@ class DatabaseEngine:
             except DatalogError as error:
                 entry.finish(error=error)
                 continue
+            if (outcome.applied and outcome.check is None
+                    and entry.policy != "ignore" and db.constraints):
+                # checked_commit skipped the check (inconsistent old state).
+                self._note_unchecked(1)
             if outcome.applied and outcome.effective.events:
                 applied.append((entry, outcome))
             else:
@@ -543,6 +587,14 @@ class DatabaseEngine:
         state, so the upward interpreter's memoised materialisations are
         reused across the whole batch -- that, plus the single fsync, is
         the amortisation group commit pays for.
+
+        In ``advance`` cache mode the merged check runs with *full*
+        predicate coverage, and after the batch is applied its induced
+        events patch the memoised derived extensions in place
+        (:meth:`UpdateProcessor.advance_state_caches`): the view
+        maintenance the paper reads out of the event rules, applied to our
+        own serving cache.  Unchecked commits (inconsistent old state) and
+        any advance failure fall back to full invalidation.
         """
         db = self.db
         if any(entry.policy != "reject" for entry in batch):
@@ -555,10 +607,16 @@ class DatabaseEngine:
             # same fact) -- cannot happen for disjoint batches, but keep the
             # fast path honest.
             return False
+        advancing = self._cache_mode == "advance"
         checks: dict[int, ICCheckResult] = {}
+        advance_result = None
         if db.constraints:
             try:
-                merged_verdict = self._processor.check(merged)
+                if advancing:
+                    merged_verdict, advance_result = \
+                        self._processor.check_full(merged)
+                else:
+                    merged_verdict = self._processor.check(merged)
                 if not merged_verdict.ok:
                     return False
                 if len(batch) == 1:
@@ -570,7 +628,18 @@ class DatabaseEngine:
                             return False
                         checks[index] = verdict
             except StateError:
-                checks = {}  # inconsistent old state: commit unchecked
+                # Inconsistent old state: commit unchecked (the paper's
+                # methods need a consistent Do), but say so loudly.
+                checks = {}
+                advance_result = None
+                self._note_unchecked(len(batch))
+        elif advancing and self._processor.has_warm_state:
+            # No constraints, so no check ran -- but a reader warmed the
+            # cache; one incremental pass keeps it warm.
+            try:
+                advance_result = self._processor.upward(merged)
+            except DatalogError:
+                advance_result = None
         outcomes: list[tuple[_Pending, CommitOutcome]] = []
         synced = False
         for index, entry in enumerate(batch):
@@ -578,9 +647,18 @@ class DatabaseEngine:
             synced = synced or bool(effective.events)
             outcomes.append((entry, CommitOutcome(
                 True, entry.transaction, effective, checks.get(index))))
+        # Cache maintenance before the fsync: it depends only on the
+        # in-memory state, and doing it here keeps cache and database
+        # consistent even when sync_log fails below.
+        if advance_result is not None:
+            try:
+                self._processor.advance_state_caches(advance_result)
+            except ValueError:
+                self._processor.invalidate_state_caches()
+        else:
+            self._processor.invalidate_state_caches()
         if synced:
             self._sync_log()
-        self._processor.invalidate_state_caches()
         # Acknowledge strictly after the fsync: a waiter woken earlier
         # could see a successful commit a crash then loses.  If sync_log
         # raised above, _drain fails every unfinished entry instead.
@@ -589,13 +667,30 @@ class DatabaseEngine:
         self.metrics.increment("commit.group_committed", len(batch))
         return True
 
+    def _note_unchecked(self, n_transactions: int) -> None:
+        """Count and log transactions committed without an integrity check."""
+        self.metrics.increment("commit.unchecked", n_transactions)
+        try:
+            violated = ", ".join(sorted(
+                self._processor.inconsistency_witnesses())) or "unknown"
+        except DatalogError:
+            violated = "unknown"
+        logger.warning(
+            "committing %d transaction(s) UNCHECKED: the current state "
+            "already violates constraint(s) %s; integrity checking "
+            "requires a consistent old state", n_transactions, violated)
+
     # -- maintenance -----------------------------------------------------------
 
     def checkpoint(self) -> None:
         """Fold the WAL into a fresh snapshot (write-locked)."""
         self._ensure_open()
-        with self.metrics.time("checkpoint"), self._rwlock.write():
+        with self.metrics.time("checkpoint"), self._rwlock.write(), \
+                self._interp_lock:
             self._store.checkpoint()
+            # Snapshot/recovery boundaries rebuild from disk: conservative
+            # full invalidation rather than trusting the warm state.
+            self._processor.invalidate_state_caches()
 
     def close(self, checkpoint: bool = True) -> None:
         """Refuse further requests; optionally checkpoint the WAL."""

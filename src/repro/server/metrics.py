@@ -59,10 +59,16 @@ class MetricsRegistry:
             return self._counters.get(name, 0)
 
     def snapshot(self) -> dict:
-        """A JSON-ready view of every counter and histogram."""
+        """A JSON-ready view of every counter and histogram.
+
+        Histograms are shipped with their buckets so clients can rebuild
+        them exactly (``LatencyHistogram.from_dict``) and merge across
+        servers; the summary quantile fields are still present for humans.
+        """
         with self._lock:
             requests = {
-                op: {"errors": entry["errors"], **entry["latency"].to_dict()}
+                op: {"errors": entry["errors"],
+                     **entry["latency"].to_dict(buckets=True)}
                 for op, entry in sorted(self._requests.items())
             }
             counters = dict(sorted(self._counters.items()))

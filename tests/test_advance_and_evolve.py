@@ -54,6 +54,75 @@ class TestAdvance:
         assert interpreter.old_extension("Unemp") == \
             fresh.old_extension("Unemp")
 
+    def test_advance_from_filtered_result_raises(self, employment_db):
+        """A result restricted to some predicates cannot patch them all."""
+        interpreter = UpwardInterpreter(employment_db)
+        transaction = Transaction([insert("Works", "Maria")])
+        partial = interpreter.interpret(transaction, predicates=["Ic1"])
+        employment_db.add_fact("Works", "Maria")
+        with pytest.raises(ValueError, match="partial UpwardResult"):
+            interpreter.advance(partial)
+
+    def test_advance_from_unknown_coverage_raises(self, employment_db):
+        """Hand-built results carry no coverage and must be rejected."""
+        from repro.interpretations import UpwardResult
+
+        interpreter = UpwardInterpreter(employment_db)
+        interpreter.old_extension("Unemp")  # warm the cache
+        with pytest.raises(ValueError, match="unknown coverage"):
+            interpreter.advance(UpwardResult({}, {}, Transaction()))
+
+    def test_advance_on_cold_interpreter_stays_cold(self, employment_db):
+        """Advancing before any materialisation must not materialise.
+
+        A cold advance used to build the old state from the *already
+        updated* database and then apply the deltas on top of it -- i.e.
+        apply them twice.
+        """
+        interpreter = UpwardInterpreter(employment_db)
+        transaction = Transaction([insert("Works", "Maria")])
+        result = interpreter.interpret(transaction)
+        # interpret() warms the cache, so simulate a fresh process instead.
+        cold = UpwardInterpreter(employment_db)
+        assert not cold.has_cached_state
+        employment_db.add_fact("Works", "Maria")
+        cold.advance(result)
+        assert not cold.has_cached_state
+        assert cold.old_extension("Unemp") == \
+            UpwardInterpreter(employment_db).old_extension("Unemp")
+
+    def test_advanced_old_state_feeds_transition_rules(self):
+        """Regression: the old-state *view* must track advanced extensions.
+
+        With stacked views (V2 reads V1), transition rules for V2 consult
+        V1's old extension.  After an advance() the view used to keep
+        serving the frozen pre-advance snapshot, so later interpretations
+        diverged from a fresh interpreter.
+        """
+        from repro.workloads import (
+            chain_join_views,
+            random_database,
+            random_transaction,
+        )
+
+        db = random_database(n_facts=60, domain_size=8, n_base=3, seed=0)
+        chain_join_views(db, n_views=2)
+        interpreter = UpwardInterpreter(db)
+        for round_ in range(5):
+            transaction = random_transaction(db, n_events=3, seed=round_)
+            result = interpreter.interpret(transaction)
+            for event in result.transaction:
+                if event.is_insertion:
+                    db.add_fact(event.predicate, *event.args)
+                else:
+                    db.remove_fact(event.predicate, *event.args)
+            interpreter.advance(result)
+            probe = random_transaction(db, n_events=3, seed=round_ + 50)
+            advanced = interpreter.interpret(probe)
+            oracle = naive_changes(db, probe)
+            assert advanced.insertions == oracle.insertions, round_
+            assert advanced.deletions == oracle.deletions, round_
+
 
 class TestEvolve:
     def test_evolve_commits_rules(self, pqr_db):

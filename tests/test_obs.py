@@ -188,6 +188,45 @@ class TestHistogramRoundTrip:
         with pytest.raises(ValueError):
             LatencyHistogram.from_dict({"buckets": [1, 2, 3]})
 
+    def test_bucketless_round_trip_preserves_quantiles(self):
+        """The compact (bucket-less) wire shape must not collapse quantiles.
+
+        Regression: rebuilding from a payload without ``buckets`` left the
+        counts empty, so every quantile fell through to ``max_seconds`` --
+        p50 of 0.001/0.01/0.1 came back as 0.1 instead of 0.01.
+        """
+        original = LatencyHistogram()
+        for seconds in (0.001, 0.01, 0.1):
+            original.observe(seconds)
+        assert original.quantile(0.5) == 0.01
+        rebuilt = LatencyHistogram.from_dict(original.to_dict())
+        assert rebuilt.count == original.count
+        assert rebuilt.max_seconds == original.max_seconds
+        for q in (0.5, 0.95, 0.99):
+            assert rebuilt.quantile(q) == original.quantile(q)
+        assert rebuilt.to_dict() == original.to_dict()
+
+    def test_fresh_observation_drops_carried_quantiles(self):
+        original = LatencyHistogram()
+        for seconds in (0.001, 0.01, 0.1):
+            original.observe(seconds)
+        rebuilt = LatencyHistogram.from_dict(original.to_dict())
+        rebuilt.observe(5.0)
+        # Carried quantiles describe only the pre-wire observations; after
+        # a fresh observe() the buckets (holding just that one sample) win.
+        assert rebuilt.quantile(0.5) == 5.0
+
+    def test_metrics_snapshot_ships_buckets(self):
+        from repro.server.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for seconds in (0.001, 0.01, 0.1):
+            registry.observe("query", seconds)
+        payload = registry.snapshot()["requests"]["query"]
+        assert sum(payload["buckets"]) == 3
+        rebuilt = LatencyHistogram.from_dict(payload)
+        assert rebuilt.quantile(0.5) == 0.01
+
     def test_stats_histograms_round_trip_through_client(self, tmp_path,
                                                         employment_db):
         """Server-side span histograms survive the wire bucket-for-bucket."""

@@ -83,6 +83,9 @@ class TestClientServer:
             assert stats["requests"]["commit"]["count"] >= 1
             assert stats["requests"]["query"]["count"] >= 1
             assert stats["counters"]["server.connections"] >= 1
+            # Cache lifecycle state rides the same payload.
+            assert stats["engine"]["cache_mode"] == "advance"
+            assert isinstance(stats["engine"]["cache_epoch"], int)
 
     def test_two_clients_interleave(self, server):
         with DatabaseClient(port=server) as one, \
