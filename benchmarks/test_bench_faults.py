@@ -1,0 +1,88 @@
+"""Disabled failpoints are free: overhead <= 3% of the server commit path.
+
+The fault-injection sites threaded through the WAL, the group-commit
+engine and the protocol layer stay in production code permanently, so
+their disabled cost has to be negligible.  The disabled fast path is a
+single module-dict truthiness check; this benchmark measures that cost
+directly, then bounds the total per-transaction failpoint spend against
+the measured group-commit latency of the server engine.
+"""
+
+import itertools
+import time
+
+from repro import faults
+from repro.events.events import Transaction, insert
+from repro.server import DatabaseEngine
+from repro.workloads import employment_database
+
+N_TRANSACTIONS = 128
+#: Generous static bound on failpoint evaluations per committed
+#: transaction (fast path: 1 per-member WAL append site, plus the five
+#: per-batch sites amortised; counted un-amortised here to stay safe).
+SITES_PER_COMMIT = 8
+
+_run_ids = itertools.count()
+FP_BENCH = faults.register("test.bench_disabled", "disabled-cost probe")
+
+
+def _transactions() -> list[Transaction]:
+    return [Transaction([insert("Works", f"N{index}"),
+                         insert("La", f"N{index}")])
+            for index in range(N_TRANSACTIONS)]
+
+
+def _commit_sweep_seconds(tmp_path, repeat: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        directory = tmp_path / f"run{next(_run_ids)}"
+        engine = DatabaseEngine.open(directory,
+                                     initial=employment_database(20, seed=5),
+                                     max_batch=8)
+        try:
+            transactions = _transactions()
+            start = time.perf_counter()
+            outcomes = engine.commit_many(transactions)
+            best = min(best, time.perf_counter() - start)
+            assert all(outcome.applied for outcome in outcomes)
+        finally:
+            engine.close(checkpoint=False)
+    return best
+
+
+def _disabled_call_seconds(calls: int = 200_000, repeat: int = 3) -> float:
+    """Best-of per-call cost of a failpoint nobody armed."""
+    failpoint = faults.failpoint
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for _ in range(calls):
+            failpoint(FP_BENCH)
+        best = min(best, time.perf_counter() - start)
+    return best / calls
+
+
+def test_bench_disabled_failpoint_overhead(benchmark, tmp_path):
+    assert faults.armed_names() == (), "benchmark requires a disarmed registry"
+
+    per_call = _disabled_call_seconds()
+    sweep = _commit_sweep_seconds(tmp_path)
+    per_commit = sweep / N_TRANSACTIONS
+    spend = per_call * SITES_PER_COMMIT
+    ratio = spend / per_commit
+
+    benchmark.pedantic(
+        lambda: [faults.failpoint(FP_BENCH) for _ in range(10_000)],
+        rounds=3)
+
+    print(f"\nFAULTS disabled failpoint: {per_call * 1e9:7.1f} ns/call, "
+          f"commit path {per_commit * 1e6:8.1f} us/tx, "
+          f"overhead {ratio * 100:.3f}% ({SITES_PER_COMMIT} sites/tx)")
+
+    # Acceptance criterion: disabled-failpoint overhead <= 3% of the
+    # server commit path, with the per-commit site count over-estimated.
+    assert ratio <= 0.03, (
+        f"disabled failpoints cost {ratio * 100:.2f}% of a commit "
+        f"({per_call * 1e9:.0f} ns/call x {SITES_PER_COMMIT} sites vs "
+        f"{per_commit * 1e6:.0f} us/tx); the disabled path must stay "
+        "a single dict check")

@@ -24,12 +24,30 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+from repro import faults
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.errors import ParseError, TransactionError
 from repro.events.events import Transaction, parse_transaction
 
 SNAPSHOT_NAME = "snapshot.dl"
 LOG_NAME = "events.log"
+
+FP_WAL_MID_APPEND = faults.register(
+    "wal.mid_append",
+    "inside a WAL append, before the payload is complete; a 'torn' action "
+    "writes only param of the line then crashes (the torn-tail signature)")
+FP_WAL_PRE_FSYNC = faults.register(
+    "wal.pre_fsync",
+    "after WAL bytes reach the file, before the fsync that makes them "
+    "durable (both the per-commit and the group sync_log path)")
+FP_CHECKPOINT_PRE_RENAME = faults.register(
+    "checkpoint.pre_rename",
+    "checkpoint: new snapshot synced to its temp file, before the atomic "
+    "rename over the old one (crash leaves old snapshot + full log)")
+FP_CHECKPOINT_PRE_TRUNCATE = faults.register(
+    "checkpoint.pre_truncate",
+    "checkpoint: new snapshot in place, before the log truncate (crash "
+    "leaves new snapshot + stale log; replay must be idempotent)")
 
 
 def _fsync_file(handle) -> None:
@@ -167,9 +185,14 @@ class DurableDatabase:
                 ("insert " if e.is_insertion else "delete ") + str(e.atom())
                 for e in effective
             ))
+            payload = rendered + "\n"
             with self._log_path.open("a") as log:
-                log.write(rendered + "\n")
+                action = faults.failpoint(FP_WAL_MID_APPEND, payload=rendered)
+                if action is not None and action.kind == "torn":
+                    self._torn_append(log, payload, action)
+                log.write(payload)
                 if sync:
+                    faults.failpoint(FP_WAL_PRE_FSYNC)
                     _fsync_file(log)
                 else:
                     log.flush()
@@ -180,9 +203,25 @@ class DurableDatabase:
                 self._db.remove_fact(event.predicate, *event.args)
         return effective
 
+    @staticmethod
+    def _torn_append(log, payload: str, action: faults.FaultAction) -> None:
+        """Write a strict prefix of *payload*, then die (a torn write).
+
+        ``action.param`` is the fraction of the line that reaches the file
+        (default one half); the newline never makes it, which is exactly
+        the signature :meth:`_replay_log` recovers from.
+        """
+        fraction = action.param if action.param is not None else 0.5
+        cut = max(0, min(int(len(payload) * fraction), len(payload) - 1))
+        log.write(payload[:cut])
+        log.flush()
+        raise faults.SimulatedCrash(
+            f"torn WAL append: {cut} of {len(payload)} bytes written")
+
     def sync_log(self) -> None:
         """fsync the event log; makes prior ``sync=False`` commits durable."""
         with self._log_path.open("a") as log:
+            faults.failpoint(FP_WAL_PRE_FSYNC)
             os.fsync(log.fileno())
 
     def checkpoint(self) -> None:
@@ -198,7 +237,9 @@ class DurableDatabase:
         with temporary.open("w") as fh:
             fh.write(str(self._db) + "\n")
             _fsync_file(fh)
+        faults.failpoint(FP_CHECKPOINT_PRE_RENAME)
         temporary.replace(snapshot_path)
+        faults.failpoint(FP_CHECKPOINT_PRE_TRUNCATE)
         with self._log_path.open("w") as log:
             _fsync_file(log)
         _fsync_directory(self._directory)

@@ -1,0 +1,64 @@
+"""repro.faults -- deterministic fault injection for durability testing.
+
+Failpoints are named instants in production code (WAL appends, fsyncs,
+checkpoint renames, group-commit acknowledgement, protocol frames) that
+tests arm with deterministic failure actions: raise an error, simulate a
+process crash, sleep, tear a write, drop a frame.  Disabled failpoints
+cost one dict truthiness check.  See :mod:`repro.faults.registry` for the
+action and trigger semantics, :mod:`repro.faults.clock` for the swappable
+clock ``sleep`` actions run on, and docs/TESTING.md for the failpoint
+catalog and the crash-recovery invariants the test kit checks.
+
+Arm from code::
+
+    from repro import faults
+
+    with faults.armed("wal.pre_fsync", "crash"):
+        engine.commit(transaction)        # raises faults.SimulatedCrash
+
+or from the environment: ``REPRO_FAULTS="wal.pre_fsync=crash@2#1"``.
+"""
+
+from __future__ import annotations
+
+from repro.faults import clock
+from repro.faults.registry import (
+    ACTION_KINDS,
+    FaultAction,
+    FaultError,
+    SimulatedCrash,
+    UnknownFailpointError,
+    arm,
+    arm_from_environment,
+    armed,
+    armed_names,
+    catalog,
+    disarm,
+    failpoint,
+    hit_count,
+    names,
+    parse_spec,
+    register,
+    reset,
+)
+
+__all__ = [
+    "ACTION_KINDS",
+    "FaultAction",
+    "FaultError",
+    "SimulatedCrash",
+    "UnknownFailpointError",
+    "arm",
+    "arm_from_environment",
+    "armed",
+    "armed_names",
+    "catalog",
+    "clock",
+    "disarm",
+    "failpoint",
+    "hit_count",
+    "names",
+    "parse_spec",
+    "register",
+    "reset",
+]

@@ -1,0 +1,88 @@
+"""A swappable clock, so fault schedules and tests control time.
+
+Every sleep the fault layer performs -- and any test helper that would
+otherwise call :func:`time.sleep` in a retry loop -- routes through the
+module's *current* clock.  The default :class:`Clock` is the real one;
+installing a :class:`VirtualClock` turns waiting into bookkeeping, which
+is what keeps fault-schedule tests deterministic and wall-clock-free.
+
+The module deliberately knows nothing about failpoints: it is usable on
+its own wherever a test wants time as a dependency instead of an ambient
+global.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Clock:
+    """The real clock: :func:`time.monotonic` and :func:`time.sleep`."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """A manually advanced clock; ``sleep`` records and jumps, never waits.
+
+    ``sleeps`` keeps the requested durations in order, so a test can
+    assert both *that* a delay was scheduled and *how long* it was,
+    without the suite actually spending that time.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+        self.sleeps: list[float] = []
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep."""
+        self._now += seconds
+
+
+_current: Clock = Clock()
+
+
+def get() -> Clock:
+    """The currently installed clock."""
+    return _current
+
+
+def install(clock: Clock) -> Clock:
+    """Install *clock* process-wide; returns the one it replaced."""
+    global _current
+    previous, _current = _current, clock
+    return previous
+
+
+@contextmanager
+def use(clock: Clock | None = None) -> Iterator[Clock]:
+    """Scoped clock replacement (defaults to a fresh :class:`VirtualClock`)."""
+    installed = clock or VirtualClock()
+    previous = install(installed)
+    try:
+        yield installed
+    finally:
+        install(previous)
+
+
+def monotonic() -> float:
+    """``monotonic()`` on the current clock."""
+    return _current.monotonic()
+
+
+def sleep(seconds: float) -> None:
+    """``sleep()`` on the current clock."""
+    _current.sleep(seconds)

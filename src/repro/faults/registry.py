@@ -1,0 +1,323 @@
+"""Deterministic fault injection: named failpoints with armable actions.
+
+The durability machinery (WAL appends, group-commit fsync ordering,
+checkpoint renames, protocol frames) promises invariants *across crashes*,
+and hand-written mocks can only spot-check them.  A **failpoint** is a
+named instant in production code where a test (or the ``REPRO_FAULTS``
+environment variable) can deterministically inject a failure.
+
+Sites declare themselves once at import time and guard the instant with a
+single call::
+
+    FP_PRE_FSYNC = faults.register("wal.pre_fsync", "after append, before fsync")
+    ...
+    faults.failpoint(FP_PRE_FSYNC)
+
+When nothing is armed, :func:`failpoint` is one truthiness check on a
+module-level dict -- cheap enough to sit on the commit path
+(``benchmarks/test_bench_faults.py`` holds the ceiling).  Arming attaches
+an action:
+
+``raise``
+    raise :class:`FaultError` (or a custom exception factory) -- an
+    injected storage/infrastructure error that normal error handling sees.
+``crash``
+    raise :class:`SimulatedCrash`.  It derives from ``BaseException`` so
+    no library ``except Exception`` handler can swallow it: it unwinds the
+    whole engine call stack like a longjmp, which is exactly how much of
+    the process a real crash leaves running.  The test harness catches it
+    at top level, abandons the in-memory state and re-opens the database
+    directory through recovery.
+``sleep``
+    delay ``param`` seconds via the fault clock (:mod:`repro.faults.clock`),
+    then continue -- for timeout and race testing.
+``torn`` / ``drop``
+    site-cooperative kinds: :func:`failpoint` *returns* the action and the
+    site interprets it (a WAL append writes only ``param`` of its payload;
+    a protocol frame is discarded or truncated).  Sites that do not
+    understand a returned action ignore it.
+
+Triggers are deterministic, never probabilistic: ``skip=N`` ignores the
+first N hits, ``times=M`` fires on at most M hits after that (``times=1``
+is a one-shot; the default ``times=None`` fires on every hit past
+``skip``).
+
+Environment arming mirrors ``REPRO_TRACE``: set ``REPRO_FAULTS`` to a
+``;``-separated list of ``name=kind[:param][@skip][#times]`` specs, e.g.
+``REPRO_FAULTS="wal.pre_fsync=crash@2#1;server.send_frame=drop"``.
+Specs apply when the named failpoint registers itself (sites register at
+import time), so the variable works however early it is set.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.faults import clock
+
+ACTION_KINDS = ("raise", "crash", "sleep", "torn", "drop")
+
+
+class FaultError(RuntimeError):
+    """The exception an armed ``raise`` action injects (default factory)."""
+
+
+class SimulatedCrash(BaseException):
+    """Process death, simulated.
+
+    Deliberately **not** an :class:`Exception`: every ``except Exception``
+    (and every ``except DatalogError``) in the engine must let it through,
+    because a real crash does not give the code a chance to handle
+    anything.  Only the test harness catches it.
+    """
+
+
+class UnknownFailpointError(KeyError):
+    """Arming a name no site has registered (almost always a typo)."""
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What an armed failpoint does when it fires."""
+
+    kind: str
+    param: float | None = None
+    #: For ``raise``: a zero-argument factory for the exception to inject.
+    exception: Callable[[], BaseException] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ACTION_KINDS:
+            raise ValueError(
+                f"unknown fault action {self.kind!r} "
+                f"(known: {', '.join(ACTION_KINDS)})")
+
+
+class _ArmedPoint:
+    """One armed failpoint: its action plus the deterministic trigger."""
+
+    __slots__ = ("action", "skip", "times", "hits", "fired")
+
+    def __init__(self, action: FaultAction, skip: int = 0,
+                 times: int | None = None):
+        if skip < 0:
+            raise ValueError("skip must be >= 0")
+        if times is not None and times < 1:
+            raise ValueError("times must be >= 1 (or None for unbounded)")
+        self.action = action
+        self.skip = skip
+        self.times = times
+        self.hits = 0
+        self.fired = 0
+
+    def should_fire(self) -> bool:
+        self.hits += 1
+        if self.hits <= self.skip:
+            return False
+        if self.times is not None and self.fired >= self.times:
+            return False
+        self.fired += 1
+        return True
+
+
+_lock = threading.Lock()
+_registry: dict[str, str] = {}
+#: Armed points.  `failpoint` reads this dict unlocked (a single attribute
+#: load + truthiness check is the whole disabled path); mutation happens
+#: under `_lock` and replaces values atomically.
+_armed: dict[str, _ArmedPoint] = {}
+#: REPRO_FAULTS specs awaiting their site's `register()` call.
+_env_specs: dict[str, tuple[FaultAction, int, int | None]] = {}
+
+
+def register(name: str, description: str = "") -> str:
+    """Declare a failpoint site; returns *name* for assignment at import.
+
+    Registering twice is fine (module reloads); the latest description
+    wins.  A pending ``REPRO_FAULTS`` spec for *name* is armed here.
+    """
+    with _lock:
+        _registry[name] = description
+        pending = _env_specs.pop(name, None)
+    if pending is not None:
+        action, skip, times = pending
+        arm(name, action, skip=skip, times=times)
+    return name
+
+
+def names() -> tuple[str, ...]:
+    """Every registered failpoint, sorted."""
+    with _lock:
+        return tuple(sorted(_registry))
+
+
+def catalog() -> dict[str, str]:
+    """Registered failpoints with their site descriptions."""
+    with _lock:
+        return dict(sorted(_registry.items()))
+
+
+def _coerce_action(action: FaultAction | str,
+                   param: float | None = None,
+                   exception: Callable[[], BaseException] | None = None
+                   ) -> FaultAction:
+    if isinstance(action, FaultAction):
+        return action
+    return FaultAction(kind=action, param=param, exception=exception)
+
+
+def arm(name: str, action: FaultAction | str, *,
+        param: float | None = None,
+        exception: Callable[[], BaseException] | None = None,
+        skip: int = 0, times: int | None = None) -> None:
+    """Arm *name* with an action; replaces any previous arming.
+
+    *action* is a :class:`FaultAction` or one of its kind strings
+    (``"raise"``, ``"crash"``, ``"sleep"``, ``"torn"``, ``"drop"``).
+    Raises :class:`UnknownFailpointError` for unregistered names, so a
+    typo fails the test that made it instead of silently never firing.
+    """
+    resolved = _coerce_action(action, param, exception)
+    with _lock:
+        if name not in _registry:
+            raise UnknownFailpointError(
+                f"no failpoint named {name!r} is registered "
+                f"(known: {', '.join(sorted(_registry)) or 'none'})")
+        _armed[name] = _ArmedPoint(resolved, skip=skip, times=times)
+
+
+def disarm(name: str) -> None:
+    """Disarm *name* (a no-op when it was not armed)."""
+    with _lock:
+        _armed.pop(name, None)
+
+
+def reset() -> None:
+    """Disarm everything (test teardown)."""
+    with _lock:
+        _armed.clear()
+
+
+def armed_names() -> tuple[str, ...]:
+    """Names currently armed, sorted."""
+    with _lock:
+        return tuple(sorted(_armed))
+
+
+def hit_count(name: str) -> int:
+    """How many times the armed point *name* has been evaluated (0 if not armed)."""
+    with _lock:
+        point = _armed.get(name)
+        return point.hits if point is not None else 0
+
+
+@contextmanager
+def armed(name: str, action: FaultAction | str, *,
+          param: float | None = None,
+          exception: Callable[[], BaseException] | None = None,
+          skip: int = 0, times: int | None = 1) -> Iterator[None]:
+    """Scoped arming (one-shot by default); disarms on exit.
+
+    The scope disarms rather than restores: nesting two armings of the
+    same name is a test bug this makes visible.
+    """
+    arm(name, action, param=param, exception=exception, skip=skip, times=times)
+    try:
+        yield
+    finally:
+        disarm(name)
+
+
+def failpoint(name: str, **context) -> FaultAction | None:
+    """The site-side guard: evaluate the failpoint *name*.
+
+    Disabled path: one dict truthiness check.  When armed and triggered,
+    ``raise``/``crash`` raise, ``sleep`` delays on the fault clock and
+    returns None, and site-cooperative kinds (``torn``, ``drop``) are
+    returned for the site to interpret.  *context* is attached to the
+    injected exception message for debuggability.
+    """
+    if not _armed:
+        return None
+    with _lock:
+        point = _armed.get(name)
+        if point is None or not point.should_fire():
+            return None
+        action = point.action
+    if action.kind == "sleep":
+        clock.sleep(action.param if action.param is not None else 0.0)
+        return None
+    if action.kind == "raise":
+        if action.exception is not None:
+            raise action.exception()
+        raise FaultError(_describe(name, "injected fault", context))
+    if action.kind == "crash":
+        raise SimulatedCrash(_describe(name, "simulated crash", context))
+    return action
+
+
+def _describe(name: str, what: str, context: dict) -> str:
+    suffix = ""
+    if context:
+        rendered = ", ".join(f"{key}={value!r}"
+                             for key, value in sorted(context.items()))
+        suffix = f" ({rendered})"
+    return f"{what} at failpoint {name!r}{suffix}"
+
+
+# -- environment arming ----------------------------------------------------------
+
+def parse_spec(spec: str) -> tuple[str, FaultAction, int, int | None]:
+    """Parse one ``name=kind[:param][@skip][#times]`` spec.
+
+    Returns ``(name, action, skip, times)``; raises :class:`ValueError`
+    on malformed input (the environment hook reports and skips those).
+    """
+    name, _, rest = spec.partition("=")
+    name, rest = name.strip(), rest.strip()
+    if not name or not rest:
+        raise ValueError(f"fault spec needs name=kind: {spec!r}")
+    times: int | None = None
+    skip = 0
+    if "#" in rest:
+        rest, _, raw = rest.partition("#")
+        times = int(raw)
+    if "@" in rest:
+        rest, _, raw = rest.partition("@")
+        skip = int(raw)
+    kind, _, raw_param = rest.partition(":")
+    param = float(raw_param) if raw_param else None
+    return name, FaultAction(kind=kind.strip(), param=param), skip, times
+
+
+def arm_from_environment(value: str) -> list[str]:
+    """Queue ``;``-separated specs; each arms when its site registers.
+
+    Already-registered names arm immediately.  Returns the spec strings
+    that failed to parse (reported, never fatal: a bad spec must not take
+    down the process it was meant to test).
+    """
+    bad: list[str] = []
+    for piece in value.split(";"):
+        piece = piece.strip()
+        if not piece:
+            continue
+        try:
+            name, action, skip, times = parse_spec(piece)
+        except ValueError:
+            bad.append(piece)
+            continue
+        with _lock:
+            known = name in _registry
+            if not known:
+                _env_specs[name] = (action, skip, times)
+        if known:
+            arm(name, action, skip=skip, times=times)
+    return bad
+
+
+if os.environ.get("REPRO_FAULTS"):  # pragma: no cover - env-dependent
+    arm_from_environment(os.environ["REPRO_FAULTS"])

@@ -55,6 +55,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from repro import faults
 from repro.core.durable import DurableDatabase
 from repro.core.processor import UpdateProcessor
 from repro.datalog.errors import DatalogError, TransactionError
@@ -65,6 +66,23 @@ from repro.problems.base import StateError
 from repro.server.metrics import MetricsRegistry
 
 logger = logging.getLogger("repro.server.engine")
+
+FP_PRE_BATCH_MERGE = faults.register(
+    "engine.pre_batch_merge",
+    "group commit: batch claimed, before its transactions are merged or "
+    "checked (crash loses the whole unacknowledged batch)")
+FP_POST_CHECK_PRE_ACK = faults.register(
+    "engine.post_check_pre_ack",
+    "group commit: integrity checks passed, before anything reaches the "
+    "WAL (crash: checked but never applied, nothing may survive)")
+FP_MID_CACHE_ADVANCE = faults.register(
+    "engine.mid_cache_advance",
+    "group commit: batch appended (unfsynced), before the derived-state "
+    "caches advance (crash: flushed-but-unacked, may or may not survive)")
+FP_PRE_ACK = faults.register(
+    "engine.pre_ack",
+    "after the WAL fsync, before waiters are acknowledged (crash: the "
+    "batch is durable but no client ever saw an ack)")
 
 
 class EngineClosedError(DatalogError):
@@ -567,6 +585,7 @@ class DatabaseEngine:
                 entry.finish(outcome=outcome)
         if applied:
             self._sync_log()
+            faults.failpoint(FP_PRE_ACK)
         for entry, outcome in applied:
             entry.finish(outcome=outcome)
 
@@ -599,6 +618,7 @@ class DatabaseEngine:
         db = self.db
         if any(entry.policy != "reject" for entry in batch):
             return False
+        faults.failpoint(FP_PRE_BATCH_MERGE, batch_size=len(batch))
         try:
             merged = Transaction(
                 event for entry in batch for event in entry.transaction)
@@ -640,6 +660,7 @@ class DatabaseEngine:
                 advance_result = self._processor.upward(merged)
             except DatalogError:
                 advance_result = None
+        faults.failpoint(FP_POST_CHECK_PRE_ACK, batch_size=len(batch))
         outcomes: list[tuple[_Pending, CommitOutcome]] = []
         synced = False
         for index, entry in enumerate(batch):
@@ -651,6 +672,7 @@ class DatabaseEngine:
         # in-memory state, and doing it here keeps cache and database
         # consistent even when sync_log fails below.
         if advance_result is not None:
+            faults.failpoint(FP_MID_CACHE_ADVANCE)
             try:
                 self._processor.advance_state_caches(advance_result)
             except ValueError:
@@ -659,6 +681,7 @@ class DatabaseEngine:
             self._processor.invalidate_state_caches()
         if synced:
             self._sync_log()
+        faults.failpoint(FP_PRE_ACK)
         # Acknowledge strictly after the fsync: a waiter woken earlier
         # could see a successful commit a crash then loses.  If sync_log
         # raised above, _drain fails every unfinished entry instead.

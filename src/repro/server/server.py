@@ -23,11 +23,21 @@ import threading
 import time
 from pathlib import Path
 
+from repro import faults
 from repro.obs import tracer as obs
 from repro.server import protocol
 from repro.server.engine import DatabaseEngine
 
 logger = logging.getLogger("repro.server")
+
+FP_PRE_DISPATCH = faults.register(
+    "server.pre_dispatch",
+    "on the worker thread, before a request dispatches (a 'sleep' action "
+    "deterministically triggers the per-request timeout)")
+FP_SEND_FRAME = faults.register(
+    "server.send_frame",
+    "outbound response frame: 'drop' discards the ack, 'torn' sends a "
+    "partial frame and closes -- a flaky network, simulated")
 
 
 class DatabaseServer:
@@ -169,11 +179,23 @@ class DatabaseServer:
                 request.id,
                 f"request exceeded the {self.request_timeout}s server timeout",
                 error_type="timeout")
+        except Exception as error:
+            # protocol.dispatch already maps engine errors to typed
+            # responses, so anything landing here is infrastructure (an
+            # injected fault, a dying executor).  One session must not
+            # take the server with it -- but SimulatedCrash, a
+            # BaseException, still unwinds everything by design.
+            logger.exception("dispatch infrastructure failure")
+            self.engine.metrics.increment("server.dispatch_failures")
+            response = protocol.error_response(
+                request.id, f"internal server error: {error}",
+                error_type="internal")
         await self._send(writer, response)
         return True
 
     def _dispatch(self, request: protocol.Request) -> protocol.Response:
         """Dispatch one request on a worker thread, watching for slow ops."""
+        faults.failpoint(FP_PRE_DISPATCH, op=request.op)
         started = time.perf_counter()
         with obs.span(f"request.{request.op}") as span:
             response = protocol.dispatch(self.engine, request)
@@ -191,7 +213,19 @@ class DatabaseServer:
     @staticmethod
     async def _send(writer: asyncio.StreamWriter,
                     response: protocol.Response) -> None:
-        writer.write(response.to_json().encode("utf-8") + b"\n")
+        data = response.to_json().encode("utf-8") + b"\n"
+        action = faults.failpoint(FP_SEND_FRAME)
+        if action is not None:
+            if action.kind == "drop":
+                return  # the work happened; only the ack is lost
+            if action.kind == "torn":
+                fraction = action.param if action.param is not None else 0.5
+                cut = max(1, min(int(len(data) * fraction), len(data) - 1))
+                writer.write(data[:cut])
+                await writer.drain()
+                writer.close()
+                return
+        writer.write(data)
         await writer.drain()
 
 

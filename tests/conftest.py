@@ -1,10 +1,19 @@
-"""Shared fixtures: the paper's two running example databases."""
+"""Shared fixtures: the running example databases, plus fault hygiene."""
 
 from __future__ import annotations
 
 import pytest
 
+from repro import faults
 from repro.datalog import DeductiveDatabase
+
+
+@pytest.fixture(autouse=True)
+def _disarm_failpoints():
+    """No test may leak armed failpoints (or an installed fault clock)."""
+    yield
+    faults.reset()
+    faults.clock.install(faults.clock.Clock())
 
 
 @pytest.fixture

@@ -317,3 +317,69 @@ class TestTraceCommand:
     def test_trace_missing_argument_reported(self, db_file, capsys):
         assert main(["trace", "query", db_file]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestCliErrorPaths:
+    """Error paths of ``call``/``trace``/``serve`` argument handling."""
+
+    def test_call_rejects_unknown_op(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["call", "--port", "1", "frobnicate"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_trace_rejects_unknown_op(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "frobnicate", "db.dl"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_call_missing_goal_is_a_clean_error(self, capsys):
+        # A usage mistake before any socket is opened: no traceback, the
+        # flat exit-2 error contract of the driver.
+        assert main(["call", "--port", "1", "query"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "goal" in err
+
+    def test_call_monitor_missing_conditions(self, capsys):
+        assert main(["call", "--port", "1", "monitor",
+                     "insert Works(A)"]) == 2
+        assert "-c CONDITIONS" in capsys.readouterr().err
+
+    def test_call_downward_missing_requests(self, capsys):
+        assert main(["call", "--port", "1", "downward"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_missing_transaction(self, db_file, capsys):
+        assert main(["trace", "commit", db_file]) == 2
+        assert "needs a transaction" in capsys.readouterr().err
+
+    def test_trace_nonexistent_database_file(self, tmp_path, capsys):
+        assert main(["trace", "query", str(tmp_path / "nope.dl"),
+                     "Unemp(x)"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_cache_mode(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["serve", "data", "--cache-mode",
+                                       "sometimes"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_serve_accepts_both_cache_modes(self):
+        from repro.cli import build_parser
+
+        for mode in ("advance", "invalidate"):
+            args = build_parser().parse_args(
+                ["serve", "data", "--cache-mode", mode])
+            assert args.cache_mode == mode
+        default = build_parser().parse_args(["serve", "data"])
+        assert default.cache_mode == "advance"
+
+    def test_engine_rejects_bad_cache_mode(self, tmp_path):
+        from repro.server import DatabaseEngine
+
+        with pytest.raises(ValueError, match="cache_mode"):
+            DatabaseEngine.open(tmp_path / "d", cache_mode="sometimes")

@@ -1,0 +1,225 @@
+"""Unit tests for the failpoint registry and the fault clock."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.faults import clock
+
+# Registered here once, exercised by every test below.  Module-level like
+# real sites, so REPRO_FAULTS-style pending specs can target them too.
+FP_TEST = faults.register("test.unit_point", "registered by tests/test_faults.py")
+FP_OTHER = faults.register("test.other_point", "a second point for isolation tests")
+
+
+class TestRegistry:
+    def test_register_returns_name_and_lists(self):
+        assert FP_TEST == "test.unit_point"
+        assert FP_TEST in faults.names()
+        assert faults.catalog()[FP_TEST] == "registered by tests/test_faults.py"
+
+    def test_register_twice_updates_description(self):
+        faults.register(FP_TEST, "newer text")
+        assert faults.catalog()[FP_TEST] == "newer text"
+        faults.register(FP_TEST, "registered by tests/test_faults.py")
+
+    def test_disabled_failpoint_returns_none(self):
+        assert faults.failpoint(FP_TEST) is None
+
+    def test_arm_unknown_name_raises(self):
+        with pytest.raises(faults.UnknownFailpointError):
+            faults.arm("no.such.point", "raise")
+
+    def test_unknown_action_kind_raises(self):
+        with pytest.raises(ValueError):
+            faults.FaultAction(kind="explode")
+
+    def test_raise_action_includes_context(self):
+        faults.arm(FP_TEST, "raise")
+        with pytest.raises(faults.FaultError, match="batch_size=3"):
+            faults.failpoint(FP_TEST, batch_size=3)
+
+    def test_raise_action_custom_exception_factory(self):
+        faults.arm(FP_TEST, "raise", exception=lambda: OSError(28, "No space"))
+        with pytest.raises(OSError, match="No space"):
+            faults.failpoint(FP_TEST)
+
+    def test_crash_is_not_an_exception(self):
+        # The whole point: `except Exception` must not swallow a crash.
+        assert not issubclass(faults.SimulatedCrash, Exception)
+        faults.arm(FP_TEST, "crash")
+        with pytest.raises(faults.SimulatedCrash):
+            try:
+                faults.failpoint(FP_TEST)
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("SimulatedCrash was swallowed by `except Exception`")
+
+    def test_sleep_action_uses_fault_clock(self):
+        virtual = clock.VirtualClock()
+        with clock.use(virtual):
+            faults.arm(FP_TEST, "sleep", param=1.5)
+            assert faults.failpoint(FP_TEST) is None
+        assert virtual.sleeps == [1.5]
+
+    def test_torn_and_drop_are_returned_to_the_site(self):
+        faults.arm(FP_TEST, "torn", param=0.25)
+        action = faults.failpoint(FP_TEST)
+        assert action is not None and action.kind == "torn"
+        assert action.param == 0.25
+        faults.arm(FP_TEST, "drop")
+        assert faults.failpoint(FP_TEST).kind == "drop"
+
+    def test_skip_and_times_triggers(self):
+        fired = []
+        faults.arm(FP_TEST, "raise", skip=2, times=1)
+        for _ in range(5):
+            try:
+                faults.failpoint(FP_TEST)
+                fired.append(False)
+            except faults.FaultError:
+                fired.append(True)
+        # Hits 1-2 skipped, hit 3 fires, hits 4-5 exhausted.
+        assert fired == [False, False, True, False, False]
+        assert faults.hit_count(FP_TEST) == 5
+
+    def test_unbounded_times_fires_every_hit(self):
+        faults.arm(FP_TEST, "drop")
+        assert all(faults.failpoint(FP_TEST) is not None for _ in range(4))
+
+    def test_invalid_triggers_rejected(self):
+        with pytest.raises(ValueError):
+            faults.arm(FP_TEST, "raise", skip=-1)
+        with pytest.raises(ValueError):
+            faults.arm(FP_TEST, "raise", times=0)
+
+    def test_armed_context_manager_is_one_shot_and_disarms(self):
+        with faults.armed(FP_TEST, "raise"):
+            assert FP_TEST in faults.armed_names()
+            with pytest.raises(faults.FaultError):
+                faults.failpoint(FP_TEST)
+            assert faults.failpoint(FP_TEST) is None  # one-shot spent
+        assert FP_TEST not in faults.armed_names()
+
+    def test_armed_disarms_even_when_body_raises(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with faults.armed(FP_TEST, "crash"):
+                raise RuntimeError("boom")
+        assert faults.failpoint(FP_TEST) is None
+
+    def test_disarm_and_reset(self):
+        faults.arm(FP_TEST, "raise")
+        faults.arm(FP_OTHER, "raise")
+        faults.disarm(FP_TEST)
+        faults.disarm("never.armed")  # no-op, no error
+        assert faults.armed_names() == (FP_OTHER,)
+        faults.reset()
+        assert faults.armed_names() == ()
+
+    def test_arming_one_point_leaves_others_disabled(self):
+        faults.arm(FP_OTHER, "raise")
+        assert faults.failpoint(FP_TEST) is None
+
+    def test_hit_count_unarmed_is_zero(self):
+        assert faults.hit_count(FP_TEST) == 0
+
+
+class TestSpecParsing:
+    def test_full_grammar(self):
+        name, action, skip, times = faults.parse_spec(
+            "wal.pre_fsync=sleep:0.25@3#2")
+        assert name == "wal.pre_fsync"
+        assert action == faults.FaultAction("sleep", 0.25)
+        assert (skip, times) == (3, 2)
+
+    def test_minimal_spec(self):
+        name, action, skip, times = faults.parse_spec("x=crash")
+        assert (name, action.kind, action.param) == ("x", "crash", None)
+        assert (skip, times) == (0, None)
+
+    @pytest.mark.parametrize("bad", [
+        "", "justaname", "=crash", "x=", "x=explode", "x=sleep:a lot",
+        "x=crash#none", "x=crash@-",
+    ])
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            faults.parse_spec(bad)
+
+    def test_arm_from_environment_immediate_and_bad(self):
+        bad = faults.arm_from_environment(
+            f"{FP_TEST}=raise#1; ;broken spec;{FP_OTHER}=drop")
+        assert bad == ["broken spec"]
+        assert set(faults.armed_names()) == {FP_TEST, FP_OTHER}
+        with pytest.raises(faults.FaultError):
+            faults.failpoint(FP_TEST)
+
+    def test_arm_from_environment_pends_until_register(self):
+        faults.arm_from_environment("test.late_point=drop#1")
+        assert "test.late_point" not in faults.armed_names()
+        faults.register("test.late_point", "registered after the spec")
+        assert "test.late_point" in faults.armed_names()
+        assert faults.failpoint("test.late_point").kind == "drop"
+
+
+class TestEnvironmentEndToEnd:
+    def test_repro_faults_variable_arms_a_wal_site(self, tmp_path):
+        """REPRO_FAULTS set before interpreter start arms real sites."""
+        script = (
+            "from pathlib import Path\n"
+            "from repro.core.durable import DurableDatabase\n"
+            "from repro.datalog.database import DeductiveDatabase\n"
+            "from repro.events.events import parse_transaction, Transaction\n"
+            "db = DeductiveDatabase(); db.declare_base('P', 1)\n"
+            "store = DurableDatabase.open(Path(r'{dir}'), initial=db)\n"
+            "store.commit(Transaction(parse_transaction('insert P(A)')))\n"
+            "print('no crash')\n"
+        ).format(dir=tmp_path / "db")
+        env = dict(os.environ,
+                   REPRO_FAULTS="wal.pre_fsync=crash#1",
+                   PYTHONPATH=str(Path(__file__).resolve().parents[1] / "src"))
+        result = subprocess.run([sys.executable, "-c", script],
+                                capture_output=True, text=True, env=env,
+                                timeout=60)
+        assert result.returncode != 0
+        assert "SimulatedCrash" in result.stderr
+        assert "no crash" not in result.stdout
+
+
+class TestClock:
+    def test_virtual_clock_advances_and_records(self):
+        virtual = clock.VirtualClock()
+        start = virtual.monotonic()
+        virtual.sleep(2.0)
+        virtual.advance(0.5)
+        assert virtual.monotonic() == pytest.approx(start + 2.5)
+        assert virtual.sleeps == [2.0]
+
+    def test_install_returns_previous(self):
+        virtual = clock.VirtualClock()
+        previous = clock.install(virtual)
+        try:
+            assert clock.get() is virtual
+            clock.sleep(1.0)
+            assert virtual.sleeps == [1.0]
+        finally:
+            clock.install(previous)
+        assert clock.get() is previous
+
+    def test_use_defaults_to_fresh_virtual_clock(self):
+        with clock.use() as virtual:
+            assert isinstance(virtual, clock.VirtualClock)
+            assert clock.get() is virtual
+            clock.sleep(3.0)
+        assert virtual.sleeps == [3.0]
+        assert clock.get() is not virtual
+
+    def test_real_clock_sleeps_for_real(self):
+        real = clock.Clock()
+        before = real.monotonic()
+        real.sleep(0.01)
+        assert real.monotonic() - before >= 0.005

@@ -1,0 +1,250 @@
+"""Protocol fuzzing: malformed frames and payloads never traceback or hang.
+
+Three layers, hostile input at each:
+
+- the pure decoders (``decode_request`` / ``decode_response``) under
+  hypothesis-generated garbage -- the only allowed failure is
+  :class:`ProtocolError`;
+- typed request deserialisation (``UpdateRequest.of``) under junk
+  parameter payloads -- the only allowed failure is a
+  :class:`~repro.datalog.errors.DatalogError` subclass (so the dispatcher
+  maps it to a typed wire error, never ``"internal"``);
+- a live server under raw-socket garbage -- every frame gets either a
+  typed error response or a clean close, within a deadline, and the
+  session (or at least the server) keeps working afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.errors import DatalogError
+from repro.requests import REQUEST_TYPES, UpdateRequest
+from repro.server import DatabaseEngine, ServerThread, protocol
+
+#: Wire error types a fuzzed frame may legitimately produce.
+TYPED_ERRORS = {name for _, name in protocol._ERROR_TYPES}
+
+
+# -- the pure decoders ---------------------------------------------------------
+
+
+class TestDecodeFuzz:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_decode_request_garbage_bytes(self, data):
+        try:
+            request = protocol.decode_request(data)
+            assert isinstance(request.op, str) and request.op
+        except protocol.ProtocolError:
+            pass  # the only exception the server loop handles
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_decode_request_garbage_text(self, text):
+        try:
+            protocol.decode_request(text)
+        except protocol.ProtocolError:
+            pass
+
+    @given(st.recursive(
+        st.none() | st.booleans() | st.integers() | st.floats(allow_nan=False)
+        | st.text(max_size=20),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=8), children, max_size=4),
+        max_leaves=10))
+    @settings(max_examples=200, deadline=None)
+    def test_decode_request_arbitrary_json(self, payload):
+        try:
+            protocol.decode_request(json.dumps(payload))
+        except protocol.ProtocolError:
+            pass
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_decode_response_garbage(self, data):
+        try:
+            protocol.decode_response(data)
+        except (protocol.ProtocolError, UnicodeDecodeError):
+            pass
+
+
+# -- typed request deserialisation ---------------------------------------------
+
+
+JUNK_PARAMS = [
+    {},
+    {"transaction": 42},
+    {"transaction": ""},
+    {"transaction": "insert (("},
+    {"transaction": ["insert P(A)"]},
+    {"goal": []},
+    {"goal": ""},
+    {"goal": "P(x"},
+    {"predicates": "Works", "transaction": "insert Works(A)"},
+    {"predicates": [1, 2], "transaction": "insert Works(A)"},
+    {"conditions": [], "transaction": "insert Works(A)"},
+    {"conditions": "Unemp", "transaction": "insert Works(A)"},
+    {"requests": []},
+    {"requests": 7},
+    {"requests": [{"op": "x"}]},
+    {"on_violation": "explode", "transaction": "insert Works(A)"},
+    {"timeout": "soon", "transaction": "insert Works(A)"},
+    {"timeout": -1, "transaction": "insert Works(A)"},
+    {"unexpected": object},
+]
+
+
+class TestTypedRequestFuzz:
+    @pytest.mark.parametrize("op", sorted(REQUEST_TYPES))
+    @pytest.mark.parametrize("params", JUNK_PARAMS,
+                             ids=lambda p: repr(sorted(p))[:40])
+    def test_junk_params_raise_typed_errors_only(self, op, params):
+        """Either a valid typed request or a DatalogError -- nothing the
+        dispatcher would report as 'internal'."""
+        try:
+            request = UpdateRequest.of(op, params)
+        except DatalogError as error:
+            assert protocol.error_type_of(error) != "internal"
+        else:
+            assert isinstance(request, UpdateRequest)
+
+    def test_unknown_op_is_a_protocol_error(self):
+        with pytest.raises(DatalogError) as excinfo:
+            UpdateRequest.of("no-such-op", {})
+        assert protocol.error_type_of(excinfo.value) == "protocol"
+
+
+# -- the live server -----------------------------------------------------------
+
+
+@pytest.fixture
+def port(tmp_path, employment_db):
+    engine = DatabaseEngine.open(tmp_path / "fuzz", initial=employment_db)
+    with ServerThread(engine, max_line_bytes=4096) as bound:
+        yield bound
+
+
+def raw_exchange(port: int, frames: bytes, timeout: float = 10.0
+                 ) -> list[bytes]:
+    """Send raw bytes, return the response lines until the server closes.
+
+    The socket timeout is the no-hang guarantee: a server that neither
+    answers nor closes fails the test within *timeout*.
+    """
+    with socket.create_connection(("127.0.0.1", port),
+                                  timeout=timeout) as sock:
+        sock.sendall(frames)
+        sock.shutdown(socket.SHUT_WR)
+        received = b""
+        while True:
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            received += chunk
+    return [line for line in received.split(b"\n") if line]
+
+
+def assert_typed_error(line: bytes, expect: str | None = None) -> dict:
+    response = json.loads(line)
+    assert response["ok"] is False
+    error = response["error"]
+    assert error["type"] in TYPED_ERRORS | {"internal"}
+    assert error["type"] != "internal", error
+    assert "Traceback" not in error["message"]
+    if expect is not None:
+        assert error["type"] == expect, error
+    return response
+
+
+MALFORMED_FRAMES = [
+    (b"{{{not json}}}\n", "protocol"),
+    (b"[1, 2, 3]\n", "protocol"),
+    (b'"just a string"\n', "protocol"),
+    (b'{"v": 99, "op": "ping"}\n', "protocol"),
+    (b'{"v": 1}\n', "protocol"),
+    (b'{"v": 1, "op": 7}\n', "protocol"),
+    (b'{"v": 1, "op": ""}\n', "protocol"),
+    (b'{"v": 1, "op": "ping", "params": []}\n', "protocol"),
+    (b'{"v": 1, "op": "frobnicate"}\n', "protocol"),
+    (b"\xff\xfe\xfd garbage \xff\n", "protocol"),
+    (b'{"v": 1, "op": "commit"}\n', "protocol"),
+    (b'{"v": 1, "op": "commit", "params": {"transaction": 42}}\n',
+     "protocol"),
+    (b'{"v": 1, "op": "commit", "params": {"transaction": "insert (("}}\n',
+     "parse"),
+    (b'{"v": 1, "op": "query", "params": {"goal": "Unemp(x"}}\n',
+     "parse"),
+    (b'{"v": 1, "op": "commit", "params": {"transaction": "insert Unemp(A)"}}\n',
+     "transaction"),
+    (b'{"v": 1, "op": "downward", "params": {"requests": [3]}}\n',
+     "protocol"),
+]
+
+
+class TestServerFuzz:
+    @pytest.mark.parametrize("frame,expected",
+                             MALFORMED_FRAMES,
+                             ids=[f[:30].decode("latin-1")
+                                  for f, _ in MALFORMED_FRAMES])
+    def test_malformed_frame_gets_typed_error(self, port, frame, expected):
+        lines = raw_exchange(port, frame)
+        assert lines, "server closed without answering"
+        assert_typed_error(lines[0], expected)
+
+    def test_session_survives_a_burst_of_garbage(self, port):
+        burst = b"".join(frame for frame, _ in MALFORMED_FRAMES)
+        ping = b'{"v": 1, "op": "ping", "id": 99}\n'
+        lines = raw_exchange(port, burst + ping)
+        assert len(lines) == len(MALFORMED_FRAMES) + 1
+        for line in lines[:-1]:
+            assert_typed_error(line)
+        final = json.loads(lines[-1])
+        assert final["ok"] and final["id"] == 99
+        assert final["result"] == {"pong": True}
+
+    def test_oversized_line_is_refused_not_hung(self, port):
+        huge = b'{"v": 1, "op": "ping", "padding": "' + b"x" * 8192 + b'"}\n'
+        lines = raw_exchange(port, huge)
+        assert lines, "server closed without answering"
+        response = json.loads(lines[0])
+        assert response["ok"] is False
+        assert response["error"]["type"] == "protocol"
+        assert "too long" in response["error"]["message"]
+
+    def test_truncated_frame_at_eof(self, port):
+        # No trailing newline: the client died mid-frame.  The server may
+        # answer the fragment with a typed error or just close; both are
+        # fine, hanging or dying is not.
+        lines = raw_exchange(port, b'{"v": 1, "op": "pi')
+        for line in lines:
+            assert_typed_error(line)
+
+    def test_empty_and_blank_lines_are_skipped(self, port):
+        ping = b'{"v": 1, "op": "ping", "id": 5}\n'
+        lines = raw_exchange(port, b"\n   \n\t\n" + ping)
+        assert len(lines) == 1
+        assert json.loads(lines[0])["ok"] is True
+
+    def test_seeded_random_mutations(self, port):
+        """Bit-flipped valid frames: every one answered or cleanly closed."""
+        import random
+
+        rng = random.Random(0xFA17)
+        base = b'{"v": 1, "op": "query", "params": {"goal": "Unemp(x)"}}'
+        for _ in range(30):
+            mutated = bytearray(base)
+            for _ in range(rng.randrange(1, 4)):
+                position = rng.randrange(len(mutated))
+                mutated[position] = rng.randrange(9, 127)
+            lines = raw_exchange(port, bytes(mutated) + b"\n")
+            for line in lines:
+                response = json.loads(line)
+                if not response["ok"]:
+                    assert response["error"]["type"] in TYPED_ERRORS
+                    assert "Traceback" not in response["error"]["message"]
