@@ -215,9 +215,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     engine = DatabaseEngine.open(args.directory, initial=initial,
                                  max_batch=args.max_batch,
                                  on_violation=args.on_violation,
-                                 cache_mode=args.cache_mode)
+                                 cache_mode=args.cache_mode,
+                                 dedup_capacity=args.dedup_capacity)
     run(engine, host=args.host, port=args.port, port_file=args.port_file,
         max_connections=args.max_connections,
+        max_inflight=args.max_inflight,
         request_timeout=args.timeout,
         checkpoint_on_shutdown=not args.no_checkpoint,
         slow_op_threshold=args.slow_op_threshold)
@@ -243,6 +245,8 @@ def _request_params(args: argparse.Namespace) -> dict:
                                     if c.strip()]
         if args.op == "commit" and getattr(args, "on_violation", None):
             params["on_violation"] = args.on_violation
+        if args.op == "commit" and getattr(args, "txn_id", None):
+            params["txn_id"] = args.txn_id
     elif args.op == "downward":
         requests = args.request or (
             [r for r in args.argument.split(";") if r.strip()]
@@ -256,10 +260,23 @@ def _request_params(args: argparse.Namespace) -> dict:
 
 def _cmd_call(args: argparse.Namespace) -> int:
     """Send one request to a running server and print the JSON result."""
-    from repro.server.client import DatabaseClient
-
     params = _request_params(args)
-    with DatabaseClient(args.host, args.port, handshake=False) as client:
+    resilient = args.retries is not None or args.deadline is not None
+    if resilient:
+        # The self-healing path: reconnects, jittered backoff, a deadline
+        # budget the server enforces too, and auto txn_id stamping so
+        # retried commits are exactly-once.
+        from repro.server.resilient import ResilientClient
+
+        client_cm = ResilientClient(
+            args.host, args.port,
+            max_attempts=args.retries if args.retries is not None else 5,
+            deadline=args.deadline)
+    else:
+        from repro.server.client import DatabaseClient
+
+        client_cm = DatabaseClient(args.host, args.port, handshake=False)
+    with client_cm as client:
         if args.op == "shutdown":  # control op: the server intercepts it
             result = client.call("shutdown")
         else:
@@ -271,6 +288,8 @@ def _cmd_call(args: argparse.Namespace) -> int:
         return 0 if result.get("applied") else 1
     if args.op == "downward":
         return 0 if result.get("satisfiable") else 1
+    if args.op == "health":
+        return 0 if result.get("ready") else 1
     return 0
 
 
@@ -377,6 +396,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-batch", type=int, default=64,
                        help="group-commit width (default 64)")
     serve.add_argument("--max-connections", type=int, default=64)
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       help="in-flight request budget before shedding with "
+                            "'overloaded' (default: 4x the worker pool)")
+    serve.add_argument("--dedup-capacity", type=int, default=None,
+                       help="bound on remembered txn_id outcomes "
+                            "(exactly-once window; default 4096)")
     serve.add_argument("--timeout", type=float, default=30.0,
                        help="per-request timeout in seconds")
     serve.add_argument("--on-violation", default="reject",
@@ -399,7 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
         "call", help="send one request to a running server")
     call.add_argument("op", choices=[
         "ping", "hello", "query", "upward", "check", "monitor", "downward",
-        "repair", "commit", "stats", "checkpoint", "shutdown"])
+        "repair", "commit", "stats", "checkpoint", "health", "shutdown"])
     call.add_argument("argument", nargs="?",
                       help="query goal / transaction / ';'-separated requests")
     call.add_argument("--host", default="127.0.0.1")
@@ -411,6 +436,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated condition predicates (monitor)")
     call.add_argument("--on-violation",
                       choices=["reject", "maintain", "ignore"])
+    call.add_argument("--txn-id", dest="txn_id", metavar="ID",
+                      help="idempotency key for commit (retries with the "
+                           "same id return the recorded outcome)")
+    call.add_argument("--retries", type=int, default=None, metavar="N",
+                      help="retry through the resilient client, at most N "
+                           "attempts (commits are auto-stamped with txn_ids)")
+    call.add_argument("--deadline", type=float, default=None,
+                      metavar="SECONDS",
+                      help="per-call deadline budget, propagated to the "
+                           "server (implies the resilient client)")
     call.set_defaults(run=_cmd_call)
 
     trace = commands.add_parser(

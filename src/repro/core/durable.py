@@ -17,11 +17,34 @@ acknowledged commit survives a crash.  The group-commit path of
 :class:`repro.server.engine.DatabaseEngine` amortises that cost by
 appending a whole batch with ``sync=False`` and calling :meth:`sync_log`
 once.
+
+Exactly-once identity
+---------------------
+A commit stamped with a ``txn_id`` writes a *self-identifying* WAL line::
+
+    #txn <id> <digest> applied :: insert P(A), delete Q(B)
+    #txn <id> <digest> applied ::               (applied, no net effect)
+    #txn <id> <digest> rejected ::              (definitive rejection)
+
+The header travels on the same line as the events, so the record is as
+atomic as the append itself: a torn write loses the whole commit *and* its
+identity together, never one without the other.  Recovery rebuilds the
+bounded :class:`TxnDedupTable` from these headers (plus the ``txns.json``
+checkpoint sidecar, which preserves the table across log truncation), which
+is what lets a retried commit whose first attempt survived the crash return
+the original outcome instead of double-applying.  Legacy logs without
+headers replay unchanged.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import logging
 import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro import faults
@@ -29,8 +52,18 @@ from repro.datalog.database import DeductiveDatabase
 from repro.datalog.errors import ParseError, TransactionError
 from repro.events.events import Transaction, parse_transaction
 
+logger = logging.getLogger("repro.core.durable")
+
 SNAPSHOT_NAME = "snapshot.dl"
 LOG_NAME = "events.log"
+TXN_SIDECAR_NAME = "txns.json"
+
+#: WAL lines carrying a transaction identity start with this marker.
+TXN_LINE_PREFIX = "#txn "
+#: Separates the txn header from the (possibly empty) event payload.
+TXN_SEPARATOR = " :: "
+#: Default bound on remembered transaction outcomes (FIFO eviction).
+DEFAULT_DEDUP_CAPACITY = 4096
 
 FP_WAL_MID_APPEND = faults.register(
     "wal.mid_append",
@@ -48,6 +81,91 @@ FP_CHECKPOINT_PRE_TRUNCATE = faults.register(
     "checkpoint.pre_truncate",
     "checkpoint: new snapshot in place, before the log truncate (crash "
     "leaves new snapshot + stale log; replay must be idempotent)")
+
+
+def transaction_digest(transaction: Transaction) -> str:
+    """A stable fingerprint of a transaction's *requested* body.
+
+    Retries resend the same body, so the digest lets the dedup table
+    distinguish a legitimate retry (same ``txn_id``, same digest) from a
+    ``txn_id`` reuse bug (same id, different body).  Sorted rendering makes
+    it independent of event order.
+    """
+    text = ",".join(sorted(
+        ("insert " if e.is_insertion else "delete ") + str(e.atom())
+        for e in transaction))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class TxnRecord:
+    """One remembered commit outcome: body fingerprint plus wire result."""
+
+    digest: str
+    #: The ``CommitOutcome.to_dict()`` shape (recovered records carry only
+    #: ``applied``/``effective`` plus ``"recovered": True`` -- the integrity
+    #: check verdict does not survive a crash, the outcome does).
+    outcome: dict
+
+
+class TxnDedupTable:
+    """A bounded, thread-safe map of ``txn_id`` -> :class:`TxnRecord`.
+
+    Insertion-ordered with FIFO eviction at *capacity*: the oldest
+    remembered outcome is forgotten first.  A retry arriving after its
+    record was evicted re-executes -- the bound is the explicit limit of
+    the exactly-once window, sized so that any sane retry policy lands
+    well inside it.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_DEDUP_CAPACITY):
+        if capacity < 1:
+            raise ValueError("dedup capacity must be at least 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._records: OrderedDict[str, TxnRecord] = OrderedDict()
+
+    def get(self, txn_id: str) -> TxnRecord | None:
+        with self._lock:
+            return self._records.get(txn_id)
+
+    def put(self, txn_id: str, digest: str, outcome: dict) -> None:
+        with self._lock:
+            if txn_id in self._records:
+                self._records.move_to_end(txn_id)
+            self._records[txn_id] = TxnRecord(digest, outcome)
+            while len(self._records) > self.capacity:
+                self._records.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def snapshot(self) -> list[list]:
+        """Insertion-ordered ``[id, digest, outcome]`` rows (the sidecar)."""
+        with self._lock:
+            return [[txn_id, record.digest, record.outcome]
+                    for txn_id, record in self._records.items()]
+
+
+def parse_log_line(text: str) -> tuple[tuple[str, str, str] | None, str]:
+    """Split one WAL line into ``((txn_id, digest, status) | None, body)``.
+
+    Raises :class:`~repro.datalog.errors.ParseError` on a malformed txn
+    header, so replay treats a torn header exactly like a torn payload.
+    """
+    if not text.startswith(TXN_LINE_PREFIX):
+        return None, text
+    # Partition on " ::" (not " :: ") so a no-payload line, whose trailing
+    # space was stripped, still splits; the header never contains "::".
+    header, separator, body = text.partition(TXN_SEPARATOR.rstrip())
+    if not separator:
+        raise ParseError(f"txn log line has no '{TXN_SEPARATOR.strip()}' "
+                         f"separator: {text!r}")
+    parts = header.split()
+    if len(parts) != 4 or parts[3] not in ("applied", "rejected"):
+        raise ParseError(f"malformed txn log header: {header!r}")
+    return (parts[1], parts[2], parts[3]), body.strip()
 
 
 def _fsync_file(handle) -> None:
@@ -72,15 +190,19 @@ class DurableDatabase:
     the snapshot).
     """
 
-    def __init__(self, db: DeductiveDatabase, directory: Path):
+    def __init__(self, db: DeductiveDatabase, directory: Path,
+                 txns: TxnDedupTable | None = None):
         self._db = db
         self._directory = directory
         self._log_path = directory / LOG_NAME
+        #: Remembered commit outcomes by ``txn_id`` (the dedup table).
+        self.txns = txns if txns is not None else TxnDedupTable()
 
     # -- lifecycle -----------------------------------------------------------
 
     @classmethod
-    def open(cls, directory, initial: DeductiveDatabase | None = None
+    def open(cls, directory, initial: DeductiveDatabase | None = None, *,
+             dedup_capacity: int = DEFAULT_DEDUP_CAPACITY
              ) -> "DurableDatabase":
         """Open a durable database, recovering from snapshot + log.
 
@@ -89,12 +211,15 @@ class DurableDatabase:
         crash between append and fsync -- is dropped and the durable prefix
         recovered; corruption anywhere *before* the final line still
         raises, since silently skipping acknowledged commits would be worse
-        than failing loudly.
+        than failing loudly.  The transaction dedup table is rebuilt from
+        the ``txns.json`` sidecar (checkpoint-era records) plus the ``#txn``
+        headers in the log, newest record winning.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         snapshot_path = directory / SNAPSHOT_NAME
         log_path = directory / LOG_NAME
+        txns = TxnDedupTable(dedup_capacity)
         if snapshot_path.exists():
             if initial is not None:
                 raise TransactionError(
@@ -102,16 +227,37 @@ class DurableDatabase:
                     f"'initial' or choose a fresh directory"
                 )
             db = DeductiveDatabase.from_source(snapshot_path.read_text())
+            cls._load_txn_sidecar(directory, txns)
             if log_path.exists():
-                cls._replay_log(db, log_path)
+                cls._replay_log(db, log_path, txns)
         else:
             db = initial.copy() if initial is not None else DeductiveDatabase()
             snapshot_path.write_text(str(db) + "\n")
             log_path.write_text("")
-        return cls(db, directory)
+        return cls(db, directory, txns)
 
     @staticmethod
-    def _replay_log(db: DeductiveDatabase, log_path: Path) -> None:
+    def _load_txn_sidecar(directory: Path, txns: TxnDedupTable) -> None:
+        path = directory / TXN_SIDECAR_NAME
+        if not path.exists():
+            return
+        try:
+            payload = json.loads(path.read_text())
+            entries = payload["entries"]
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            # The sidecar is written atomically, so corruption means disk
+            # trouble.  Dedup metadata is an availability feature: degrade
+            # (retries inside the lost window may re-execute) rather than
+            # refusing to serve the data at all -- but say so.
+            logger.warning("ignoring unreadable txn sidecar %s: %s",
+                           path, error)
+            return
+        for txn_id, digest, outcome in entries:
+            txns.put(txn_id, digest, outcome)
+
+    @staticmethod
+    def _replay_log(db: DeductiveDatabase, log_path: Path,
+                    txns: TxnDedupTable | None = None) -> None:
         raw = log_path.read_text()
         lines = raw.splitlines()
         # Appends always end with a newline, so a file that does not is
@@ -129,17 +275,27 @@ class DurableDatabase:
                 torn = True
                 break
             try:
-                events = parse_transaction(text)
+                header, body = parse_log_line(text)
+                events = parse_transaction(body) if body else Transaction()
             except ParseError:
                 if not is_last:
                     raise
                 torn = True
                 break
-            for event in events:
-                if event.is_insertion:
-                    db.add_fact(event.predicate, *event.args)
-                else:
-                    db.remove_fact(event.predicate, *event.args)
+            applied = header is None or header[2] == "applied"
+            if applied:
+                for event in events:
+                    if event.is_insertion:
+                        db.add_fact(event.predicate, *event.args)
+                    else:
+                        db.remove_fact(event.predicate, *event.args)
+            if header is not None and txns is not None:
+                txn_id, digest, _ = header
+                txns.put(txn_id, digest, {
+                    "applied": applied,
+                    "effective": events.to_dict() if applied else [],
+                    "recovered": True,
+                })
             good.append(text)
         if torn:
             # Rewrite atomically (temp file + fsync + rename, the same
@@ -165,7 +321,8 @@ class DurableDatabase:
 
     # -- writes ---------------------------------------------------------------
 
-    def commit(self, transaction: Transaction, sync: bool = True) -> Transaction:
+    def commit(self, transaction: Transaction, sync: bool = True,
+               txn: tuple[str, str] | None = None) -> Transaction:
         """Durably apply a transaction; returns the effective events.
 
         The effective (normalised) transaction is appended to the log
@@ -177,14 +334,24 @@ class DurableDatabase:
         in-memory apply, so the commit is durable once this returns.
         ``sync=False`` skips the fsync -- the group-commit path uses it to
         append a whole batch and pay for one :meth:`sync_log` instead.
+
+        *txn* is an optional ``(txn_id, digest)`` identity: the WAL line is
+        prefixed with a ``#txn`` header (one line, so identity and events
+        are torn or durable together), and a line is written even when the
+        effective event set is empty -- an acked no-op must be remembered
+        too, or a post-crash retry could re-run it against a changed state.
         """
         transaction.check_base_only(self._db)
         effective = transaction.normalized(self._db)
-        if effective.events:
+        if effective.events or txn is not None:
             rendered = ", ".join(sorted(
                 ("insert " if e.is_insertion else "delete ") + str(e.atom())
                 for e in effective
             ))
+            if txn is not None:
+                txn_id, digest = txn
+                rendered = (f"{TXN_LINE_PREFIX}{txn_id} {digest} applied"
+                            f"{TXN_SEPARATOR}{rendered}".rstrip())
             payload = rendered + "\n"
             with self._log_path.open("a") as log:
                 action = faults.failpoint(FP_WAL_MID_APPEND, payload=rendered)
@@ -218,11 +385,46 @@ class DurableDatabase:
         raise faults.SimulatedCrash(
             f"torn WAL append: {cut} of {len(payload)} bytes written")
 
+    def log_txn_outcome(self, txn_id: str, digest: str,
+                        applied: bool, sync: bool = False) -> None:
+        """Append a marker line recording a definitive eventless outcome.
+
+        Used for **rejected** commits (no events ever reach the log, but
+        the rejection itself must be remembered so a retry returns it
+        instead of re-running the check against a moved state).  Applied
+        commits -- effectful or not -- are recorded by :meth:`commit`.
+        """
+        status = "applied" if applied else "rejected"
+        payload = f"{TXN_LINE_PREFIX}{txn_id} {digest} {status}" \
+                  f"{TXN_SEPARATOR}".rstrip() + "\n"
+        with self._log_path.open("a") as log:
+            action = faults.failpoint(FP_WAL_MID_APPEND,
+                                      payload=payload.rstrip("\n"))
+            if action is not None and action.kind == "torn":
+                self._torn_append(log, payload, action)
+            log.write(payload)
+            if sync:
+                faults.failpoint(FP_WAL_PRE_FSYNC)
+                _fsync_file(log)
+            else:
+                log.flush()
+
     def sync_log(self) -> None:
         """fsync the event log; makes prior ``sync=False`` commits durable."""
         with self._log_path.open("a") as log:
             faults.failpoint(FP_WAL_PRE_FSYNC)
             os.fsync(log.fileno())
+
+    def _write_txn_sidecar(self) -> None:
+        """Persist the dedup table atomically (temp + fsync + rename)."""
+        target = self._directory / TXN_SIDECAR_NAME
+        temporary = target.with_suffix(".tmp")
+        payload = {"v": 1, "capacity": self.txns.capacity,
+                   "entries": self.txns.snapshot()}
+        with temporary.open("w") as fh:
+            json.dump(payload, fh, separators=(",", ":"))
+            _fsync_file(fh)
+        os.replace(temporary, target)
 
     def checkpoint(self) -> None:
         """Fold the event log into a fresh snapshot and truncate the log.
@@ -230,9 +432,13 @@ class DurableDatabase:
         The new snapshot is synced before it replaces the old one and the
         truncated log before the method returns, so a crash at any point
         leaves either the old snapshot + full log or the new snapshot +
-        empty log.
+        empty log.  The txn dedup table is written to its sidecar *first*:
+        truncating the log destroys the ``#txn`` records it holds, so the
+        sidecar must already carry them -- a crash before the truncate
+        merely leaves both, and sidecar-then-log replay is idempotent.
         """
         snapshot_path = self._directory / SNAPSHOT_NAME
+        self._write_txn_sidecar()
         temporary = snapshot_path.with_suffix(".tmp")
         with temporary.open("w") as fh:
             fh.write(str(self._db) + "\n")
@@ -245,8 +451,22 @@ class DurableDatabase:
         _fsync_directory(self._directory)
 
     def log_length(self) -> int:
-        """Number of committed transactions since the last checkpoint."""
+        """Number of committed transactions since the last checkpoint.
+
+        Marker-only txn lines (rejections, acked no-ops) carry no events
+        and are not counted.
+        """
         if not self._log_path.exists():
             return 0
-        return sum(1 for line in self._log_path.read_text().splitlines()
-                   if line.strip())
+        count = 0
+        for line in self._log_path.read_text().splitlines():
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                _, body = parse_log_line(text)
+            except ParseError:
+                continue  # a torn tail fragment; replay drops it too
+            if body:
+                count += 1
+        return count

@@ -343,6 +343,9 @@ class CommitRequest(UpdateRequest):
     #: Bound (seconds) on waiting for the commit's batch; expiry surfaces
     #: as a ``conflict-timeout`` wire error.
     timeout: float | None = None
+    #: Idempotency key: retries carrying the same id get the recorded
+    #: outcome of the first applied attempt instead of re-applying.
+    txn_id: str | None = None
 
     def __post_init__(self) -> None:
         self.transaction = _coerce_transaction(self.transaction)
@@ -353,6 +356,8 @@ class CommitRequest(UpdateRequest):
             payload["on_violation"] = self.on_violation
         if self.timeout is not None:
             payload["timeout"] = self.timeout
+        if self.txn_id is not None:
+            payload["txn_id"] = self.txn_id
         return payload
 
     @classmethod
@@ -365,13 +370,18 @@ class CommitRequest(UpdateRequest):
             if not isinstance(timeout, (int, float)) or timeout <= 0:
                 raise WireFormatError("'timeout' must be a positive number")
             timeout = float(timeout)
+        txn_id = params.get("txn_id")
+        if txn_id is not None and (
+                not isinstance(txn_id, str) or not txn_id.strip()):
+            raise WireFormatError("'txn_id' must be a non-empty string")
         return cls(transaction=_wire_transaction(params),
-                   on_violation=policy, timeout=timeout)
+                   on_violation=policy, timeout=timeout, txn_id=txn_id)
 
     def execute(self, engine: "DatabaseEngine") -> dict:
         outcome = engine.commit(self.transaction,
                                 on_violation=self.on_violation,
-                                timeout=self.timeout)
+                                timeout=self.timeout,
+                                txn_id=self.txn_id)
         return outcome.to_dict()
 
     def run(self, processor: "UpdateProcessor"):
@@ -400,11 +410,27 @@ class CheckpointRequest(UpdateRequest):
         return {"checkpointed": True}
 
 
+@dataclass
+class HealthRequest(UpdateRequest):
+    """Liveness/readiness probe: WAL, cache epoch, dedup, shed counters.
+
+    Unlike ``stats`` this stays answerable on a closed (draining) engine
+    and takes no locks -- it is meant for load balancers and retrying
+    clients, not dashboards.
+    """
+
+    op: ClassVar[str] = "health"
+
+    def execute(self, engine: "DatabaseEngine") -> dict:
+        return engine.health()
+
+
 __all__ = [
     "CheckRequest",
     "CheckpointRequest",
     "CommitRequest",
     "DownwardRequest",
+    "HealthRequest",
     "HelloRequest",
     "MonitorRequest",
     "PingRequest",

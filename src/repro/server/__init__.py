@@ -11,6 +11,9 @@ is that interface made servable:
 - :mod:`repro.server.server` -- the asyncio TCP server (timeouts,
   connection backpressure, graceful checkpointing shutdown);
 - :mod:`repro.server.client` -- a small blocking client;
+- :mod:`repro.server.resilient` -- :class:`ResilientClient`, the
+  self-healing front: reconnect, jittered backoff, deadline budgets and
+  txn-id-stamped exactly-once commit retries;
 - :mod:`repro.server.metrics` -- per-request-type counters and latency
   histograms, surfaced through the ``stats`` request.
 
@@ -21,6 +24,7 @@ from repro.server.engine import (
     CommitOutcome,
     DatabaseEngine,
     EngineClosedError,
+    IdempotencyError,
     RWLock,
     checked_commit,
 )
@@ -34,21 +38,35 @@ from repro.server.protocol import (
     decode_response,
     dispatch,
 )
-from repro.server.client import DatabaseClient, ServerError
+from repro.server.client import (
+    ConnectionLostError,
+    DatabaseClient,
+    ServerError,
+)
+from repro.server.resilient import (
+    DeadlineExceeded,
+    ResilientClient,
+    RetriesExhausted,
+)
 from repro.server.server import DatabaseServer, ServerThread, run
 
 __all__ = [
     "CommitOutcome",
+    "ConnectionLostError",
     "DatabaseClient",
     "DatabaseEngine",
     "DatabaseServer",
+    "DeadlineExceeded",
     "EngineClosedError",
+    "IdempotencyError",
     "LatencyHistogram",
     "MetricsRegistry",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "Request",
     "Response",
+    "ResilientClient",
+    "RetriesExhausted",
     "RWLock",
     "ServerError",
     "ServerThread",

@@ -18,11 +18,28 @@ from repro.server import protocol
 
 
 class ServerError(DatalogError):
-    """An error response from the server (``.type`` is the wire type)."""
+    """An error response from the server (``.type`` is the wire type).
 
-    def __init__(self, error_type: str, message: str):
+    ``retry_after`` is the server's backoff hint in seconds (set on
+    ``overloaded`` errors, ``None`` otherwise).
+    """
+
+    def __init__(self, error_type: str, message: str,
+                 retry_after: float | None = None):
         super().__init__(message)
         self.type = error_type
+        self.retry_after = retry_after
+
+
+class ConnectionLostError(DatalogError, ConnectionError):
+    """The connection died (or desynchronised) mid-call.
+
+    Raised instead of letting a later call misparse a half-read response:
+    once a read times out or the stream breaks, the reply boundary is
+    unknowable, so the client closes the socket and every subsequent call
+    fails fast with this error.  Inherits :class:`ConnectionError` so
+    existing ``except ConnectionError`` call sites keep working.
+    """
 
 
 class DatabaseClient:
@@ -39,6 +56,7 @@ class DatabaseClient:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
+        self._broken: str | None = None
         self.server_info: dict | None = None
         if handshake:
             try:
@@ -50,24 +68,56 @@ class DatabaseClient:
     # -- plumbing --------------------------------------------------------------
 
     def call(self, op: str, **params) -> dict:
-        """Send one request and return the result dict (or raise)."""
+        """Send one request and return the result dict (or raise).
+
+        A timeout or socket error mid-call leaves the stream position
+        unknowable (the response may arrive half-read later), so the
+        connection is closed and this -- and every later -- call raises
+        :class:`ConnectionLostError` rather than misparsing.
+        """
+        if self._broken is not None:
+            raise ConnectionLostError(
+                f"connection is unusable after an earlier failure "
+                f"({self._broken}); open a new client")
         self._next_id += 1
         request = protocol.Request(op=op, params=params, id=self._next_id)
-        self._file.write(request.to_json().encode("utf-8") + b"\n")
-        self._file.flush()
-        line = self._file.readline()
+        try:
+            self._file.write(request.to_json().encode("utf-8") + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as error:  # timeouts (socket.timeout) included
+            self._mark_broken(f"{type(error).__name__}: {error}")
+            raise ConnectionLostError(
+                f"connection lost mid-call ({op}): {error}") from error
         if not line:
-            raise ConnectionError("server closed the connection")
+            self._mark_broken("server closed the connection")
+            raise ConnectionLostError("server closed the connection")
         response = protocol.decode_response(line)
         if not response.ok:
             error = response.error or {}
+            retry_after = error.get("retry_after")
             raise ServerError(error.get("type", "internal"),
-                              error.get("message", "unknown server error"))
+                              error.get("message", "unknown server error"),
+                              retry_after=(float(retry_after)
+                                           if retry_after is not None
+                                           else None))
         if response.id is not None and response.id != self._next_id:
             raise protocol.ProtocolError(
                 f"response id {response.id!r} does not match "
                 f"request id {self._next_id!r}")
         return response.result or {}
+
+    def _mark_broken(self, reason: str) -> None:
+        self._broken = reason
+        try:
+            self.close()
+        except OSError:
+            pass
+
+    @property
+    def broken(self) -> str | None:
+        """Why the connection is unusable (``None`` while healthy)."""
+        return self._broken
 
     def send(self, request: UpdateRequest) -> dict:
         """Send one typed :class:`~repro.requests.UpdateRequest`."""
@@ -103,10 +153,13 @@ class DatabaseClient:
         return self.call("query", goal=goal)["answers"]
 
     def commit(self, transaction: Transaction | str,
-               on_violation: str | None = None) -> dict:
+               on_violation: str | None = None,
+               txn_id: str | None = None) -> dict:
         params: dict = {"transaction": self._transaction_text(transaction)}
         if on_violation is not None:
             params["on_violation"] = on_violation
+        if txn_id is not None:
+            params["txn_id"] = txn_id
         return self.call("commit", **params)
 
     def check(self, transaction: Transaction | str) -> dict:
@@ -136,6 +189,9 @@ class DatabaseClient:
 
     def stats(self) -> dict:
         return self.call("stats")
+
+    def health(self) -> dict:
+        return self.call("health")
 
     def checkpoint(self) -> dict:
         return self.call("checkpoint")

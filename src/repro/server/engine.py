@@ -34,6 +34,13 @@ Concurrency model
   transactions whose constraint interactions violate at every intermediate
   prefix but not at the endpoints can fast-commit together although a
   strictly serial execution would reject one -- see docs/SERVER.md.)
+- *Exactly-once identity.*  A commit stamped with a ``txn_id`` is
+  remembered: its outcome is written into the WAL alongside its events and
+  kept in a bounded dedup table (:class:`repro.core.durable.TxnDedupTable`)
+  that recovery rebuilds, so a retry -- after a dropped ack, a deferral
+  timeout, or a crash between fsync and ack -- returns the original result
+  instead of double-applying.  A duplicate arriving while the first
+  attempt is still queued joins its wait instead of enqueuing again.
 - *Warm derived-state cache.*  The interpreters memoise the old-state
   materialisation of every derived predicate.  A fast-path commit computes
   its integrity check as a *full-coverage* upward interpretation and, after
@@ -56,7 +63,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro import faults
-from repro.core.durable import DurableDatabase
+from repro.core.durable import DurableDatabase, transaction_digest
 from repro.core.processor import UpdateProcessor
 from repro.datalog.errors import DatalogError, TransactionError
 from repro.events.events import Transaction
@@ -95,7 +102,19 @@ class ConflictDeferralTimeout(DatalogError):
     When the entry could be withdrawn from the pending queue the
     transaction was definitely **not** applied; when a batch leader had
     already claimed it, it *may still be applied* -- the message says
-    which, and callers should re-query before retrying in the latter case.
+    which.  A commit stamped with a ``txn_id`` is safe to retry as-is in
+    either case: the dedup table returns the recorded outcome if the first
+    attempt went through.  Only unstamped commits need to re-query before
+    retrying the ambiguous case.
+    """
+
+
+class IdempotencyError(DatalogError):
+    """A ``txn_id`` was reused with a *different* transaction body.
+
+    Retrying the same commit is the point of idempotency keys; submitting
+    new work under an old key is always a client bug, and silently
+    returning the old outcome would hide it.
     """
 
 
@@ -239,11 +258,15 @@ def checked_commit(processor: UpdateProcessor, transaction: Transaction,
 class _Pending:
     """One queued commit awaiting its batch."""
 
-    __slots__ = ("transaction", "policy", "done", "outcome", "error")
+    __slots__ = ("transaction", "policy", "done", "outcome", "error",
+                 "txn_id", "digest")
 
-    def __init__(self, transaction: Transaction, policy: str):
+    def __init__(self, transaction: Transaction, policy: str,
+                 txn_id: str | None = None, digest: str | None = None):
         self.transaction = transaction
         self.policy = policy
+        self.txn_id = txn_id
+        self.digest = digest
         self.done = threading.Event()
         self.outcome: CommitOutcome | None = None
         self.error: BaseException | None = None
@@ -308,6 +331,14 @@ class DatabaseEngine:
         self._batch_lock = threading.Lock()
         self._pending_lock = threading.Lock()
         self._pending: list[_Pending] = []
+        #: txn_id -> its queued/in-batch entry; a duplicate arriving while
+        #: the first attempt is still running joins it instead of enqueuing
+        #: a second copy.  Guarded by ``_pending_lock``.
+        self._inflight: dict[str, _Pending] = {}
+        #: Extra ``health()`` payload providers (zero-arg callables
+        #: returning dicts) -- the server layer registers its admission
+        #: counters here without the engine importing it.
+        self.health_extras: list[Callable[[], dict]] = []
         self._closed = False
 
     def _record_cache_event(self, kind: str) -> None:
@@ -318,9 +349,15 @@ class DatabaseEngine:
             self._cache_epoch += 1
 
     @classmethod
-    def open(cls, directory, initial=None, **kwargs) -> "DatabaseEngine":
+    def open(cls, directory, initial=None, *,
+             dedup_capacity: int | None = None, **kwargs) -> "DatabaseEngine":
         """Open (or create) a durable database directory and wrap it."""
-        return cls(DurableDatabase.open(directory, initial=initial), **kwargs)
+        store_kwargs = {}
+        if dedup_capacity is not None:
+            store_kwargs["dedup_capacity"] = dedup_capacity
+        store = DurableDatabase.open(directory, initial=initial,
+                                     **store_kwargs)
+        return cls(store, **kwargs)
 
     # -- introspection ---------------------------------------------------------
 
@@ -397,6 +434,8 @@ class DatabaseEngine:
                 "on_violation": self._policy,
                 "cache_mode": self._cache_mode,
                 "cache_epoch": self._cache_epoch,
+                "dedup_size": len(self._store.txns),
+                "dedup_capacity": self._store.txns.capacity,
             }
         snapshot = {"engine": engine, **self.metrics.snapshot()}
         tracer = obs.get_tracer()
@@ -404,11 +443,91 @@ class DatabaseEngine:
             snapshot["tracing"] = tracer.aggregates()
         return snapshot
 
+    #: Counters worth repeating in the (cheap, always-answerable) health
+    #: payload: the ones a load balancer or retrying client acts on.
+    _HEALTH_COUNTERS = ("server.shed", "server.deadline_rejected",
+                       "retry.attempts", "dedup.hit",
+                       "commit.deferral_timeouts")
+
+    def health(self) -> dict:
+        """Liveness/readiness snapshot (the ``health`` protocol request).
+
+        Deliberately lock-free and answerable on a closed engine: health
+        must keep responding while the server drains or a writer is stuck,
+        which is exactly when callers need it.  ``ready`` goes false once
+        :meth:`close` ran.  The server layer appends its admission-control
+        view through :attr:`health_extras`.
+        """
+        payload = {
+            "live": True,
+            "ready": not self._closed,
+            "wal": {
+                "directory": str(self._store.directory),
+                "log_length": self._store.log_length(),
+            },
+            "cache": {"mode": self._cache_mode, "epoch": self._cache_epoch},
+            "dedup": {"size": len(self._store.txns),
+                      "capacity": self._store.txns.capacity},
+            "counters": {name: self.metrics.counter(name)
+                         for name in self._HEALTH_COUNTERS},
+        }
+        for provider in list(self.health_extras):
+            try:
+                extra = provider()
+            except Exception:  # health never fails on a broken provider
+                logger.exception("health extras provider failed")
+                continue
+            if isinstance(extra, dict):
+                payload.update(extra)
+        return payload
+
     # -- write requests --------------------------------------------------------
+
+    @staticmethod
+    def _check_txn_id(txn_id: str) -> None:
+        if (not isinstance(txn_id, str) or not txn_id or len(txn_id) > 128
+                or any(c.isspace() for c in txn_id)):
+            raise IdempotencyError(
+                "txn_id must be a non-empty string of at most 128 "
+                "non-whitespace characters")
+
+    def _admit(self, transaction: Transaction, policy: str, txn_id: str
+               ) -> "tuple[_Pending | CommitOutcome, bool]":
+        """Resolve one txn-stamped commit against the dedup/in-flight state.
+
+        Returns ``(slot, fresh)``: the recorded :class:`CommitOutcome` for
+        a completed duplicate, the existing :class:`_Pending` for a running
+        duplicate (the caller joins its wait), or a freshly enqueued entry
+        (``fresh`` is True only then).  Must be called under
+        ``_pending_lock``.
+        """
+        digest = transaction_digest(transaction)
+        record = self._store.txns.get(txn_id)
+        if record is not None:
+            if record.digest != digest:
+                raise IdempotencyError(
+                    f"txn_id {txn_id!r} was already used for a different "
+                    "transaction; idempotency keys must be unique per body")
+            self.metrics.increment("dedup.hit")
+            obs.add("dedup.hit")
+            return CommitOutcome.from_dict(record.outcome), False
+        existing = self._inflight.get(txn_id)
+        if existing is not None:
+            if existing.digest != digest:
+                raise IdempotencyError(
+                    f"txn_id {txn_id!r} is in flight for a different "
+                    "transaction; idempotency keys must be unique per body")
+            self.metrics.increment("dedup.join")
+            return existing, False
+        entry = _Pending(transaction, policy, txn_id=txn_id, digest=digest)
+        self._inflight[txn_id] = entry
+        self._pending.append(entry)
+        return entry, True
 
     def commit(self, transaction: Transaction,
                on_violation: str | None = None,
-               timeout: float | None = None) -> CommitOutcome:
+               timeout: float | None = None,
+               txn_id: str | None = None) -> CommitOutcome:
         """Durably commit a transaction; blocks until its batch is synced.
 
         Concurrent callers are batched automatically: whichever thread
@@ -420,12 +539,31 @@ class DatabaseEngine:
         the pending queue at expiry is withdrawn (definitely not applied);
         one already claimed by a batch leader may still be applied -- the
         exception message distinguishes the two cases.
+
+        *txn_id* gives the commit a durable identity: if an earlier attempt
+        with the same id and body already completed -- even before a crash
+        -- the recorded outcome is returned instead of re-applying; if one
+        is still running, this call joins its wait.  The same id with a
+        *different* body raises :class:`IdempotencyError`.
         """
         self._ensure_open()
         with self.metrics.time("commit"):
-            entry = _Pending(transaction, on_violation or self._policy)
-            with self._pending_lock:
-                self._pending.append(entry)
+            policy = on_violation or self._policy
+            joined = False
+            if txn_id is not None:
+                self._check_txn_id(txn_id)
+                with self._pending_lock:
+                    admitted, fresh = self._admit(transaction, policy, txn_id)
+                if isinstance(admitted, CommitOutcome):
+                    return admitted
+                entry = admitted
+                # A duplicate joining a running attempt must not withdraw
+                # the entry on its own timeout -- the original owns it.
+                joined = not fresh
+            else:
+                entry = _Pending(transaction, policy)
+                with self._pending_lock:
+                    self._pending.append(entry)
             if timeout is None:
                 with self._batch_lock:
                     if not entry.done.is_set():
@@ -440,6 +578,15 @@ class DatabaseEngine:
                     finally:
                         self._batch_lock.release()
                 if not entry.done.wait(max(0.0, deadline - time.monotonic())):
+                    if joined:
+                        # The original caller owns the entry; a duplicate
+                        # must not withdraw it out from under them.
+                        self.metrics.increment("commit.deferral_timeouts")
+                        raise ConflictDeferralTimeout(
+                            f"duplicate commit for txn_id {txn_id!r} timed "
+                            f"out after {timeout:g}s while the original "
+                            "attempt is still running; retry with the same "
+                            "txn_id")
                     self._withdraw(entry, timeout)
         if entry.error is not None:
             raise entry.error
@@ -449,49 +596,114 @@ class DatabaseEngine:
     def _withdraw(self, entry: _Pending, timeout: float) -> None:
         """Give up on a timed-out pending commit (see :meth:`commit`)."""
         with self._pending_lock:
-            if not entry.done.is_set() and entry in self._pending:
+            withdrawn = not entry.done.is_set() and entry in self._pending
+            if withdrawn:
                 # Still queued: no leader owns it, withdrawal is exact.
                 self._pending.remove(entry)
-                self.metrics.increment("commit.deferral_timeouts")
-                entry.finish(error=ConflictDeferralTimeout(
-                    f"commit timed out after {timeout:g}s waiting for its "
-                    "batch; the transaction was withdrawn and NOT applied"))
-                return
+        if withdrawn:
+            self.metrics.increment("commit.deferral_timeouts")
+            retry_hint = ("retry with the same txn_id"
+                          if entry.txn_id is not None else "safe to retry")
+            self._finish(entry, error=ConflictDeferralTimeout(
+                f"commit timed out after {timeout:g}s waiting for its "
+                f"batch; the transaction was withdrawn and NOT applied "
+                f"-- {retry_hint}"))
+            return
         # A leader already claimed the entry; give it a short grace period
         # (it is usually mid-fsync), then report the undecided state.
         if not entry.done.wait(min(timeout, 0.05)):
             self.metrics.increment("commit.deferral_timeouts")
+            retry_hint = ("retry with the same txn_id to learn the outcome"
+                          if entry.txn_id is not None
+                          else "re-query before retrying")
             raise ConflictDeferralTimeout(
                 f"commit timed out after {timeout:g}s but a batch leader "
                 "already claimed the transaction; it may still be applied "
-                "-- re-query before retrying")
+                f"-- {retry_hint}")
 
     def commit_many(self, transactions: Iterable[Transaction],
                     on_violation: str | None = None,
-                    raise_errors: bool = True) -> list[CommitOutcome]:
+                    raise_errors: bool = True,
+                    txn_ids: Iterable[str | None] | None = None
+                    ) -> list[CommitOutcome]:
         """Commit a sequence through the group-commit machinery.
 
         Deterministic counterpart of N threads calling :meth:`commit`
         (used by tests and benchmarks): transactions are enqueued in order
-        and drained into batches of at most ``max_batch``.
+        and drained into batches of at most ``max_batch``.  *txn_ids*, when
+        given, pairs each transaction with an idempotency key (``None``
+        entries stay unstamped); recorded duplicates short-circuit to their
+        remembered outcome exactly as in :meth:`commit`.
         """
         self._ensure_open()
-        entries = [_Pending(t, on_violation or self._policy)
-                   for t in transactions]
+        transactions = list(transactions)
+        policy = on_violation or self._policy
+        ids: list[str | None] = (list(txn_ids) if txn_ids is not None
+                                 else [None] * len(transactions))
+        if len(ids) != len(transactions):
+            raise ValueError("txn_ids must pair 1:1 with transactions")
+        for txn_id in ids:
+            if txn_id is not None:
+                self._check_txn_id(txn_id)
+        # Each slot is a _Pending to wait on or an already-known outcome.
+        slots: list[_Pending | CommitOutcome] = []
+        mine: list[_Pending] = []  # entries this call enqueued
         with self._pending_lock:
-            self._pending.extend(entries)
+            try:
+                for transaction, txn_id in zip(transactions, ids):
+                    if txn_id is None:
+                        entry = _Pending(transaction, policy)
+                        self._pending.append(entry)
+                        mine.append(entry)
+                        slots.append(entry)
+                        continue
+                    slot, is_fresh = self._admit(transaction, policy, txn_id)
+                    if is_fresh:
+                        mine.append(slot)
+                    slots.append(slot)
+            except IdempotencyError:
+                # Unwind this call's own registrations; _admit already
+                # appended them to the queue and the in-flight map.
+                for entry in mine:
+                    if entry in self._pending:
+                        self._pending.remove(entry)
+                    if entry.txn_id is not None:
+                        self._inflight.pop(entry.txn_id, None)
+                raise
         with self._batch_lock:
             self._drain()
         outcomes: list[CommitOutcome] = []
-        for entry in entries:
-            entry.done.wait()
-            if entry.error is not None and raise_errors:
-                raise entry.error
-            if entry.outcome is not None:
-                outcomes.append(entry.outcome)
+        for slot in slots:
+            if isinstance(slot, CommitOutcome):
+                outcomes.append(slot)
+                continue
+            slot.done.wait()
+            if slot.error is not None and raise_errors:
+                raise slot.error
+            if slot.outcome is not None:
+                outcomes.append(slot.outcome)
         return outcomes
 
     # -- group commit internals ------------------------------------------------
+
+    def _finish(self, entry: _Pending, outcome: CommitOutcome | None = None,
+                error: BaseException | None = None) -> None:
+        """Record and acknowledge one entry -- the only path to ``finish``.
+
+        A txn-stamped outcome enters the dedup table *before* the entry
+        leaves the in-flight map, so a concurrent duplicate always finds at
+        least one of the two.  Errors are not recorded: they are the
+        retryable case.
+        """
+        if entry.txn_id is not None:
+            if outcome is not None:
+                self._store.txns.put(entry.txn_id, entry.digest,
+                                     outcome.to_dict())
+                self.metrics.increment("dedup.record")
+            with self._pending_lock:
+                if self._inflight.get(entry.txn_id) is entry:
+                    del self._inflight[entry.txn_id]
+        entry.finish(outcome=outcome, error=error)
 
     def _drain(self) -> None:
         """Leader loop: drain the pending queue batch by batch."""
@@ -510,7 +722,7 @@ class DatabaseEngine:
                 # rather than leaving waiters blocked forever.
                 for entry in batch + queue:
                     if not entry.done.is_set():
-                        entry.finish(error=error)
+                        self._finish(entry, error=error)
                 raise
 
     def _take_batch(self, queue: list[_Pending]
@@ -551,7 +763,7 @@ class DatabaseEngine:
                 entry.transaction.check_base_only(db)
                 valid.append(entry)
             except TransactionError as error:
-                entry.finish(error=error)
+                self._finish(entry, error=error)
         if not valid:
             return
         if self._group_commit(valid):
@@ -561,33 +773,47 @@ class DatabaseEngine:
         # Slow path: a violation (or a non-reject policy) somewhere in
         # the batch -- process sequentially through the shared checked
         # path, still paying one fsync for the whole batch.  Entries
-        # whose events reached the log are acknowledged only after
-        # sync_log(): waking a waiter before the fsync would let the
-        # server confirm a commit a crash could still lose.  If
-        # sync_log raises, _drain fails every unfinished entry.
-        applied: list[tuple[_Pending, CommitOutcome]] = []
+        # whose events (or txn outcome markers) reached the log are
+        # acknowledged only after sync_log(): waking a waiter before the
+        # fsync would let the server confirm a commit -- or remember a
+        # rejection -- a crash could still lose.  If sync_log raises,
+        # _drain fails every unfinished entry.
+        to_ack: list[tuple[_Pending, CommitOutcome]] = []
         for entry in valid:
             try:
                 outcome = checked_commit(
                     self._processor, entry.transaction,
-                    lambda t: self._store.commit(t, sync=False),
+                    lambda t, e=entry: self._store.commit(
+                        t, sync=False,
+                        txn=((e.txn_id, e.digest)
+                             if e.txn_id is not None else None)),
                     on_violation=entry.policy)
             except DatalogError as error:
-                entry.finish(error=error)
+                self._finish(entry, error=error)
                 continue
             if (outcome.applied and outcome.check is None
                     and entry.policy != "ignore" and db.constraints):
                 # checked_commit skipped the check (inconsistent old state).
                 self._note_unchecked(1)
-            if outcome.applied and outcome.effective.events:
-                applied.append((entry, outcome))
+            if outcome.applied:
+                if outcome.effective.events or entry.txn_id is not None:
+                    to_ack.append((entry, outcome))
+                else:
+                    self._finish(entry, outcome=outcome)
+            elif entry.txn_id is not None:
+                # A rejection never reaches the log through commit(); write
+                # a marker so a post-crash retry replays the verdict
+                # instead of re-checking against a moved state.
+                self._store.log_txn_outcome(entry.txn_id, entry.digest,
+                                            applied=False)
+                to_ack.append((entry, outcome))
             else:
-                entry.finish(outcome=outcome)
-        if applied:
+                self._finish(entry, outcome=outcome)
+        if to_ack:
             self._sync_log()
             faults.failpoint(FP_PRE_ACK)
-        for entry, outcome in applied:
-            entry.finish(outcome=outcome)
+        for entry, outcome in to_ack:
+            self._finish(entry, outcome=outcome)
 
     def _sync_log(self) -> None:
         """One WAL fsync, traced and counted."""
@@ -664,8 +890,15 @@ class DatabaseEngine:
         outcomes: list[tuple[_Pending, CommitOutcome]] = []
         synced = False
         for index, entry in enumerate(batch):
-            effective = self._store.commit(entry.transaction, sync=False)
-            synced = synced or bool(effective.events)
+            effective = self._store.commit(
+                entry.transaction, sync=False,
+                txn=((entry.txn_id, entry.digest)
+                     if entry.txn_id is not None else None))
+            # A txn-stamped commit writes its identity line even when the
+            # effective event set is empty -- that line must be fsynced
+            # before the ack, like any other.
+            synced = synced or bool(effective.events) \
+                or entry.txn_id is not None
             outcomes.append((entry, CommitOutcome(
                 True, entry.transaction, effective, checks.get(index))))
         # Cache maintenance before the fsync: it depends only on the
@@ -686,7 +919,7 @@ class DatabaseEngine:
         # could see a successful commit a crash then loses.  If sync_log
         # raised above, _drain fails every unfinished entry instead.
         for entry, outcome in outcomes:
-            entry.finish(outcome=outcome)
+            self._finish(entry, outcome=outcome)
         self.metrics.increment("commit.group_committed", len(batch))
         return True
 

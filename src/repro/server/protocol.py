@@ -44,6 +44,7 @@ from repro.server.engine import (
     ConflictDeferralTimeout,
     DatabaseEngine,
     EngineClosedError,
+    IdempotencyError,
 )
 
 PROTOCOL_VERSION = 1
@@ -158,6 +159,7 @@ _ERROR_TYPES: tuple[tuple[type[BaseException], str], ...] = (
     (ComplexityLimitExceeded, "complexity"),
     (DepthLimitExceeded, "depth-limit"),
     (ConflictDeferralTimeout, "conflict-timeout"),
+    (IdempotencyError, "idempotency"),
     (EngineClosedError, "closed"),
     (DatalogError, "datalog"),
 )
@@ -172,22 +174,28 @@ def error_type_of(error: BaseException) -> str:
 
 
 def error_response(request_id, error: BaseException | str,
-                   error_type: str | None = None) -> Response:
-    """Build a failure response from an exception or a message."""
+                   error_type: str | None = None,
+                   extra: dict | None = None) -> Response:
+    """Build a failure response from an exception or a message.
+
+    *extra* keys (e.g. ``retry_after`` on an ``overloaded`` error) are
+    merged into the error object next to ``type`` and ``message``.
+    """
     if isinstance(error, BaseException):
-        return Response(ok=False, id=request_id, error={
-            "type": error_type or error_type_of(error),
-            "message": str(error),
-        })
-    return Response(ok=False, id=request_id, error={
-        "type": error_type or "internal", "message": error})
+        payload = {"type": error_type or error_type_of(error),
+                   "message": str(error)}
+    else:
+        payload = {"type": error_type or "internal", "message": error}
+    if extra:
+        payload.update(extra)
+    return Response(ok=False, id=request_id, error=payload)
 
 
 # -- dispatch ------------------------------------------------------------------
 
 #: Ops whose typed requests do not go through a self-metering engine method;
 #: :func:`dispatch` times these itself so ``stats`` covers every request type.
-_DISPATCH_METERED = frozenset({"hello", "ping", "stats"})
+_DISPATCH_METERED = frozenset({"hello", "ping", "stats", "health"})
 
 
 def dispatch(engine: DatabaseEngine, request: Request) -> Response:

@@ -1,0 +1,248 @@
+"""A self-healing client: reconnect, retry, backoff, deadline budgets.
+
+:class:`ResilientClient` wraps the blocking :class:`DatabaseClient` with
+the retry discipline the exactly-once machinery makes safe:
+
+- **Reconnect on drop.**  A lost or desynchronised connection
+  (:class:`ConnectionLostError`) is discarded and a fresh one dialled on
+  the next attempt.
+- **Capped exponential backoff with full jitter.**  Delays grow
+  ``base_delay * 2**attempt`` up to ``max_delay``, each drawn uniformly
+  from ``[0, cap]`` (the "full jitter" scheme) so retrying clients do not
+  stampede in lockstep.  An ``overloaded`` server's ``retry_after`` hint
+  takes precedence.  Sleeps go through :mod:`repro.faults.clock`, so tests
+  drive the schedule on a virtual clock.
+- **Deadline budget.**  A per-call ``deadline`` (seconds) bounds the whole
+  retry loop, and the *remaining* budget travels to the server as a
+  ``deadline_ms`` request param -- the server refuses work it can no
+  longer finish in time instead of doing it for a caller that stopped
+  waiting.
+- **Retry policy by operation.**  Reads (:data:`IDEMPOTENT_OPS`) are
+  always safe to resend.  Commits are only safe because of idempotency
+  keys: the client stamps every commit with a ``txn_id`` (a fresh UUID
+  unless the caller supplies one), and the engine's durable dedup table
+  turns a replayed commit -- after a dropped ack, a deferral timeout, or
+  a crash -- into the original outcome.  Everything else fails fast.
+
+The retry counters (``retry.attempts``, ``retry.give_up``,
+``retry.reconnects``) are kept per client and mirrored into the tracing
+layer via :func:`repro.obs.tracer.add`.
+"""
+
+from __future__ import annotations
+
+import random
+import uuid
+
+from repro.datalog.errors import DatalogError
+from repro.events.events import Transaction
+from repro.faults import clock
+from repro.obs import tracer as obs
+from repro.requests import UpdateRequest
+from repro.server.client import (
+    ConnectionLostError,
+    DatabaseClient,
+    ServerError,
+)
+
+#: Ops safe to resend blindly: they do not mutate the database.
+IDEMPOTENT_OPS = frozenset({
+    "hello", "ping", "query", "upward", "check", "monitor", "downward",
+    "repair", "stats", "health",
+})
+
+#: Wire error types that signal a transient server condition.
+RETRYABLE_ERROR_TYPES = frozenset({"overloaded", "timeout", "deadline",
+                                   "conflict-timeout"})
+
+
+class RetriesExhausted(DatalogError):
+    """Every allowed attempt failed; ``last`` is the final error."""
+
+    def __init__(self, message: str, last: BaseException):
+        super().__init__(message)
+        self.last = last
+
+
+class DeadlineExceeded(DatalogError):
+    """The per-call deadline budget ran out before an attempt succeeded."""
+
+
+class ResilientClient:
+    """A reconnecting, retrying front over :class:`DatabaseClient`.
+
+    Parameters
+    ----------
+    max_attempts:
+        total tries per call (first attempt included).
+    base_delay / max_delay:
+        backoff schedule bounds in seconds (full jitter, see module doc).
+    deadline:
+        default per-call budget in seconds (``None`` = unbounded); each
+        call may override it.
+    seed:
+        seeds the jitter RNG -- tests pass one for reproducible schedules.
+    auto_txn_id:
+        stamp commits lacking a ``txn_id`` with a fresh UUID (on by
+        default; without a key a commit is only tried once).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 timeout: float = 30.0, max_attempts: int = 5,
+                 base_delay: float = 0.05, max_delay: float = 2.0,
+                 deadline: float | None = None, seed: int | None = None,
+                 auto_txn_id: bool = True):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._max_attempts = max_attempts
+        self._base_delay = base_delay
+        self._max_delay = max_delay
+        self._deadline = deadline
+        self._auto_txn_id = auto_txn_id
+        self._rng = random.Random(seed)
+        self._client: DatabaseClient | None = None
+        self.counters: dict[str, int] = {
+            "retry.attempts": 0, "retry.give_up": 0, "retry.reconnects": 0}
+
+    # -- connection management -------------------------------------------------
+
+    def _connection(self) -> DatabaseClient:
+        if self._client is None or self._client.broken is not None:
+            if self._client is not None:
+                self._drop_connection()
+                self._count("retry.reconnects")
+            self._client = DatabaseClient(
+                self._host, self._port, timeout=self._timeout)
+        return self._client
+
+    def _drop_connection(self) -> None:
+        if self._client is not None:
+            try:
+                self._client.close()
+            except OSError:
+                pass
+            self._client = None
+
+    def close(self) -> None:
+        self._drop_connection()
+
+    def __enter__(self) -> "ResilientClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- retry core ------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+        obs.add(name, amount)
+
+    def _backoff(self, attempt: int, hint: float | None,
+                 remaining: float | None) -> None:
+        cap = min(self._max_delay, self._base_delay * (2 ** attempt))
+        delay = hint if hint is not None else self._rng.uniform(0.0, cap)
+        if remaining is not None:
+            delay = min(delay, max(0.0, remaining))
+        clock.sleep(delay)
+
+    def call(self, op: str, deadline: float | None = None,
+             **params) -> dict:
+        """Send one request with retries; returns the result dict.
+
+        Mutating ops other than a txn-stamped ``commit`` get exactly one
+        attempt -- without an idempotency key a replay could double-apply.
+        """
+        if op == "commit" and "txn_id" not in params and self._auto_txn_id:
+            params["txn_id"] = uuid.uuid4().hex
+        retryable = op in IDEMPOTENT_OPS or (
+            op == "commit" and params.get("txn_id") is not None)
+        budget = deadline if deadline is not None else self._deadline
+        start = clock.monotonic()
+        last: BaseException | None = None
+        for attempt in range(self._max_attempts):
+            remaining = (None if budget is None
+                         else budget - (clock.monotonic() - start))
+            if remaining is not None and remaining <= 0:
+                self._count("retry.give_up")
+                raise DeadlineExceeded(
+                    f"deadline of {budget:g}s exhausted after "
+                    f"{attempt} attempt(s) of {op}") from last
+            sent = dict(params)
+            if remaining is not None:
+                sent["deadline_ms"] = max(1, int(remaining * 1000))
+            if attempt:
+                sent["attempt"] = attempt + 1
+                self._count("retry.attempts")
+            try:
+                client = self._connection()
+            except ServerError as error:
+                # The handshake failed -- e.g. an overloaded server
+                # shedding new connections.  Nothing was sent yet, so this
+                # is retryable whatever the op.
+                if error.type not in RETRYABLE_ERROR_TYPES:
+                    raise
+                last = error
+            except OSError as error:
+                # Dial failure (refused, unreachable): nothing was sent,
+                # always safe to retry -- the server may be restarting.
+                last = error
+                self._drop_connection()
+            else:
+                try:
+                    return client.call(op, **sent)
+                except ConnectionLostError as error:
+                    last = error
+                    self._drop_connection()
+                    self._count("retry.reconnects")
+                    if not retryable:
+                        raise
+                except ServerError as error:
+                    if (error.type not in RETRYABLE_ERROR_TYPES
+                            or not retryable):
+                        raise
+                    last = error
+            if attempt + 1 < self._max_attempts:  # no sleep after the last
+                self._backoff(attempt, getattr(last, "retry_after", None),
+                              None if budget is None
+                              else budget - (clock.monotonic() - start))
+        self._count("retry.give_up")
+        raise RetriesExhausted(
+            f"{op} failed after {self._max_attempts} attempts: {last}",
+            last)
+
+    def send(self, request: UpdateRequest,
+             deadline: float | None = None) -> dict:
+        """Send one typed request (the ``repro call`` entry point)."""
+        wire = request.to_wire()
+        return self.call(wire["op"], deadline=deadline,
+                         **wire.get("params", {}))
+
+    # -- convenience wrappers --------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.call("ping").get("pong"))
+
+    def query(self, goal: str) -> list[list]:
+        return self.call("query", goal=goal)["answers"]
+
+    def commit(self, transaction: Transaction | str,
+               on_violation: str | None = None,
+               txn_id: str | None = None,
+               deadline: float | None = None) -> dict:
+        params: dict = {
+            "transaction": DatabaseClient._transaction_text(transaction)}
+        if on_violation is not None:
+            params["on_violation"] = on_violation
+        if txn_id is not None:
+            params["txn_id"] = txn_id
+        return self.call("commit", deadline=deadline, **params)
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    def health(self) -> dict:
+        return self.call("health")

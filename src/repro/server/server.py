@@ -2,10 +2,14 @@
 
 One :class:`DatabaseEngine` serves any number of connections; blocking
 engine work runs on a thread pool so the event loop stays responsive.
-Per-connection sessions get request timeouts; connections beyond
-``max_connections`` are refused with a ``capacity`` error (backpressure the
-client can see); shutdown -- whether from the ``shutdown`` request, a
-signal, or :meth:`DatabaseServer.shutdown` -- stops accepting, drains
+Per-connection sessions get request timeouts; admission control sheds
+load the pool cannot absorb: connections beyond ``max_connections`` and
+requests beyond ``max_inflight`` get a typed ``overloaded`` error carrying
+a ``retry_after`` hint (backpressure the client can act on), counted in
+``server.shed``.  A request whose ``deadline_ms`` budget is already spent
+is refused with a ``deadline`` error instead of doing work for a caller
+that stopped waiting.  Shutdown -- whether from the ``shutdown`` request,
+a signal, or :meth:`DatabaseServer.shutdown` -- stops accepting, drains
 in-flight work and checkpoints the WAL.
 
 Use :func:`run` for a foreground server (the ``repro serve`` command) and
@@ -49,9 +53,14 @@ class DatabaseServer:
     counted in the ``server.slow_ops`` metric.
     """
 
+    #: A ``deadline_ms`` below this (seconds) is refused outright -- the
+    #: budget cannot cover even the dispatch overhead.
+    MIN_DEADLINE_SECONDS = 0.001
+
     def __init__(self, engine: DatabaseEngine, host: str = "127.0.0.1",
                  port: int = 0, *, max_connections: int = 64,
                  request_timeout: float = 30.0, workers: int = 8,
+                 max_inflight: int | None = None,
                  max_line_bytes: int = 1 << 20,
                  checkpoint_on_shutdown: bool = True,
                  slow_op_threshold: float | None = None):
@@ -60,6 +69,14 @@ class DatabaseServer:
         self.port = port  # rebound to the real port by start()
         self.max_connections = max_connections
         self.request_timeout = request_timeout
+        #: In-flight request budget: dispatches beyond it are shed with an
+        #: ``overloaded`` error instead of queueing unboundedly behind the
+        #: worker pool.  Defaults to 4x the pool, enough to keep workers
+        #: busy without hiding sustained overload from clients.
+        self.max_inflight = (max_inflight if max_inflight is not None
+                             else workers * 4)
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
         self.max_line_bytes = max_line_bytes
         self.checkpoint_on_shutdown = checkpoint_on_shutdown
         self.slow_op_threshold = slow_op_threshold
@@ -68,6 +85,10 @@ class DatabaseServer:
         self._executor: concurrent.futures.ThreadPoolExecutor | None = None
         self._sessions: set[asyncio.Task] = set()
         self._active_connections = 0
+        # Incremented on the event loop, decremented on worker threads --
+        # hence the lock, despite the GIL making reads cheap.
+        self._inflight_lock = threading.Lock()
+        self._inflight = 0
         self._shutdown_event = asyncio.Event()
         self._finished = False
 
@@ -81,6 +102,29 @@ class DatabaseServer:
             self._on_connection, self.host, self.port,
             limit=self.max_line_bytes)
         self.port = self._server.sockets[0].getsockname()[1]
+        # Surface the admission-control view through the engine's health
+        # payload without the engine importing the server layer.
+        if self._health_extra not in self.engine.health_extras:
+            self.engine.health_extras.append(self._health_extra)
+
+    def _health_extra(self) -> dict:
+        with self._inflight_lock:
+            inflight = self._inflight
+        return {"server": {
+            "active_connections": self._active_connections,
+            "max_connections": self.max_connections,
+            "inflight": inflight,
+            "max_inflight": self.max_inflight,
+            "shed": self.engine.metrics.counter("server.shed"),
+            "deadline_rejected":
+                self.engine.metrics.counter("server.deadline_rejected"),
+        }}
+
+    def _retry_after(self) -> float:
+        """Backoff hint for shed work: a beat per queued-over-budget unit."""
+        with self._inflight_lock:
+            over = max(0, self._inflight - self.max_inflight)
+        return round(0.05 * (over + 1), 3)
 
     async def serve_until_shutdown(self) -> None:
         """Block until a shutdown is requested, then wind down gracefully."""
@@ -129,9 +173,14 @@ class DatabaseServer:
                        writer: asyncio.StreamWriter) -> None:
         if self._active_connections >= self.max_connections:
             self.engine.metrics.increment("server.refused_connections")
+            self.engine.metrics.increment("server.shed")
+            retry_after = self._retry_after()
             await self._send(writer, protocol.error_response(
-                None, "server at connection capacity, retry later",
-                error_type="capacity"))
+                None,
+                f"server at connection capacity "
+                f"({self.max_connections}); retry after {retry_after}s",
+                error_type="overloaded",
+                extra={"retry_after": retry_after}))
             return
         self._active_connections += 1
         self.engine.metrics.increment("server.connections")
@@ -166,19 +215,60 @@ class DatabaseServer:
             self.engine.metrics.increment("server.shutdown_requests")
             self._shutdown_event.set()
             return False
-        loop = asyncio.get_running_loop()
+        # Retry/deadline metadata stamped by ResilientClient travels as
+        # params but is the server's to consume, not the typed request's.
+        deadline_s, meta_error = self._consume_meta(request)
+        if meta_error is not None:
+            await self._send(writer, meta_error)
+            return True
+        with self._inflight_lock:
+            admitted = self._inflight < self.max_inflight
+            if admitted:
+                self._inflight += 1
+        if not admitted:
+            self.engine.metrics.increment("server.shed")
+            retry_after = self._retry_after()
+            await self._send(writer, protocol.error_response(
+                request.id,
+                f"server over its in-flight budget ({self.max_inflight}); "
+                f"retry after {retry_after}s",
+                error_type="overloaded",
+                extra={"retry_after": retry_after}))
+            return True
+        timeout = (self.request_timeout if deadline_s is None
+                   else min(self.request_timeout, deadline_s))
+        # Submit directly (not run_in_executor) so the in-flight slot can
+        # be released from the future's done callback -- which fires both
+        # when the worker finishes and when a timed-out, still-queued task
+        # is successfully cancelled.
+        try:
+            future = self._executor.submit(self._dispatch, request)
+        except RuntimeError as error:  # executor already shutting down
+            self._release_inflight(None)
+            await self._send(writer, protocol.error_response(
+                request.id, f"server shutting down: {error}",
+                error_type="closed"))
+            return False
+        future.add_done_callback(self._release_inflight)
         try:
             response = await asyncio.wait_for(
-                loop.run_in_executor(self._executor, self._dispatch, request),
-                timeout=self.request_timeout)
+                asyncio.wrap_future(future), timeout=timeout)
         except asyncio.TimeoutError:
             # The worker thread keeps running to completion; only the
             # session gives up waiting (see docs/SERVER.md).
-            self.engine.metrics.increment("server.request_timeouts")
-            response = protocol.error_response(
-                request.id,
-                f"request exceeded the {self.request_timeout}s server timeout",
-                error_type="timeout")
+            if deadline_s is not None and deadline_s < self.request_timeout:
+                self.engine.metrics.increment("server.deadline_rejected")
+                response = protocol.error_response(
+                    request.id,
+                    f"request outlived its {deadline_s:g}s deadline budget",
+                    error_type="deadline")
+            else:
+                self.engine.metrics.increment("server.request_timeouts")
+                response = protocol.error_response(
+                    request.id,
+                    f"request exceeded the {self.request_timeout}s "
+                    f"server timeout",
+                    error_type="timeout")
         except Exception as error:
             # protocol.dispatch already maps engine errors to typed
             # responses, so anything landing here is infrastructure (an
@@ -192,6 +282,47 @@ class DatabaseServer:
                 error_type="internal")
         await self._send(writer, response)
         return True
+
+    def _consume_meta(self, request: protocol.Request
+                      ) -> tuple[float | None, protocol.Response | None]:
+        """Peel ``deadline_ms``/``attempt`` off the params.
+
+        Returns ``(deadline_seconds, error_response)``; a budget too small
+        to cover even dispatch overhead is refused immediately (the caller
+        has effectively stopped waiting already).
+        """
+        attempt = request.params.pop("attempt", None)
+        if attempt is not None:
+            self.engine.metrics.increment("retry.attempts")
+        deadline_ms = request.params.pop("deadline_ms", None)
+        if deadline_ms is None:
+            return None, None
+        if not isinstance(deadline_ms, (int, float)) or isinstance(
+                deadline_ms, bool) or deadline_ms <= 0:
+            return None, protocol.error_response(
+                request.id, "'deadline_ms' must be a positive number",
+                error_type="protocol")
+        deadline_s = float(deadline_ms) / 1000.0
+        if deadline_s < self.MIN_DEADLINE_SECONDS:
+            self.engine.metrics.increment("server.deadline_rejected")
+            return None, protocol.error_response(
+                request.id,
+                f"deadline budget of {deadline_ms:g}ms is below the "
+                f"{self.MIN_DEADLINE_SECONDS * 1000:g}ms floor; refusing "
+                "work the caller cannot wait for",
+                error_type="deadline")
+        return deadline_s, None
+
+    def _release_inflight(self, _future) -> None:
+        """Free one in-flight slot once its request truly ends.
+
+        Attached as a done callback, so the slot is held for the request's
+        *actual* lifetime on a worker thread -- a session that stops
+        waiting (timeout) does not free it, because the worker is still
+        busy.
+        """
+        with self._inflight_lock:
+            self._inflight -= 1
 
     def _dispatch(self, request: protocol.Request) -> protocol.Response:
         """Dispatch one request on a worker thread, watching for slow ops."""

@@ -157,6 +157,123 @@ def recover(directory: Path | str, **engine_kwargs) -> DatabaseEngine:
     return DatabaseEngine.open(directory, **engine_kwargs)
 
 
+@dataclass
+class RetryReport:
+    """What :func:`run_workload_with_retries` observed across crashes.
+
+    Unlike :class:`CrashReport` there is no in-flight ambiguity left to
+    allow for: every step was retried with the same ``txn_id`` until an
+    outcome came back, so the recovered state must be *exactly* the acked
+    replay -- that is the exactly-once claim under test.
+    """
+
+    initial: FactSet
+    #: Applied effective transactions in acknowledgement order.
+    acked: list[Transaction] = field(default_factory=list)
+    #: ``txn_id -> transaction`` for every step, in commit order.
+    transactions: dict[str, Transaction] = field(default_factory=dict)
+    #: ``txn_id -> outcome.to_dict()`` as the workload observed it.
+    outcomes: dict[str, dict] = field(default_factory=dict)
+    crashes: int = 0
+    retries: int = 0
+    steps: int = 0
+
+    def expected_facts(self) -> FactSet:
+        """The one legal final base state: initial + every acked commit."""
+        facts = set(self.initial)
+        for transaction in self.acked:
+            apply_transaction(facts, transaction)
+        return frozenset(facts)
+
+
+def run_workload_with_retries(
+        engine: DatabaseEngine, directory: Path | str, *,
+        steps: int = 20, n_events: int = 3, seed: int = 0,
+        max_attempts: int = 5,
+        rearm=None,
+        **engine_kwargs) -> tuple[RetryReport, DatabaseEngine]:
+    """Drive a txn-stamped workload, retrying each commit *through* crashes.
+
+    Every step stamps its transaction with a deterministic ``txn_id`` and
+    commits it.  On :class:`~repro.faults.SimulatedCrash` the engine is
+    abandoned mid-call -- the ambiguous-ack window: the attempt may or may
+    not have reached the WAL -- the failpoint schedule is cleared, the
+    directory re-opened through recovery, and the *same* transaction
+    retried with the *same* ``txn_id``.  The durable dedup table makes the
+    retry safe: a first attempt that did apply short-circuits to its
+    recorded outcome, one that did not applies exactly once now.
+
+    ``rearm(crash_count)``, when given, runs after each recovery so a test
+    can schedule the next crash.  Returns ``(report, engine)`` -- the
+    final engine (post the last recovery, if any); the caller closes it.
+    """
+    report = RetryReport(initial=base_facts(engine.db))
+    for step in range(steps):
+        transaction = random_transaction(
+            engine.db, n_events=n_events, seed=seed * 100003 + step * 31)
+        txn_id = f"w{seed}-{step}"
+        outcome = None
+        for attempt in range(max_attempts):
+            if attempt:
+                report.retries += 1
+            try:
+                outcome = engine.commit(transaction, txn_id=txn_id)
+                break
+            except faults.SimulatedCrash:
+                report.crashes += 1
+                faults.reset()  # recovery must run clean
+                engine = recover(directory, **engine_kwargs)
+                if rearm is not None:
+                    rearm(report.crashes)
+        else:
+            raise AssertionError(
+                f"step {step} got no outcome after {max_attempts} attempts")
+        report.steps = step + 1
+        report.transactions[txn_id] = transaction
+        report.outcomes[txn_id] = outcome.to_dict()
+        if outcome.applied:
+            report.acked.append(outcome.effective)
+    return report, engine
+
+
+def check_exactly_once(report: RetryReport,
+                       recovered: DatabaseEngine) -> None:
+    """Assert the exactly-once invariants after a retried workload.
+
+    1. The base state is *exactly* initial + acked effectives -- retries
+       resolved every ambiguous ack, so no subsequence slack is allowed.
+    2. Derived state equals the naive bottom-up oracle rebuild.
+    3. Replaying every stamped commit is a pure dedup hit: the original
+       ``applied``/``effective`` comes back, the ``dedup.hit`` counter
+       grows by exactly one per replay, and the state does not move.
+    """
+    observed = base_facts(recovered.db)
+    expected = report.expected_facts()
+    assert observed == expected, (
+        "exactly-once violated: recovered base state diverges from the "
+        "acked replay:\n"
+        f"  missing: {sorted(map(str, expected - observed))}\n"
+        f"  extra:   {sorted(map(str, observed - expected))}")
+    check_derived_oracle(recovered)
+
+    hits_before = recovered.metrics.counter("dedup.hit")
+    for txn_id, transaction in report.transactions.items():
+        replay = recovered.commit(transaction, txn_id=txn_id)
+        original = report.outcomes[txn_id]
+        assert replay.applied == original["applied"], (
+            f"replay of {txn_id} flipped applied="
+            f"{original['applied']} to {replay.applied}")
+        assert replay.effective.to_dict() == original["effective"], (
+            f"replay of {txn_id} returned a different effective "
+            f"transaction")
+    hits = recovered.metrics.counter("dedup.hit") - hits_before
+    assert hits == len(report.transactions), (
+        f"{len(report.transactions) - hits} replayed commit(s) were not "
+        "dedup hits -- they re-applied")
+    assert base_facts(recovered.db) == expected, (
+        "replaying recorded commits moved the base state")
+
+
 def check_invariants(report: CrashReport, recovered: DatabaseEngine) -> None:
     """Assert the three crash-recovery invariants (see module docstring)."""
     observed = base_facts(recovered.db)
@@ -174,6 +291,11 @@ def check_invariants(report: CrashReport, recovered: DatabaseEngine) -> None:
         f"  in-flight transactions: {len(report.inflight)}")
 
     # 3. Derived state is exactly the naive oracle rebuild.
+    check_derived_oracle(recovered)
+
+
+def check_derived_oracle(recovered: DatabaseEngine) -> None:
+    """Every derived predicate must equal a fresh bottom-up rebuild."""
     oracle = DeductiveDatabase.from_source(str(recovered.db))
     schema = recovered.db.schema
     for predicate in sorted(schema.derived):

@@ -12,6 +12,7 @@ from repro.server.engine import (
     ConflictDeferralTimeout,
     DatabaseEngine,
     EngineClosedError,
+    IdempotencyError,
 )
 from repro.server.protocol import (
     PROTOCOL_VERSION,
@@ -223,6 +224,7 @@ class TestErrorMapping:
         (errors.ComplexityLimitExceeded("x"), "complexity"),
         (errors.DepthLimitExceeded("x"), "depth-limit"),
         (ConflictDeferralTimeout("x"), "conflict-timeout"),
+        (IdempotencyError("x"), "idempotency"),
         (EngineClosedError("x"), "closed"),
         (errors.DatalogError("x"), "datalog"),
         (WireFormatError("x"), "protocol"),

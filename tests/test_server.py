@@ -41,7 +41,7 @@ def connect_with_deadline(port: int, deadline: float = 10.0,
         try:
             return DatabaseClient(port=port, **client_kwargs)
         except ServerError as error:
-            if error.type != "capacity":
+            if error.type != "overloaded":
                 raise
             last = error
         except (ConnectionError, socket.timeout) as error:
@@ -159,7 +159,10 @@ class TestBackpressureAndTimeouts:
                 assert first.ping()
                 with pytest.raises(ServerError) as excinfo:
                     DatabaseClient(port=port)
-                assert excinfo.value.type == "capacity"
+                assert excinfo.value.type == "overloaded"
+                assert excinfo.value.retry_after is not None
+                assert excinfo.value.retry_after > 0
+                assert engine.metrics.counter("server.shed") >= 1
             # Slot freed: a new connection succeeds (the server releases
             # it asynchronously, so retry against a deadline).
             with connect_with_deadline(port) as again:
