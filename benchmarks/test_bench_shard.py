@@ -1,0 +1,97 @@
+"""Scatter-gather read throughput at 1 / 2 / 4 shards.
+
+An unbound query against an :class:`EngineGroup` fans out to every shard
+and merges the answers.  Each shard evaluates the goal over its own slice
+of the EDB, and evaluation cost grows superlinearly in slice size, so
+splitting the database is a win even before process-level parallelism:
+four shards each solving a quarter-size problem beat one shard solving
+the whole thing.  This benchmark drives ``Unemp(x)`` (the paper's derived
+predicate, rule plus negation) over a 4000-person employment database and
+records queries/second per shard count into ``BENCH_shard.json`` at the
+repository root.
+
+Acceptance criterion (ISSUE 6): 4-shard scatter-gather reads at >= 2x
+single-shard throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.shard import EngineGroup
+from repro.workloads import employment_database
+
+N_PEOPLE = 4000
+SHARD_COUNTS = (1, 2, 4)
+GOAL = "Unemp(x)"
+REPEAT = 3
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+
+
+def _open_group(tmp_path, shards: int) -> EngineGroup:
+    return EngineGroup.open(tmp_path / f"grp{shards}",
+                            employment_database(N_PEOPLE, seed=3),
+                            shards=shards)
+
+
+def _best_query_seconds(group: EngineGroup) -> tuple[float, int]:
+    rows = group.query(GOAL)  # warm-up: imports, per-shard evaluators
+    best = float("inf")
+    for _ in range(REPEAT):
+        start = time.perf_counter()
+        rows = group.query(GOAL)
+        best = min(best, time.perf_counter() - start)
+    return best, len(rows)
+
+
+def test_bench_scatter_gather_reads(benchmark, tmp_path):
+    results: dict[int, dict] = {}
+    expected_rows: int | None = None
+    for shards in SHARD_COUNTS:
+        group = _open_group(tmp_path, shards)
+        try:
+            seconds, n_rows = _best_query_seconds(group)
+        finally:
+            group.close(checkpoint=False)
+        results[shards] = {"seconds_per_query": seconds,
+                           "queries_per_second": 1.0 / seconds,
+                           "rows": n_rows}
+        # Sharding must not change the answer, only the latency.
+        expected_rows = n_rows if expected_rows is None else expected_rows
+        assert n_rows == expected_rows
+
+    # The measured side through pytest-benchmark: the 4-shard scatter.
+    group = _open_group(tmp_path / "measured", SHARD_COUNTS[-1])
+    try:
+        group.query(GOAL)
+        benchmark.pedantic(lambda: group.query(GOAL), rounds=REPEAT)
+    finally:
+        group.close(checkpoint=False)
+
+    for shards in SHARD_COUNTS:
+        entry = results[shards]
+        print(f"\nSHARD scatter={shards}  query({GOAL})="
+              f"{entry['seconds_per_query'] * 1e3:8.2f} ms  "
+              f"throughput={entry['queries_per_second']:7.1f} q/s")
+
+    BENCH_FILE.write_text(json.dumps({
+        "benchmark": "scatter_gather_reads",
+        "goal": GOAL,
+        "n_people": N_PEOPLE,
+        "shards": {str(s): results[s] for s in SHARD_COUNTS},
+        "speedup_4_over_1": (results[4]["queries_per_second"]
+                             / results[1]["queries_per_second"]),
+    }, indent=2) + "\n")
+
+    # Acceptance criterion: 4 shards at least double 1-shard throughput.
+    assert results[4]["queries_per_second"] >= \
+        2.0 * results[1]["queries_per_second"], (
+            f"scatter-gather must scale: 1-shard "
+            f"{results[1]['queries_per_second']:.1f} q/s, 4-shard "
+            f"{results[4]['queries_per_second']:.1f} q/s (need >= 2x)")
+    assert results[2]["queries_per_second"] >= \
+        results[1]["queries_per_second"], \
+        "2-shard reads should not be slower than 1-shard"

@@ -217,11 +217,89 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                  on_violation=args.on_violation,
                                  cache_mode=args.cache_mode,
                                  dedup_capacity=args.dedup_capacity)
+    if args.routing:
+        # A shard of a partitioned group: the routing table is the durable
+        # schema record (this shard's snapshot only renders predicates it
+        # holds facts or rules for), so redeclare every routed predicate.
+        from repro.shard import RoutingTable
+
+        for predicate, arity in RoutingTable.load(args.routing).arities.items():
+            engine.db.declare_base(predicate, arity)
     run(engine, host=args.host, port=args.port, port_file=args.port_file,
         max_connections=args.max_connections,
         max_inflight=args.max_inflight,
         request_timeout=args.timeout,
         checkpoint_on_shutdown=not args.no_checkpoint,
+        slow_op_threshold=args.slow_op_threshold)
+    return 0
+
+
+def _parse_pins(pins: list[str] | None) -> dict[str, int]:
+    """Parse repeated ``--pin PRED=SHARD`` flags into a placement map."""
+    placements: dict[str, int] = {}
+    for piece in pins or ():
+        name, _, index = piece.partition("=")
+        if not name or not index.isdigit():
+            raise DatalogError(
+                f"--pin expects PREDICATE=SHARD_INDEX, got {piece!r}")
+        placements[name] = int(index)
+    return placements
+
+
+def _cmd_shard_serve(args: argparse.Namespace) -> int:
+    """Serve an in-process shard group (scatter-gather + 2PC) over TCP."""
+    from repro.obs import tracer as obs
+    from repro.server.server import run
+    from repro.shard import EngineGroup
+
+    if args.trace:
+        obs.enable()
+    initial = _load(args.init) if args.init else None
+    group = EngineGroup.open(args.directory, initial=initial,
+                             shards=args.shards,
+                             pinned=_parse_pins(args.pin),
+                             max_batch=args.max_batch,
+                             on_violation=args.on_violation,
+                             cache_mode=args.cache_mode,
+                             dedup_capacity=args.dedup_capacity)
+    run(group, host=args.host, port=args.port, port_file=args.port_file,
+        max_connections=args.max_connections,
+        max_inflight=args.max_inflight,
+        request_timeout=args.timeout,
+        checkpoint_on_shutdown=not args.no_checkpoint,
+        slow_op_threshold=args.slow_op_threshold)
+    return 0
+
+
+def _parse_endpoint(text: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise DatalogError(f"--shard expects HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    """Serve a scatter-gather router over running shard servers."""
+    from repro.server.server import run
+    from repro.shard import (
+        DECISIONS_NAME,
+        ROUTING_NAME,
+        DecisionLog,
+        RoutingTable,
+        ShardRouter,
+    )
+
+    directory = Path(args.directory)
+    routing = RoutingTable.load(directory / ROUTING_NAME)
+    decisions = DecisionLog(directory / DECISIONS_NAME)
+    router = ShardRouter([_parse_endpoint(piece) for piece in args.shard],
+                         routing, decisions,
+                         timeout=args.timeout,
+                         max_attempts=args.retries)
+    run(router, host=args.host, port=args.port, port_file=args.port_file,
+        max_connections=args.max_connections,
+        request_timeout=args.timeout,
+        checkpoint_on_shutdown=False,
         slow_op_threshold=args.slow_op_threshold)
     return 0
 
@@ -233,6 +311,19 @@ def _request_params(args: argparse.Namespace) -> dict:
         if not args.argument:
             raise DatalogError("query needs a goal, e.g.: repro call query 'P(x)'")
         params["goal"] = args.argument
+    elif args.op == "prepare":
+        transaction = args.transaction or args.argument
+        if not transaction or not getattr(args, "txn_id", None):
+            raise DatalogError("prepare needs a transaction (-t) and --txn-id")
+        params["transaction"] = transaction
+        params["txn_id"] = args.txn_id
+    elif args.op == "decide":
+        if not args.argument or not getattr(args, "txn_id", None):
+            raise DatalogError("decide needs --txn-id and a decision "
+                               "('commit' or 'abort'), e.g.: "
+                               "repro call decide commit --txn-id ID")
+        params["txn_id"] = args.txn_id
+        params["decision"] = args.argument
     elif args.op in ("commit", "check", "upward", "monitor"):
         transaction = args.transaction or args.argument
         if not transaction:
@@ -261,7 +352,8 @@ def _request_params(args: argparse.Namespace) -> dict:
 def _cmd_call(args: argparse.Namespace) -> int:
     """Send one request to a running server and print the JSON result."""
     params = _request_params(args)
-    resilient = args.retries is not None or args.deadline is not None
+    resilient = (args.retries is not None or args.deadline is not None
+                 or args.router)
     if resilient:
         # The self-healing path: reconnects, jittered backoff, a deadline
         # budget the server enforces too, and auto txn_id stamping so
@@ -388,6 +480,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("directory", help="durable data directory")
     serve.add_argument("--init", metavar="DB_FILE",
                        help="seed a fresh directory from a database file")
+    serve.add_argument("--routing", metavar="ROUTING_JSON",
+                       help="serve as one shard of a partitioned group: "
+                            "redeclare every predicate in this routing "
+                            "table so sparsely-populated shards keep the "
+                            "full schema")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7407)
     serve.add_argument("--port-file", metavar="PATH",
@@ -420,11 +517,65 @@ def build_parser() -> argparse.ArgumentParser:
                        help="log requests slower than this at WARNING")
     serve.set_defaults(run=_cmd_serve)
 
+    shard_serve = commands.add_parser(
+        "shard-serve",
+        help="serve a partitioned engine group (scatter-gather + 2PC)")
+    shard_serve.add_argument("directory", help="group data directory "
+                             "(one subdirectory per shard)")
+    shard_serve.add_argument("--shards", type=int, default=2,
+                             help="number of shards for a fresh group "
+                                  "(reopen reads routing.json; default 2)")
+    shard_serve.add_argument("--init", metavar="DB_FILE",
+                             help="seed a fresh group from a database file")
+    shard_serve.add_argument("--pin", action="append", metavar="PRED=SHARD",
+                             help="pin a predicate to one shard instead of "
+                                  "hash partitioning (repeatable)")
+    shard_serve.add_argument("--host", default="127.0.0.1")
+    shard_serve.add_argument("--port", type=int, default=7407)
+    shard_serve.add_argument("--port-file", metavar="PATH",
+                             help="write the bound port here once listening "
+                                  "(use with --port 0)")
+    shard_serve.add_argument("--max-batch", type=int, default=64)
+    shard_serve.add_argument("--max-connections", type=int, default=64)
+    shard_serve.add_argument("--max-inflight", type=int, default=None)
+    shard_serve.add_argument("--dedup-capacity", type=int, default=None)
+    shard_serve.add_argument("--timeout", type=float, default=30.0)
+    shard_serve.add_argument("--on-violation", default="reject",
+                             choices=["reject", "maintain", "ignore"])
+    shard_serve.add_argument("--cache-mode", default="advance",
+                             choices=["advance", "invalidate"])
+    shard_serve.add_argument("--no-checkpoint", action="store_true")
+    shard_serve.add_argument("--trace", action="store_true")
+    shard_serve.add_argument("--slow-op-threshold", type=float,
+                             metavar="SECONDS")
+    shard_serve.set_defaults(run=_cmd_shard_serve)
+
+    route = commands.add_parser(
+        "route", help="serve a scatter-gather router over shard servers")
+    route.add_argument("directory",
+                       help="directory holding routing.json; the 2PC "
+                            "decision log lives here too")
+    route.add_argument("--shard", action="append", required=True,
+                       metavar="HOST:PORT",
+                       help="shard server endpoint, one per shard in "
+                            "shard-index order (repeatable)")
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument("--port", type=int, default=7408)
+    route.add_argument("--port-file", metavar="PATH")
+    route.add_argument("--max-connections", type=int, default=64)
+    route.add_argument("--timeout", type=float, default=30.0,
+                       help="per-request timeout, also used toward shards")
+    route.add_argument("--retries", type=int, default=5,
+                       help="attempts per shard call (resilient client)")
+    route.add_argument("--slow-op-threshold", type=float, metavar="SECONDS")
+    route.set_defaults(run=_cmd_route)
+
     call = commands.add_parser(
         "call", help="send one request to a running server")
     call.add_argument("op", choices=[
         "ping", "hello", "query", "upward", "check", "monitor", "downward",
-        "repair", "commit", "stats", "checkpoint", "health", "shutdown"])
+        "repair", "commit", "prepare", "decide", "stats", "checkpoint",
+        "health", "shutdown"])
     call.add_argument("argument", nargs="?",
                       help="query goal / transaction / ';'-separated requests")
     call.add_argument("--host", default="127.0.0.1")
@@ -446,6 +597,10 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="SECONDS",
                       help="per-call deadline budget, propagated to the "
                            "server (implies the resilient client)")
+    call.add_argument("--router", action="store_true",
+                      help="the target is a shard router: use the resilient "
+                           "client so transient 'unavailable' shards are "
+                           "retried")
     call.set_defaults(run=_cmd_call)
 
     trace = commands.add_parser(

@@ -25,6 +25,8 @@ A commit stamped with a ``txn_id`` writes a *self-identifying* WAL line::
     #txn <id> <digest> applied :: insert P(A), delete Q(B)
     #txn <id> <digest> applied ::               (applied, no net effect)
     #txn <id> <digest> rejected ::              (definitive rejection)
+    #txn <id> <digest> prepared :: insert P(A)  (2PC vote, not yet applied)
+    #txn <id> <digest> aborted ::               (2PC abort decision)
 
 The header travels on the same line as the events, so the record is as
 atomic as the append itself: a torn write loses the whole commit *and* its
@@ -34,6 +36,19 @@ checkpoint sidecar, which preserves the table across log truncation), which
 is what lets a retried commit whose first attempt survived the crash return
 the original outcome instead of double-applying.  Legacy logs without
 headers replay unchanged.
+
+Two-phase commit markers
+------------------------
+A ``prepared`` line is a shard's durable yes-vote in a cross-shard commit
+(:mod:`repro.shard`): it carries the *requested* events but replay does not
+apply them.  The vote is resolved by a later line for the same ``txn_id``
+-- ``applied`` (the commit decision, carrying the effective events) or
+``aborted`` (the abort decision, eventless).  A prepared line with no
+resolution at recovery time is **in doubt**: replay collects these into
+:attr:`DurableDatabase.in_doubt` so the engine can re-lock their fact keys
+and the coordinator can resolve them against its decision log.  Checkpoints
+re-append unresolved prepared lines after truncating the log, so an
+in-doubt vote survives any number of checkpoints.
 """
 
 from __future__ import annotations
@@ -64,6 +79,8 @@ TXN_LINE_PREFIX = "#txn "
 TXN_SEPARATOR = " :: "
 #: Default bound on remembered transaction outcomes (FIFO eviction).
 DEFAULT_DEDUP_CAPACITY = 4096
+#: Valid statuses in a ``#txn`` WAL header (see the module docstring).
+TXN_STATUSES = ("applied", "rejected", "prepared", "aborted")
 
 FP_WAL_MID_APPEND = faults.register(
     "wal.mid_append",
@@ -163,9 +180,16 @@ def parse_log_line(text: str) -> tuple[tuple[str, str, str] | None, str]:
         raise ParseError(f"txn log line has no '{TXN_SEPARATOR.strip()}' "
                          f"separator: {text!r}")
     parts = header.split()
-    if len(parts) != 4 or parts[3] not in ("applied", "rejected"):
+    if len(parts) != 4 or parts[3] not in TXN_STATUSES:
         raise ParseError(f"malformed txn log header: {header!r}")
     return (parts[1], parts[2], parts[3]), body.strip()
+
+
+def _render_events(transaction: Transaction) -> str:
+    """The WAL rendering of a transaction body (sorted, parseable)."""
+    return ", ".join(sorted(
+        ("insert " if e.is_insertion else "delete ") + str(e.atom())
+        for e in transaction))
 
 
 def _fsync_file(handle) -> None:
@@ -191,12 +215,18 @@ class DurableDatabase:
     """
 
     def __init__(self, db: DeductiveDatabase, directory: Path,
-                 txns: TxnDedupTable | None = None):
+                 txns: TxnDedupTable | None = None,
+                 in_doubt: dict[str, tuple[str, Transaction]] | None = None):
         self._db = db
         self._directory = directory
         self._log_path = directory / LOG_NAME
         #: Remembered commit outcomes by ``txn_id`` (the dedup table).
         self.txns = txns if txns is not None else TxnDedupTable()
+        #: Unresolved 2PC votes: ``txn_id -> (digest, requested events)``.
+        #: Maintained by :meth:`log_prepare` / :meth:`commit` /
+        #: :meth:`log_txn_outcome`; rebuilt from the log on :meth:`open`.
+        self.in_doubt: dict[str, tuple[str, Transaction]] = \
+            dict(in_doubt) if in_doubt else {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -220,6 +250,7 @@ class DurableDatabase:
         snapshot_path = directory / SNAPSHOT_NAME
         log_path = directory / LOG_NAME
         txns = TxnDedupTable(dedup_capacity)
+        in_doubt: dict[str, tuple[str, Transaction]] = {}
         if snapshot_path.exists():
             if initial is not None:
                 raise TransactionError(
@@ -229,12 +260,12 @@ class DurableDatabase:
             db = DeductiveDatabase.from_source(snapshot_path.read_text())
             cls._load_txn_sidecar(directory, txns)
             if log_path.exists():
-                cls._replay_log(db, log_path, txns)
+                in_doubt = cls._replay_log(db, log_path, txns)
         else:
             db = initial.copy() if initial is not None else DeductiveDatabase()
             snapshot_path.write_text(str(db) + "\n")
             log_path.write_text("")
-        return cls(db, directory, txns)
+        return cls(db, directory, txns, in_doubt)
 
     @staticmethod
     def _load_txn_sidecar(directory: Path, txns: TxnDedupTable) -> None:
@@ -257,7 +288,8 @@ class DurableDatabase:
 
     @staticmethod
     def _replay_log(db: DeductiveDatabase, log_path: Path,
-                    txns: TxnDedupTable | None = None) -> None:
+                    txns: TxnDedupTable | None = None
+                    ) -> dict[str, tuple[str, Transaction]]:
         raw = log_path.read_text()
         lines = raw.splitlines()
         # Appends always end with a newline, so a file that does not is
@@ -265,6 +297,7 @@ class DurableDatabase:
         # if the fragment happens to parse.
         torn_tail = bool(raw) and not raw.endswith("\n")
         good: list[str] = []
+        in_doubt: dict[str, tuple[str, Transaction]] = {}
         torn = False
         for index, line in enumerate(lines):
             text = line.strip()
@@ -282,8 +315,16 @@ class DurableDatabase:
                     raise
                 torn = True
                 break
-            applied = header is None or header[2] == "applied"
-            if applied:
+            status = header[2] if header is not None else "applied"
+            if status == "prepared":
+                # A durable yes-vote: remember it, apply nothing.  A later
+                # applied/aborted line for the same id resolves it; a vote
+                # still here at the end of the log is in doubt.
+                txn_id, digest, _ = header
+                in_doubt[txn_id] = (digest, events)
+                good.append(text)
+                continue
+            if status == "applied":
                 for event in events:
                     if event.is_insertion:
                         db.add_fact(event.predicate, *event.args)
@@ -291,11 +332,16 @@ class DurableDatabase:
                         db.remove_fact(event.predicate, *event.args)
             if header is not None and txns is not None:
                 txn_id, digest, _ = header
-                txns.put(txn_id, digest, {
-                    "applied": applied,
-                    "effective": events.to_dict() if applied else [],
+                in_doubt.pop(txn_id, None)
+                outcome = {
+                    "applied": status == "applied",
+                    "effective": (events.to_dict()
+                                  if status == "applied" else []),
                     "recovered": True,
-                })
+                }
+                if status == "aborted":
+                    outcome["aborted"] = True
+                txns.put(txn_id, digest, outcome)
             good.append(text)
         if torn:
             # Rewrite atomically (temp file + fsync + rename, the same
@@ -308,6 +354,7 @@ class DurableDatabase:
                 _fsync_file(log)
             os.replace(temporary, log_path)
             _fsync_directory(log_path.parent)
+        return in_doubt
 
     @property
     def db(self) -> DeductiveDatabase:
@@ -344,10 +391,7 @@ class DurableDatabase:
         transaction.check_base_only(self._db)
         effective = transaction.normalized(self._db)
         if effective.events or txn is not None:
-            rendered = ", ".join(sorted(
-                ("insert " if e.is_insertion else "delete ") + str(e.atom())
-                for e in effective
-            ))
+            rendered = _render_events(effective)
             if txn is not None:
                 txn_id, digest = txn
                 rendered = (f"{TXN_LINE_PREFIX}{txn_id} {digest} applied"
@@ -368,6 +412,8 @@ class DurableDatabase:
                 self._db.add_fact(event.predicate, *event.args)
             else:
                 self._db.remove_fact(event.predicate, *event.args)
+        if txn is not None:
+            self.in_doubt.pop(txn[0], None)
         return effective
 
     @staticmethod
@@ -385,18 +431,44 @@ class DurableDatabase:
         raise faults.SimulatedCrash(
             f"torn WAL append: {cut} of {len(payload)} bytes written")
 
+    def log_prepare(self, txn_id: str, digest: str,
+                    transaction: Transaction, sync: bool = True) -> None:
+        """Durably record a 2PC yes-vote: a ``prepared`` WAL line.
+
+        The line carries the *requested* events (the effective set is
+        computed at decide time, against whatever state holds then), but
+        replay never applies them -- see the module docstring.  The vote is
+        registered in :attr:`in_doubt` until a decision resolves it.
+        """
+        rendered = (f"{TXN_LINE_PREFIX}{txn_id} {digest} prepared"
+                    f"{TXN_SEPARATOR}{_render_events(transaction)}".rstrip())
+        self._append_line(rendered + "\n", sync=sync)
+        self.in_doubt[txn_id] = (digest, transaction)
+
     def log_txn_outcome(self, txn_id: str, digest: str,
-                        applied: bool, sync: bool = False) -> None:
+                        applied: bool, sync: bool = False,
+                        status: str | None = None) -> None:
         """Append a marker line recording a definitive eventless outcome.
 
         Used for **rejected** commits (no events ever reach the log, but
         the rejection itself must be remembered so a retry returns it
-        instead of re-running the check against a moved state).  Applied
-        commits -- effectful or not -- are recorded by :meth:`commit`.
+        instead of re-running the check against a moved state) and for 2PC
+        **abort** decisions (``status="aborted"``, which also releases the
+        in-doubt vote).  Applied commits -- effectful or not -- are
+        recorded by :meth:`commit`.
         """
-        status = "applied" if applied else "rejected"
+        if status is None:
+            status = "applied" if applied else "rejected"
+        if status not in TXN_STATUSES:
+            raise ValueError(f"unknown txn status: {status!r}")
         payload = f"{TXN_LINE_PREFIX}{txn_id} {digest} {status}" \
                   f"{TXN_SEPARATOR}".rstrip() + "\n"
+        self._append_line(payload, sync=sync)
+        if status != "prepared":
+            self.in_doubt.pop(txn_id, None)
+
+    def _append_line(self, payload: str, sync: bool) -> None:
+        """Append one WAL line through the shared failpoint choreography."""
         with self._log_path.open("a") as log:
             action = faults.failpoint(FP_WAL_MID_APPEND,
                                       payload=payload.rstrip("\n"))
@@ -447,6 +519,13 @@ class DurableDatabase:
         temporary.replace(snapshot_path)
         faults.failpoint(FP_CHECKPOINT_PRE_TRUNCATE)
         with self._log_path.open("w") as log:
+            # The snapshot only holds *applied* state; unresolved 2PC votes
+            # must outlive the truncation, so their prepared lines are the
+            # one thing the fresh log starts with.
+            for txn_id, (digest, transaction) in self.in_doubt.items():
+                log.write(f"{TXN_LINE_PREFIX}{txn_id} {digest} prepared"
+                          f"{TXN_SEPARATOR}"
+                          f"{_render_events(transaction)}".rstrip() + "\n")
             _fsync_file(log)
         _fsync_directory(self._directory)
 
@@ -454,7 +533,8 @@ class DurableDatabase:
         """Number of committed transactions since the last checkpoint.
 
         Marker-only txn lines (rejections, acked no-ops) carry no events
-        and are not counted.
+        and are not counted; neither are ``prepared`` votes, which are not
+        commits until a decision lands.
         """
         if not self._log_path.exists():
             return 0
@@ -464,9 +544,9 @@ class DurableDatabase:
             if not text:
                 continue
             try:
-                _, body = parse_log_line(text)
+                header, body = parse_log_line(text)
             except ParseError:
                 continue  # a torn tail fragment; replay drops it too
-            if body:
+            if body and (header is None or header[2] != "prepared"):
                 count += 1
         return count

@@ -59,6 +59,25 @@ class TransactionError(DatalogError):
     """Raised for ill-formed transactions (e.g. inserting and deleting one fact)."""
 
 
+class RoutingError(DatalogError):
+    """Raised when a sharded deployment cannot route a request.
+
+    Covers events on predicates absent from the routing table, operations
+    that require a single shard issued against a multi-shard group, and
+    malformed routing configuration (see :mod:`repro.shard`).
+    """
+
+
+class UnavailableError(DatalogError):
+    """Raised when a required backend shard cannot be reached.
+
+    The sharded router maps transport-level failures (connection refused,
+    retries exhausted, a lost connection mid-call) to this type so clients
+    see one retryable wire error (``unavailable``) instead of a grab-bag
+    of socket exceptions.
+    """
+
+
 class ComplexityLimitExceeded(DatalogError):
     """Raised when a DNF grows past its configured size bound.
 

@@ -390,6 +390,57 @@ class CommitRequest(UpdateRequest):
 
 
 @dataclass
+class PrepareRequest(UpdateRequest):
+    """2PC phase 1 (sharded serving): durably vote on one shard's slice.
+
+    Only meaningful against a :class:`~repro.server.engine.DatabaseEngine`
+    acting as a cross-shard-commit participant; see :mod:`repro.shard`.
+    """
+
+    op: ClassVar[str] = "prepare"
+    transaction: Transaction = field(default_factory=Transaction)
+    txn_id: str = ""
+
+    def __post_init__(self) -> None:
+        self.transaction = _coerce_transaction(self.transaction)
+
+    def params(self) -> dict:
+        return {"transaction": self.transaction.to_text(),
+                "txn_id": self.txn_id}
+
+    @classmethod
+    def from_params(cls, params: dict) -> "PrepareRequest":
+        return cls(transaction=_wire_transaction(params),
+                   txn_id=_wire_string(params, "txn_id"))
+
+    def execute(self, engine: "DatabaseEngine") -> dict:
+        return engine.prepare(self.transaction, self.txn_id)
+
+
+@dataclass
+class DecideRequest(UpdateRequest):
+    """2PC phase 2 (sharded serving): deliver the coordinator's decision."""
+
+    op: ClassVar[str] = "decide"
+    txn_id: str = ""
+    decision: str = "abort"
+
+    def params(self) -> dict:
+        return {"txn_id": self.txn_id, "decision": self.decision}
+
+    @classmethod
+    def from_params(cls, params: dict) -> "DecideRequest":
+        decision = _wire_string(params, "decision")
+        if decision not in ("commit", "abort"):
+            raise WireFormatError(
+                f"'decision' must be 'commit' or 'abort', not {decision!r}")
+        return cls(txn_id=_wire_string(params, "txn_id"), decision=decision)
+
+    def execute(self, engine: "DatabaseEngine") -> dict:
+        return engine.decide(self.txn_id, self.decision)
+
+
+@dataclass
 class StatsRequest(UpdateRequest):
     """Engine + metrics (+ tracing aggregates, when enabled) snapshot."""
 
@@ -429,11 +480,13 @@ __all__ = [
     "CheckRequest",
     "CheckpointRequest",
     "CommitRequest",
+    "DecideRequest",
     "DownwardRequest",
     "HealthRequest",
     "HelloRequest",
     "MonitorRequest",
     "PingRequest",
+    "PrepareRequest",
     "QueryRequest",
     "REQUEST_TYPES",
     "RepairRequest",

@@ -90,6 +90,15 @@ FP_PRE_ACK = faults.register(
     "engine.pre_ack",
     "after the WAL fsync, before waiters are acknowledged (crash: the "
     "batch is durable but no client ever saw an ack)")
+FP_PREPARE_WRITTEN = faults.register(
+    "twopc.prepare_written",
+    "2PC participant: prepared line fsynced, before the yes-vote returns "
+    "to the coordinator (crash: a durable in-doubt vote nobody counted)")
+FP_DECIDE_PRE_ACK = faults.register(
+    "twopc.decide_pre_ack",
+    "2PC participant: decision applied and durable, before the ack returns "
+    "to the coordinator (crash: the classic dropped-ack; a retried decide "
+    "must replay the recorded outcome)")
 
 
 class EngineClosedError(DatalogError):
@@ -115,6 +124,27 @@ class IdempotencyError(DatalogError):
     Retrying the same commit is the point of idempotency keys; submitting
     new work under an old key is always a client bug, and silently
     returning the old outcome would hide it.
+    """
+
+
+class TxnStateError(DatalogError):
+    """A 2PC decision arrived for a transaction in the wrong state.
+
+    A ``commit`` decision for a transaction this participant never
+    prepared (or already aborted) is a protocol violation -- the
+    coordinator only decides commit after counting *every* yes-vote, so a
+    missing prepare means lost durability, which must fail loudly rather
+    than silently apply.
+    """
+
+
+class TxnConflictError(DatalogError):
+    """A commit or prepare touches fact keys locked by an in-flight 2PC vote.
+
+    Between prepare and decision a participant must neither apply nor
+    promise conflicting writes, or the coordinator's commit decision could
+    become unappliable.  Safe to retry: the lock clears when the in-doubt
+    transaction resolves.
     """
 
 
@@ -281,6 +311,15 @@ class _Pending:
         self.done.set()
 
 
+@dataclass(frozen=True)
+class _PreparedTxn:
+    """A durable 2PC yes-vote held by this participant (keys are locked)."""
+
+    transaction: Transaction
+    digest: str
+    keys: frozenset
+
+
 class DatabaseEngine:
     """Concurrent, durable serving engine -- the server's core.
 
@@ -339,6 +378,15 @@ class DatabaseEngine:
         #: returning dicts) -- the server layer registers its admission
         #: counters here without the engine importing it.
         self.health_extras: list[Callable[[], dict]] = []
+        #: In-flight 2PC votes by ``txn_id``; guarded by the write lock.
+        #: Seeded from the store's in-doubt set so recovered votes keep
+        #: their fact keys locked until the coordinator resolves them.
+        self._prepared: dict[str, _PreparedTxn] = {
+            txn_id: _PreparedTxn(
+                transaction, digest,
+                frozenset((e.predicate, e.args) for e in transaction))
+            for txn_id, (digest, transaction) in store.in_doubt.items()
+        }
         self._closed = False
 
     def _record_cache_event(self, kind: str) -> None:
@@ -379,6 +427,11 @@ class DatabaseEngine:
     def _ensure_open(self) -> None:
         if self._closed:
             raise EngineClosedError("engine is closed")
+
+    @property
+    def in_doubt(self) -> tuple[str, ...]:
+        """ids of 2PC votes awaiting a decision (their fact keys are locked)."""
+        return tuple(sorted(self._prepared))
 
     # -- read requests ---------------------------------------------------------
 
@@ -436,6 +489,7 @@ class DatabaseEngine:
                 "cache_epoch": self._cache_epoch,
                 "dedup_size": len(self._store.txns),
                 "dedup_capacity": self._store.txns.capacity,
+                "in_doubt": len(self._prepared),
             }
         snapshot = {"engine": engine, **self.metrics.snapshot()}
         tracer = obs.get_tracer()
@@ -468,6 +522,7 @@ class DatabaseEngine:
             "cache": {"mode": self._cache_mode, "epoch": self._cache_epoch},
             "dedup": {"size": len(self._store.txns),
                       "capacity": self._store.txns.capacity},
+            "in_doubt": sorted(self._prepared),
             "counters": {name: self.metrics.counter(name)
                          for name in self._HEALTH_COUNTERS},
         }
@@ -684,6 +739,138 @@ class DatabaseEngine:
                 outcomes.append(slot.outcome)
         return outcomes
 
+    # -- two-phase commit (participant side) -----------------------------------
+
+    def prepare(self, transaction: Transaction, txn_id: str) -> dict:
+        """Phase 1 of a cross-shard commit: validate, persist a vote.
+
+        Runs this shard's own admission checks (base-only events, the
+        integrity check under the ``reject`` policy) and, when they pass,
+        fsyncs a ``prepared`` WAL line and locks the transaction's fact
+        keys until :meth:`decide` resolves it.  Returns a vote dict:
+
+        - ``{"vote": "commit", "prepared": True}`` -- durable yes-vote;
+        - ``{"vote": "abort", "decided": True, "outcome": ...}`` -- a
+          unilateral, durable no (integrity violation), or a replay of an
+          already-decided outcome (idempotent retry).
+
+        A no-vote needs no decision round-trip: the participant may abort
+        unilaterally before voting yes, and the durable rejection record
+        makes the verdict survive a crash.  Conflicting in-flight state
+        raises the retryable :class:`TxnConflictError`.
+        """
+        self._ensure_open()
+        self._check_txn_id(txn_id)
+        digest = transaction_digest(transaction)
+        with self.metrics.time("prepare"), self._rwlock.write(), \
+                self._interp_lock:
+            existing = self._prepared.get(txn_id)
+            if existing is not None:
+                if existing.digest != digest:
+                    raise IdempotencyError(
+                        f"txn_id {txn_id!r} is prepared for a different "
+                        "transaction body")
+                return {"vote": "commit", "prepared": True}
+            record = self._store.txns.get(txn_id)
+            if record is not None:
+                if record.digest != digest:
+                    raise IdempotencyError(
+                        f"txn_id {txn_id!r} was already used for a "
+                        "different transaction body")
+                if not record.outcome.get("aborted"):
+                    # Definitive outcome (applied or rejected): replay it.
+                    return {"vote": ("commit" if record.outcome.get("applied")
+                                     else "abort"),
+                            "decided": True, "outcome": record.outcome}
+                # A past *abort decision* is provisional from the client's
+                # point of view (a transient failure elsewhere aborted the
+                # round, not this shard's own verdict): allow a fresh vote.
+            transaction.check_base_only(self.db)
+            keys = frozenset((e.predicate, e.args) for e in transaction)
+            for other_id, other in self._prepared.items():
+                if not keys.isdisjoint(other.keys):
+                    self.metrics.increment("twopc.conflicts")
+                    raise TxnConflictError(
+                        f"prepare of {txn_id!r} conflicts with in-flight "
+                        f"transaction {other_id!r}; retry after it resolves")
+            check: ICCheckResult | None = None
+            if self.db.constraints:
+                try:
+                    check = self._processor.check(transaction)
+                except StateError:
+                    check = None  # inconsistent old state: commit unchecked
+            if check is not None and not check.ok:
+                outcome = CommitOutcome(False, transaction, check=check)
+                self._store.log_txn_outcome(txn_id, digest, applied=False,
+                                            sync=True)
+                self._store.txns.put(txn_id, digest, outcome.to_dict())
+                self.metrics.increment("twopc.vetoed")
+                return {"vote": "abort", "decided": True,
+                        "outcome": outcome.to_dict()}
+            self._store.log_prepare(txn_id, digest, transaction, sync=True)
+            self._prepared[txn_id] = _PreparedTxn(transaction, digest, keys)
+            self.metrics.increment("twopc.prepared")
+            faults.failpoint(FP_PREPARE_WRITTEN, txn_id=txn_id)
+            return {"vote": "commit", "prepared": True}
+
+    def decide(self, txn_id: str, decision: str) -> dict:
+        """Phase 2 of a cross-shard commit: apply or abort a prepared vote.
+
+        Idempotent: a decision for an already-resolved transaction replays
+        the recorded outcome (the dropped-ack case).  An ``abort`` for an
+        unknown transaction is a no-op success -- presumed abort: the vote
+        never became durable, so there is nothing to undo.  A ``commit``
+        for an unknown transaction raises :class:`TxnStateError` (the
+        coordinator counted a vote this shard does not hold -- that is
+        lost durability, never something to paper over).
+        """
+        self._ensure_open()
+        if decision not in ("commit", "abort"):
+            raise TxnStateError(f"unknown 2PC decision: {decision!r}")
+        self._check_txn_id(txn_id)
+        with self.metrics.time("decide"), self._rwlock.write(), \
+                self._interp_lock:
+            prepared = self._prepared.get(txn_id)
+            if prepared is None:
+                record = self._store.txns.get(txn_id)
+                if record is not None:
+                    applied = bool(record.outcome.get("applied"))
+                    if applied != (decision == "commit"):
+                        raise TxnStateError(
+                            f"decision {decision!r} for txn {txn_id!r} "
+                            f"contradicts its recorded outcome "
+                            f"(applied={applied})")
+                    return {"resolved": True, "decision": decision,
+                            "outcome": record.outcome}
+                if decision == "abort":
+                    return {"resolved": True, "decision": "abort",
+                            "outcome": {"applied": False, "effective": [],
+                                        "aborted": True}}
+                raise TxnStateError(
+                    f"commit decision for txn {txn_id!r}, but this shard "
+                    "holds no prepared vote or recorded outcome for it")
+            if decision == "commit":
+                effective = self._store.commit(
+                    prepared.transaction, sync=True,
+                    txn=(txn_id, prepared.digest))
+                outcome = CommitOutcome(True, prepared.transaction,
+                                        effective).to_dict()
+                self._processor.invalidate_state_caches()
+                self.metrics.increment("twopc.committed")
+            else:
+                self._store.log_txn_outcome(txn_id, prepared.digest,
+                                            applied=False, sync=True,
+                                            status="aborted")
+                outcome = {"applied": False, "effective": [],
+                           "aborted": True}
+                self.metrics.increment("twopc.aborted")
+            del self._prepared[txn_id]
+            self._store.txns.put(txn_id, prepared.digest, outcome)
+            faults.failpoint(FP_DECIDE_PRE_ACK, txn_id=txn_id,
+                             decision=decision)
+            return {"resolved": True, "decision": decision,
+                    "outcome": outcome}
+
     # -- group commit internals ------------------------------------------------
 
     def _finish(self, entry: _Pending, outcome: CommitOutcome | None = None,
@@ -755,15 +942,27 @@ class DatabaseEngine:
 
     def _commit_batch_locked(self, batch: list[_Pending], span) -> None:
         db = self.db
+        # Fact keys promised to in-doubt cross-shard transactions: a plain
+        # commit touching one must wait (retryable) until the vote resolves,
+        # or a commit decision could find its rows already changed.
+        locked = frozenset(
+            key for held in self._prepared.values() for key in held.keys)
         # Per-entry validation: one bad transaction must not sink its
         # batch mates.
         valid: list[_Pending] = []
         for entry in batch:
             try:
                 entry.transaction.check_base_only(db)
-                valid.append(entry)
             except TransactionError as error:
                 self._finish(entry, error=error)
+                continue
+            if locked and not locked.isdisjoint(entry.fact_keys()):
+                self.metrics.increment("twopc.conflicts")
+                self._finish(entry, error=TxnConflictError(
+                    "commit touches fact keys locked by an in-flight "
+                    "cross-shard transaction; retry after it resolves"))
+                continue
+            valid.append(entry)
         if not valid:
             return
         if self._group_commit(valid):

@@ -33,9 +33,11 @@ from repro.datalog.errors import (
     DepthLimitExceeded,
     DomainError,
     ParseError,
+    RoutingError,
     SafetyError,
     StratificationError,
     TransactionError,
+    UnavailableError,
     UnknownPredicateError,
 )
 from repro.problems.base import StateError
@@ -45,6 +47,8 @@ from repro.server.engine import (
     DatabaseEngine,
     EngineClosedError,
     IdempotencyError,
+    TxnConflictError,
+    TxnStateError,
 )
 
 PROTOCOL_VERSION = 1
@@ -160,13 +164,25 @@ _ERROR_TYPES: tuple[tuple[type[BaseException], str], ...] = (
     (DepthLimitExceeded, "depth-limit"),
     (ConflictDeferralTimeout, "conflict-timeout"),
     (IdempotencyError, "idempotency"),
+    (RoutingError, "routing"),
+    (UnavailableError, "unavailable"),
+    (TxnConflictError, "txn-conflict"),
+    (TxnStateError, "txn-state"),
     (EngineClosedError, "closed"),
     (DatalogError, "datalog"),
 )
 
 
 def error_type_of(error: BaseException) -> str:
-    """The wire error type for an exception (most specific class wins)."""
+    """The wire error type for an exception (most specific class wins).
+
+    An exception carrying its own wire ``type`` string -- e.g. a
+    :class:`~repro.server.client.ServerError` relayed through the shard
+    router -- keeps it, so typed errors survive proxying.
+    """
+    carried = getattr(error, "type", None)
+    if isinstance(carried, str) and carried:
+        return carried
     for cls, name in _ERROR_TYPES:
         if isinstance(error, cls):
             return name

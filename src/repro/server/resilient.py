@@ -51,9 +51,16 @@ IDEMPOTENT_OPS = frozenset({
     "repair", "stats", "health",
 })
 
+#: Ops that are idempotent *when stamped with a txn_id*: the participant's
+#: durable dedup/vote state turns a replay into the recorded answer.
+TXN_STAMPED_OPS = frozenset({"commit", "prepare", "decide"})
+
 #: Wire error types that signal a transient server condition.
+#: ``txn-conflict`` is the 2PC key-lock collision: it clears when the
+#: in-doubt transaction holding the keys resolves.
 RETRYABLE_ERROR_TYPES = frozenset({"overloaded", "timeout", "deadline",
-                                   "conflict-timeout"})
+                                   "conflict-timeout", "txn-conflict",
+                                   "unavailable"})
 
 
 class RetriesExhausted(DatalogError):
@@ -159,7 +166,7 @@ class ResilientClient:
         if op == "commit" and "txn_id" not in params and self._auto_txn_id:
             params["txn_id"] = uuid.uuid4().hex
         retryable = op in IDEMPOTENT_OPS or (
-            op == "commit" and params.get("txn_id") is not None)
+            op in TXN_STAMPED_OPS and params.get("txn_id") is not None)
         budget = deadline if deadline is not None else self._deadline
         start = clock.monotonic()
         last: BaseException | None = None

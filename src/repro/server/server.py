@@ -385,7 +385,12 @@ def run(engine: DatabaseEngine, *, host: str = "127.0.0.1", port: int = 0,
             temporary = target.with_name(target.name + ".tmp")
             temporary.write_text(f"{server.port}\n")
             temporary.replace(target)
-        print(f"repro: serving {engine.store.directory} "
+        served = getattr(engine, "description", None)
+        if served is None:
+            store = getattr(engine, "store", None)
+            served = (str(store.directory) if store is not None
+                      else type(engine).__name__)
+        print(f"repro: serving {served} "
               f"on {server.host}:{server.port}", flush=True)
         await server.serve_until_shutdown()
 

@@ -22,6 +22,7 @@ from repro.events.events import Transaction, parse_transaction
 from repro.server import engine as engine_mod
 from repro.server import server as server_mod
 from repro.server.engine import DatabaseEngine
+from repro.shard import coordinator as coordinator_mod
 from repro.workloads.generators import employment_database
 
 from tests import faultkit
@@ -45,6 +46,13 @@ SERVER_POINTS = (
     server_mod.FP_PRE_DISPATCH,
     server_mod.FP_SEND_FRAME,
 )
+#: Two-phase-commit points; their crash matrix lives in test_shard_2pc.py.
+TWOPC_POINTS = (
+    engine_mod.FP_PREPARE_WRITTEN,
+    engine_mod.FP_DECIDE_PRE_ACK,
+    coordinator_mod.FP_PRE_DECISION,
+    coordinator_mod.FP_DECISION_WRITTEN,
+)
 
 
 def fresh_engine(tmp_path, **kwargs) -> DatabaseEngine:
@@ -60,7 +68,8 @@ def fresh_engine(tmp_path, **kwargs) -> DatabaseEngine:
 
 def test_every_failpoint_is_exercised():
     """New failpoints must be added to a covered list (and get a test)."""
-    covered = set(COMMIT_POINTS) | set(CHECKPOINT_POINTS) | set(SERVER_POINTS)
+    covered = (set(COMMIT_POINTS) | set(CHECKPOINT_POINTS)
+               | set(SERVER_POINTS) | set(TWOPC_POINTS))
     registered = {name for name in faults.names()
                   if not name.startswith("test.")}
     assert covered == registered, (

@@ -248,3 +248,101 @@ class TestServerFuzz:
                 if not response["ok"]:
                     assert response["error"]["type"] in TYPED_ERRORS
                     assert "Traceback" not in response["error"]["message"]
+
+
+# -- the sharded endpoint ------------------------------------------------------
+
+
+@pytest.fixture
+def group_port(tmp_path, employment_db):
+    """A 3-shard EngineGroup behind the same wire protocol."""
+    from repro.shard import EngineGroup
+
+    group = EngineGroup.open(tmp_path / "fuzzgrp", employment_db, shards=3)
+    with ServerThread(group, max_line_bytes=4096) as bound:
+        yield bound
+
+
+def frame_of(op: str, **params) -> bytes:
+    return (json.dumps({"v": 1, "op": op, "params": params}) + "\n").encode()
+
+
+class TestShardedEndpointFuzz:
+    """The router surface: hostile routing keys get typed errors, never
+    hangs, never 'internal'."""
+
+    @pytest.mark.parametrize("frame,expected",
+                             MALFORMED_FRAMES,
+                             ids=[f[:30].decode("latin-1")
+                                  for f, _ in MALFORMED_FRAMES])
+    def test_malformed_frames_still_typed(self, group_port, frame, expected):
+        # The sharded endpoint answers the shared malformed corpus with
+        # typed errors too; routing-layer rejections may differ in type
+        # from the single-engine answer but must never be 'internal'.
+        lines = raw_exchange(group_port, frame)
+        assert lines, "server closed without answering"
+        assert_typed_error(lines[0])
+
+    def test_commit_on_unknown_predicate_is_routing_error(self, group_port):
+        lines = raw_exchange(group_port, frame_of(
+            "commit", transaction="insert Ghost(A)"))
+        assert_typed_error(lines[0], "routing")
+
+    def test_commit_on_derived_predicate_is_routing_error(self, group_port):
+        # No home shard for a derived predicate: the split itself refuses.
+        lines = raw_exchange(group_port, frame_of(
+            "commit", transaction="insert Unemp(A)"))
+        assert_typed_error(lines[0], "routing")
+
+    def test_single_state_op_is_routing_error(self, group_port):
+        lines = raw_exchange(group_port, frame_of(
+            "monitor", transaction="insert Works(A)", conditions=["Unemp"]))
+        assert_typed_error(lines[0], "routing")
+
+    @pytest.mark.parametrize("params", [
+        {},
+        {"transaction": "insert Works(A)"},              # no txn_id
+        {"txn_id": "t"},                                  # no transaction
+        {"transaction": 42, "txn_id": "t"},
+        {"transaction": "insert ((", "txn_id": "t"},
+        {"transaction": "insert Works(A)", "txn_id": 7},
+    ], ids=lambda p: repr(sorted(p))[:40])
+    def test_junk_prepare_params_are_typed(self, group_port, params):
+        lines = raw_exchange(group_port, frame_of("prepare", **params))
+        assert_typed_error(lines[0])
+
+    @pytest.mark.parametrize("params", [
+        {},
+        {"txn_id": "t"},                                  # no decision
+        {"decision": "commit"},                           # no txn_id
+        {"txn_id": "t", "decision": "explode"},
+        {"txn_id": "t", "decision": 1},
+        {"txn_id": [], "decision": "abort"},
+    ], ids=lambda p: repr(sorted(p))[:40])
+    def test_junk_decide_params_are_typed(self, group_port, params):
+        lines = raw_exchange(group_port, frame_of("decide", **params))
+        assert_typed_error(lines[0])
+
+    def test_participant_ops_against_the_group_are_routing_errors(
+            self, group_port):
+        # A multi-shard group is a coordinator, not a participant: wire
+        # prepare/decide get typed routing errors, not a crash.
+        lines = raw_exchange(group_port, frame_of(
+            "decide", txn_id="never-prepared", decision="commit"))
+        assert_typed_error(lines[0], "routing")
+        lines = raw_exchange(group_port, frame_of(
+            "prepare", transaction="insert Works(A)", txn_id="t-1"))
+        assert_typed_error(lines[0], "routing")
+
+    def test_session_survives_garbage_then_serves(self, group_port):
+        burst = b"".join(frame for frame, _ in MALFORMED_FRAMES)
+        burst += frame_of("commit", transaction="insert Ghost(A)")
+        query = b'{"v": 1, "op": "query", "id": 7, ' \
+                b'"params": {"goal": "Unemp(x)"}}\n'
+        lines = raw_exchange(group_port, burst + query)
+        assert len(lines) == len(MALFORMED_FRAMES) + 2
+        for line in lines[:-1]:
+            assert_typed_error(line)
+        final = json.loads(lines[-1])
+        assert final["ok"] and final["id"] == 7
+        assert final["result"]["answers"] == [["Dolors"]]

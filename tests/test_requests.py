@@ -33,7 +33,8 @@ class TestRegistry:
     def test_every_protocol_op_is_registered(self):
         assert set(REQUEST_TYPES) == {
             "hello", "ping", "query", "upward", "check", "monitor",
-            "downward", "repair", "commit", "stats", "checkpoint", "health"}
+            "downward", "repair", "commit", "stats", "checkpoint", "health",
+            "prepare", "decide"}
 
     def test_unknown_op_raises(self):
         with pytest.raises(WireFormatError, match="unknown op"):

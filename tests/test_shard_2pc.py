@@ -1,0 +1,230 @@
+"""The 2PC crash matrix: a failpoint at every arrow of the protocol.
+
+Each test opens a 3-shard :class:`EngineGroup`, commits an acked baseline,
+then drives a cross-shard transaction into an armed crash -- at the
+participant's durable vote, at the coordinator's commit point (before and
+after the decision record), and inside a participant's decide.  The group
+is abandoned mid-crash (no close, exactly the state a dead process leaves)
+and reopened through recovery, which must resolve every in-doubt vote via
+the decision log (presumed abort when no record exists).
+
+Invariants asserted after every crash:
+
+1. **Acked commits survive** -- the baseline transaction is still there.
+2. **Cross-shard atomicity** -- the crashed transaction is wholly applied
+   on every shard or wholly absent from every shard, in agreement with
+   the durable decision; no shard applies a transaction another shard
+   aborted.
+3. **No residue** -- no in-doubt votes or locked keys remain; the group
+   reports ready, fresh commits proceed, and per-shard derived state
+   matches the naive oracle rebuild.
+4. **Deterministic retry** -- retrying the same ``txn_id`` re-drives the
+   recorded decision and cannot flip the outcome.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.errors import UnavailableError
+from repro.events.events import parse_transaction
+from repro.server import engine as engine_mod
+from repro.shard import EngineGroup
+from repro.shard import coordinator as coordinator_mod
+
+from tests import faultkit
+
+#: (failpoint, skip) -> which arrow of the 2PC diagram crashes.
+#: ``skip`` targets the Nth firing, i.e. the Nth participant for
+#: participant-side points; coordinator points fire once per commit.
+MATRIX = [
+    (engine_mod.FP_PREPARE_WRITTEN, 0),   # 1st vote durable, then crash
+    (engine_mod.FP_PREPARE_WRITTEN, 1),   # 2nd vote durable, then crash
+    (engine_mod.FP_PREPARE_WRITTEN, 2),   # all votes durable, no decision
+    (coordinator_mod.FP_PRE_DECISION, 0),   # votes counted, record missing
+    (coordinator_mod.FP_DECISION_WRITTEN, 0),  # decision durable, no decide
+    (engine_mod.FP_DECIDE_PRE_ACK, 0),    # 1st shard applied, then crash
+    (engine_mod.FP_DECIDE_PRE_ACK, 1),    # 2nd shard applied, then crash
+    (engine_mod.FP_DECIDE_PRE_ACK, 2),    # all applied, ack never returned
+]
+
+TXN_ID = "xs-crash-1"
+
+
+def fresh_group(tmp_path) -> EngineGroup:
+    db = DeductiveDatabase.from_source("""
+        La(Dolors). U_benefit(Dolors).
+        Unemp(x) <- La(x) & not Works(x).
+        Ic1 <- Unemp(x) & not U_benefit(x).
+    """)
+    db.declare_base("Works", 1)
+    return EngineGroup.open(tmp_path / "grp", db, shards=3)
+
+
+def three_way_names(group: EngineGroup) -> list[str]:
+    """One constant per shard, so the transaction spans all three."""
+    chosen: dict[int, str] = {}
+    for index in range(1000):
+        name = f"Person{index}"
+        chosen.setdefault(group.routing.shard_of("La", (name,)), name)
+        if len(chosen) == 3:
+            return [chosen[s] for s in sorted(chosen)]
+    raise AssertionError("hash never covered all shards")  # pragma: no cover
+
+
+def cross_transaction(names):
+    return parse_transaction(", ".join(
+        f"insert La({n}), insert U_benefit({n})" for n in names))
+
+
+def applied_on_shard(group: EngineGroup, name: str) -> bool:
+    """Is *name*'s slice present on its owning shard?"""
+    la = group.query(f"La({name})") == [()]
+    benefit = group.query(f"U_benefit({name})") == [()]
+    assert la == benefit, (
+        f"slice for {name} is itself partial: La={la}, U_benefit={benefit}")
+    return la
+
+
+@pytest.mark.parametrize("point,skip", MATRIX,
+                         ids=[f"{p}@{s}" for p, s in MATRIX])
+def test_crash_matrix(tmp_path, point, skip):
+    group = fresh_group(tmp_path)
+    names = three_way_names(group)
+    baseline = parse_transaction("insert Works(Dolors)")
+    assert group.commit(baseline).applied  # the acked baseline
+
+    faults.arm(point, "crash", skip=skip, times=1)
+    with pytest.raises(faults.SimulatedCrash):
+        group.commit(cross_transaction(names), txn_id=TXN_ID)
+    faults.reset()  # recovery must run clean; the group is abandoned as-is
+
+    recovered = EngineGroup.open(tmp_path / "grp")
+    try:
+        # 1. Acked commits survive.
+        assert recovered.query("Works(Dolors)") == [()]
+        assert ("Dolors",) not in set(recovered.query("Unemp(x)"))
+
+        # 2. Atomic across shards, in agreement with the decision log.
+        decision = recovered.decisions.decision(TXN_ID)
+        assert decision in ("commit", "abort"), (
+            "recovery must leave a durable decision for the in-doubt txn")
+        presence = {name: applied_on_shard(recovered, name)
+                    for name in names}
+        assert set(presence.values()) == {decision == "commit"}, (
+            f"decision {decision!r} but per-shard presence {presence}")
+
+        # 3. No residue: votes resolved, keys released, group serves.
+        for engine in recovered.engines:
+            assert engine.in_doubt == ()
+            faultkit.check_derived_oracle(engine)
+        assert recovered.health()["ready"] is True
+        follow_up = parse_transaction(", ".join(
+            f"insert Works({n})" for n in names))
+        assert recovered.commit(follow_up).applied
+
+        # 4. A retry of the same txn_id re-drives the recorded decision.
+        retry = recovered.commit(cross_transaction(names), txn_id=TXN_ID)
+        assert retry.applied == (decision == "commit")
+        assert recovered.decisions.decision(TXN_ID) == decision
+    finally:
+        recovered.close()
+
+
+def test_crash_after_decision_commits_everywhere(tmp_path):
+    """The decision record is the commit point: once durable, recovery
+    must finish the commit even though no shard ever heard 'commit'."""
+    group = fresh_group(tmp_path)
+    names = three_way_names(group)
+    faults.arm(coordinator_mod.FP_DECISION_WRITTEN, "crash", times=1)
+    with pytest.raises(faults.SimulatedCrash):
+        group.commit(cross_transaction(names), txn_id=TXN_ID)
+    faults.reset()
+
+    recovered = EngineGroup.open(tmp_path / "grp")
+    try:
+        assert recovered.decisions.decision(TXN_ID) == "commit"
+        assert all(applied_on_shard(recovered, n) for n in names)
+    finally:
+        recovered.close()
+
+
+def test_crash_before_decision_aborts_everywhere(tmp_path):
+    """Presumed abort: votes without a decision record roll back, and no
+    shard applies a transaction another shard aborted."""
+    group = fresh_group(tmp_path)
+    names = three_way_names(group)
+    faults.arm(coordinator_mod.FP_PRE_DECISION, "crash", times=1)
+    with pytest.raises(faults.SimulatedCrash):
+        group.commit(cross_transaction(names), txn_id=TXN_ID)
+    faults.reset()
+
+    recovered = EngineGroup.open(tmp_path / "grp")
+    try:
+        assert recovered.decisions.decision(TXN_ID) == "abort"
+        assert not any(applied_on_shard(recovered, n) for n in names)
+    finally:
+        recovered.close()
+
+
+def test_transient_prepare_failure_keeps_txn_id_usable(tmp_path):
+    """A shard failing *transiently* during phase 1 must not poison the
+    txn_id: the coordinator records no decision, and a retry of the same
+    id runs a fresh round to success."""
+    group = fresh_group(tmp_path)
+    names = three_way_names(group)
+    transaction = cross_transaction(names)
+    faults.arm(engine_mod.FP_PREPARE_WRITTEN, "raise", skip=1, times=1,
+               exception=lambda: UnavailableError("injected shard outage"))
+    with pytest.raises(UnavailableError):
+        group.commit(transaction, txn_id=TXN_ID)
+    assert group.decisions.decision(TXN_ID) is None  # nothing durable
+
+    faults.reset()
+    retry = group.commit(transaction, txn_id=TXN_ID)
+    assert retry.applied
+    assert group.decisions.decision(TXN_ID) == "commit"
+    assert all(applied_on_shard(group, n) for n in names)
+    for engine in group.engines:
+        assert engine.in_doubt == ()
+    group.close()
+
+
+def test_vetoed_cross_shard_txn_replays_rejection(tmp_path):
+    """An integrity veto is a *durable* no: the abort decision is
+    recorded and a retry replays the rejection instead of re-running."""
+    group = fresh_group(tmp_path)
+    names = three_way_names(group)
+    bad = parse_transaction(", ".join(
+        f"insert La({n})" for n in names))  # unemployed, no benefit: Ic1
+    first = group.commit(bad, txn_id=TXN_ID)
+    assert not first.applied
+    assert group.decisions.decision(TXN_ID) == "abort"
+    replay = group.commit(bad, txn_id=TXN_ID)
+    assert not replay.applied
+    assert group.metrics.counter("twopc.redriven") == 1
+    group.close()
+
+
+def test_release_failure_resolves_at_next_open(tmp_path):
+    """If releasing a vote also fails, the shard reboots in doubt and the
+    next group open resolves it to abort (presumed abort)."""
+    group = fresh_group(tmp_path)
+    names = three_way_names(group)
+    # Vote on shard A succeeds; shard B's prepare crashes the process.
+    faults.arm(engine_mod.FP_PREPARE_WRITTEN, "crash", skip=1, times=1)
+    with pytest.raises(faults.SimulatedCrash):
+        group.commit(cross_transaction(names), txn_id=TXN_ID)
+    faults.reset()
+
+    recovered = EngineGroup.open(tmp_path / "grp")
+    try:
+        assert recovered.metrics.counter("twopc.recovered") >= 1
+        assert recovered.decisions.decision(TXN_ID) == "abort"
+        for engine in recovered.engines:
+            assert engine.in_doubt == ()
+        assert not any(applied_on_shard(recovered, n) for n in names)
+    finally:
+        recovered.close()

@@ -1,0 +1,267 @@
+"""Multi-shard end-to-end: real processes, real sockets, real 2PC.
+
+Three topologies, all driven through the ``repro`` CLI in subprocesses:
+
+- ``shard-serve``: one process hosting a 3-shard :class:`EngineGroup`;
+- ``serve`` x3 + ``route``: three shard servers fronted by a router
+  process speaking 2PC over the wire;
+- the same router topology under chaos (``REPRO_FAULTS`` drops frames on
+  the shards), exercised through ``repro call --router`` -- the resilient
+  path must still produce exactly-once commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.shard import RoutingTable
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+DB_SOURCE = """
+    La(Dolors). U_benefit(Dolors). Works(Pere). La(Pere).
+    Unemp(x) <- La(x) & not Works(x).
+    Ic1 <- Unemp(x) & not U_benefit(x).
+"""
+
+pytestmark = pytest.mark.slow
+
+
+def cli_env(extra: dict | None = None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    env.pop("REPRO_FAULTS", None)
+    env.update(extra or {})
+    return env
+
+
+def spawn(args: list[str], env: dict) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args], env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+
+
+def await_port(port_file: Path, process: subprocess.Popen,
+               deadline: float = 30.0) -> int:
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if port_file.exists() and port_file.read_text().strip():
+            return int(port_file.read_text().strip())
+        assert process.poll() is None, (
+            f"server died early:\n"
+            f"{process.stdout.read().decode(errors='replace')}")
+        time.sleep(0.05)
+    raise AssertionError(f"no port file at {port_file} within {deadline}s")
+
+
+def call(port: int, *args: str, env: dict | None = None,
+         check: bool = True) -> dict:
+    """One ``repro call`` invocation; returns the parsed JSON result."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "call", *args,
+         "--port", str(port)],
+        env=env or cli_env(), capture_output=True, timeout=60)
+    if check:
+        assert result.returncode == 0, (
+            f"repro call {' '.join(args)} failed:\n"
+            f"{result.stdout.decode()}\n{result.stderr.decode()}")
+    return json.loads(result.stdout) if result.stdout.strip() else {}
+
+
+def shutdown_all(*pairs) -> None:
+    """Best-effort shutdown of (process, port) pairs, routers first."""
+    for process, port in pairs:
+        if process.poll() is None:
+            try:
+                call(port, "shutdown", check=False)
+            except Exception:
+                pass
+    for process, _ in pairs:
+        try:
+            process.wait(timeout=30)
+        except subprocess.TimeoutExpired:  # pragma: no cover - cleanup
+            process.kill()
+            process.wait()
+
+
+def names_per_shard(group_dir: Path) -> list[str]:
+    """One hashed constant per shard, in shard order."""
+    table = RoutingTable.load(group_dir)
+    chosen: dict[int, str] = {}
+    for index in range(1000):
+        name = f"Person{index}"
+        chosen.setdefault(table.shard_of("La", (name,)), name)
+        if len(chosen) == table.n_shards:
+            return [chosen[s] for s in sorted(chosen)]
+    raise AssertionError("hash never covered all shards")  # pragma: no cover
+
+
+class TestShardServeEndToEnd:
+    def test_shard_serve_commit_query_recover(self, tmp_path):
+        db_file = tmp_path / "db.dl"
+        db_file.write_text(DB_SOURCE)
+        group_dir = tmp_path / "grp"
+        port_file = tmp_path / "port"
+        env = cli_env()
+        process = spawn(["shard-serve", str(group_dir), "--shards", "3",
+                         "--init", str(db_file), "--port", "0",
+                         "--port-file", str(port_file)], env)
+        try:
+            port = await_port(port_file, process)
+            a, b, c = names_per_shard(group_dir)
+
+            # Scatter-gather read across all three shards.
+            answers = call(port, "query", "Unemp(x)", "--router")
+            assert answers["answers"] == [["Dolors"]]
+
+            # A cross-shard commit through the in-process coordinator.
+            outcome = call(
+                port, "commit", "--router", "-t",
+                f"insert La({a}), insert U_benefit({a}), "
+                f"insert La({b}), insert U_benefit({b}), "
+                f"insert La({c}), insert U_benefit({c})")
+            assert outcome["applied"] is True
+
+            # A vetoed cross-shard commit: atomically rejected (exit 1).
+            result = subprocess.run(
+                [sys.executable, "-m", "repro", "call", "commit",
+                 "--router", "-t", f"insert La({a}9), insert La({b}9)",
+                 "--port", str(port)],
+                env=env, capture_output=True, timeout=60)
+            assert result.returncode == 1
+            vetoed = json.loads(result.stdout)
+            assert vetoed["applied"] is False
+
+            health = call(port, "health", "--router")
+            assert health["ready"] is True and health["in_doubt"] == []
+            stats = call(port, "stats", "--router")
+            assert stats["engine"]["shards"] == 3
+            assert stats["counters"]["router.cross_shard_commits"] >= 1
+
+            call(port, "shutdown")
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.wait()
+
+        # Reopen offline: the committed people exist, the vetoed don't.
+        from repro.shard import EngineGroup
+
+        group = EngineGroup.open(group_dir)
+        try:
+            unemployed = {row[0] for row in group.query("Unemp(x)")}
+            assert {a, b, c, "Dolors"} <= {str(v) for v in unemployed}
+            assert not group.query(f"La({a}9)")
+        finally:
+            group.close()
+
+
+def start_router_topology(tmp_path, env, router_args=()):
+    """Bootstrap a 3-shard group dir, then serve it as 3+1 processes."""
+    db_file = tmp_path / "db.dl"
+    db_file.write_text(DB_SOURCE)
+    group_dir = tmp_path / "grp"
+    boot_port = tmp_path / "boot-port"
+    boot = spawn(["shard-serve", str(group_dir), "--shards", "3",
+                  "--init", str(db_file), "--port", "0",
+                  "--port-file", str(boot_port)], cli_env())
+    port = await_port(boot_port, boot)
+    call(port, "shutdown", check=False)
+    assert boot.wait(timeout=30) == 0
+
+    shards = []
+    for index in range(3):
+        port_file = tmp_path / f"port{index}"
+        process = spawn(
+            ["serve", str(group_dir / f"shard-{index}"),
+             "--routing", str(group_dir / "routing.json"),
+             "--port", "0", "--port-file", str(port_file)], env)
+        shards.append((process, await_port(port_file, process)))
+
+    router_port_file = tmp_path / "portR"
+    router = spawn(
+        ["route", str(group_dir),
+         *(piece for _, p in shards
+           for piece in ("--shard", f"127.0.0.1:{p}")),
+         *router_args,
+         "--port", "0", "--port-file", str(router_port_file)], cli_env())
+    router_port = await_port(router_port_file, router)
+    return group_dir, shards, (router, router_port)
+
+
+class TestRouterEndToEnd:
+    def test_router_scatter_gather_and_remote_2pc(self, tmp_path):
+        env = cli_env()
+        group_dir, shards, (router, router_port) = \
+            start_router_topology(tmp_path, env)
+        try:
+            a, b, c = names_per_shard(group_dir)
+            answers = call(router_port, "query", "La(x)", "--router")
+            assert answers["answers"] == [["Dolors"], ["Pere"]]
+
+            outcome = call(
+                router_port, "commit", "--router", "-t",
+                f"insert La({a}), insert U_benefit({a}), "
+                f"insert La({b}), insert U_benefit({b})")
+            assert outcome["applied"] is True
+            assert call(router_port, "query", f"La({a})",
+                        "--router")["answers"] == [[]]
+
+            stats = call(router_port, "stats", "--router")
+            assert stats["engine"]["shards"] == 3
+            assert stats["counters"]["router.cross_shard_commits"] == 1
+            assert stats["engine"]["decisions"] == 1
+
+            # Degrade: kill one shard, health answers with a typed entry.
+            victim, victim_port = shards[2]
+            call(victim_port, "shutdown", check=False)
+            victim.wait(timeout=30)
+            health = call(router_port, "health", check=False)
+            assert health["live"] is True and health["ready"] is False
+            assert health["degraded"]["shards"] == [2]
+            assert health["degraded"]["errors"]["2"]["type"] == "unavailable"
+        finally:
+            shutdown_all((router, router_port),
+                         *((p, port) for p, port in shards))
+
+    def test_router_chaos_commits_exactly_once(self, tmp_path):
+        """Each shard drops a run of response frames mid-workload; the
+        resilient path through the router still yields exactly-once
+        commits (dropped acks are retried under the same txn_id)."""
+        chaos = cli_env({"REPRO_FAULTS": "server.send_frame=drop@4#3"})
+        # A dropped response stalls the router's shard client until its
+        # read timeout; keep that short so retries happen quickly.
+        group_dir, shards, (router, router_port) = \
+            start_router_topology(tmp_path, chaos,
+                                  router_args=("--timeout", "3"))
+        try:
+            a, b, c = names_per_shard(group_dir)
+            people = [f"{n}{i}" for n in (a, b, c) for i in range(3)]
+            for index, person in enumerate(people):
+                outcome = call(
+                    router_port, "commit", "--router",
+                    "--txn-id", f"chaos-{index}", "-t",
+                    f"insert La({person}), insert U_benefit({person})")
+                assert outcome["applied"] is True, person
+            # Replays of the same ids return the recorded outcomes.
+            for index, person in enumerate(people):
+                replay = call(
+                    router_port, "commit", "--router",
+                    "--txn-id", f"chaos-{index}", "-t",
+                    f"insert La({person}), insert U_benefit({person})")
+                assert replay["applied"] is True, person
+            answers = call(router_port, "query", "La(x)", "--router")
+            assert {row[0] for row in answers["answers"]} == \
+                set(people) | {"Dolors", "Pere"}
+        finally:
+            shutdown_all((router, router_port),
+                         *((p, port) for p, port in shards))

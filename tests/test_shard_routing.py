@@ -1,0 +1,152 @@
+"""Unit tests for the routing table: placement, splitting, persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.errors import RoutingError
+from repro.events.events import parse_transaction
+from repro.shard import HASHED, ROUTING_NAME, RoutingTable, stable_hash
+
+
+def employment_table(n_shards: int = 3, pinned=None) -> RoutingTable:
+    db = DeductiveDatabase.from_source("""
+        La(Dolors). U_benefit(Dolors).
+        Unemp(x) <- La(x) & not Works(x).
+        Ic1 <- Unemp(x) & not U_benefit(x).
+    """)
+    db.declare_base("Works", 1)
+    return RoutingTable.for_database(db, n_shards, pinned=pinned)
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("Dolors") == stable_hash("Dolors")
+        assert stable_hash(7) == stable_hash(7)
+
+    def test_known_values_never_drift(self):
+        """Placement is durable state: the hash must never change between
+        releases, or reopened groups would look up facts on the wrong
+        shard.  These pins catch accidental algorithm changes."""
+        assert stable_hash("Dolors") % 3 == 2
+        assert stable_hash("Maria") % 3 == 1
+        assert stable_hash("Pere") % 3 == 0
+
+    def test_type_sensitive(self):
+        # "1" the string and 1 the int are different constants.
+        assert stable_hash("1") != stable_hash(1)
+
+
+class TestPlacement:
+    def test_every_base_predicate_is_routed(self):
+        table = employment_table()
+        assert set(table.placements) == {"La", "U_benefit", "Works"}
+        assert all(p == HASHED for p in table.placements.values())
+
+    def test_pinned_predicate_goes_to_its_shard(self):
+        table = employment_table(pinned={"U_benefit": 2})
+        assert table.placements["U_benefit"] == 2
+        for name in ("Dolors", "Maria", "Pere", "Anna"):
+            assert table.shard_of("U_benefit", (name,)) == 2
+
+    def test_pinning_unknown_predicate_is_an_error(self):
+        with pytest.raises(RoutingError, match="Nope"):
+            employment_table(pinned={"Nope": 0})
+
+    def test_pin_out_of_range_is_an_error(self):
+        with pytest.raises(RoutingError, match="shards are 0..2"):
+            employment_table(pinned={"La": 3})
+
+    def test_same_key_colocates_across_predicates(self):
+        """Unary predicates hashed by the same first argument land on the
+        same shard -- the co-location property per-shard integrity
+        checking relies on."""
+        table = employment_table()
+        for name in ("Dolors", "Maria", "Pere", "Anna", "Oriol"):
+            shards = {table.shard_of(p, (name,))
+                      for p in ("La", "U_benefit", "Works")}
+            assert len(shards) == 1
+
+    def test_unknown_predicate_raises_typed_error(self):
+        table = employment_table()
+        with pytest.raises(RoutingError, match="Ghost"):
+            table.shard_of("Ghost", ("X",))
+
+    def test_derived_predicate_has_no_home_shard(self):
+        table = employment_table()
+        with pytest.raises(RoutingError):
+            table.shard_of("Unemp", ("Dolors",))
+
+
+class TestSplit:
+    def test_split_groups_events_by_owner(self):
+        table = employment_table()
+        transaction = parse_transaction(
+            "insert La(Dolors), insert Works(Maria), delete La(Pere)")
+        parts = table.split(transaction)
+        merged = [e for sub in parts.values() for e in sub]
+        assert sorted(map(str, merged)) == sorted(map(str, transaction))
+        for shard, sub in parts.items():
+            for event in sub:
+                assert table.shard_of(event.predicate, event.args) == shard
+
+    def test_split_rejects_unroutable_events(self):
+        table = employment_table()
+        with pytest.raises(RoutingError):
+            table.split(parse_transaction("insert Unemp(Dolors)"))
+
+
+class TestShardsForGoal:
+    def test_bound_first_argument_routes_to_one_shard(self):
+        table = employment_table()
+        assert table.shards_for_goal("La(Dolors)") == \
+            [table.shard_of("La", ("Dolors",))]
+
+    def test_unbound_key_scatters_to_all_shards(self):
+        table = employment_table()
+        assert table.shards_for_goal("La(x)") == [0, 1, 2]
+
+    def test_derived_goal_scatters_to_all_shards(self):
+        table = employment_table()
+        assert table.shards_for_goal("Unemp(x)") == [0, 1, 2]
+        assert table.shards_for_goal("Unemp(Dolors)") == [0, 1, 2]
+
+    def test_pinned_goal_routes_to_its_shard(self):
+        table = employment_table(pinned={"U_benefit": 1})
+        assert table.shards_for_goal("U_benefit(x)") == [1]
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        table = employment_table(pinned={"Works": 0})
+        table.save(tmp_path)
+        loaded = RoutingTable.load(tmp_path)
+        assert loaded.n_shards == table.n_shards
+        assert loaded.placements == table.placements
+        assert loaded.arities == table.arities
+
+    def test_load_accepts_the_file_itself(self, tmp_path):
+        employment_table().save(tmp_path)
+        loaded = RoutingTable.load(tmp_path / ROUTING_NAME)
+        assert loaded.n_shards == 3
+
+    def test_missing_table_is_a_routing_error(self, tmp_path):
+        with pytest.raises(RoutingError, match="no routing table"):
+            RoutingTable.load(tmp_path)
+
+    def test_corrupt_table_is_a_routing_error(self, tmp_path):
+        (tmp_path / ROUTING_NAME).write_text("{not json")
+        with pytest.raises(RoutingError, match="unreadable"):
+            RoutingTable.load(tmp_path)
+
+    def test_malformed_payload_is_a_routing_error(self, tmp_path):
+        (tmp_path / ROUTING_NAME).write_text(json.dumps({"v": 1}))
+        with pytest.raises(RoutingError, match="malformed"):
+            RoutingTable.load(tmp_path)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(RoutingError):
+            RoutingTable(0, {}, {})
