@@ -505,9 +505,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["reject", "maintain", "ignore"],
                        help="default commit policy")
     serve.add_argument("--cache-mode", default="advance",
-                       choices=["advance", "invalidate"],
-                       help="derived-state cache maintenance across commits "
-                            "(default: advance)")
+                       choices=["advance", "invalidate", "counting"],
+                       help="derived-state maintenance across commits: "
+                            "advance (default) patches warm caches, "
+                            "invalidate drops them, counting maintains "
+                            "derivation counts incrementally (docs/IVM.md)")
     serve.add_argument("--no-checkpoint", action="store_true",
                        help="skip the WAL checkpoint on shutdown")
     serve.add_argument("--trace", action="store_true",
@@ -543,7 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
     shard_serve.add_argument("--on-violation", default="reject",
                              choices=["reject", "maintain", "ignore"])
     shard_serve.add_argument("--cache-mode", default="advance",
-                             choices=["advance", "invalidate"])
+                             choices=["advance", "invalidate", "counting"])
     shard_serve.add_argument("--no-checkpoint", action="store_true")
     shard_serve.add_argument("--trace", action="store_true")
     shard_serve.add_argument("--slow-op-threshold", type=float,

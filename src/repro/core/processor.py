@@ -231,6 +231,10 @@ class UpdateProcessor:
         """The downward interpretation of a request (set)."""
         return self._downward_interpreter().interpret(requests)
 
+    def extension(self, predicate: str) -> frozenset:
+        """Current extension of a derived predicate (cached old state)."""
+        return self._upward_interpreter().old_extension(predicate)
+
     # -- upward problems (5.1) -------------------------------------------------------------
 
     def is_consistent(self) -> bool:

@@ -6,6 +6,9 @@
   old and the new state and diff them (definitions (1)/(2) directly);
 - :mod:`repro.interpretations.counting` -- counting-based change
   computation ([GMS93]) for non-recursive views;
+- :mod:`repro.interpretations.maintainers` -- the :class:`StateMaintainer`
+  strategies (invalidate / advance / counting) serving engines select by
+  :class:`CacheMode` to keep derived state warm across commits;
 - :mod:`repro.interpretations.downward` -- the downward interpretation
   (§4.2): candidate transactions of base events that satisfy requested
   changes on derived predicates.
@@ -16,7 +19,20 @@ from repro.interpretations.upward import (
     UpwardOptions,
     UpwardResult,
 )
-from repro.interpretations.counting import CountingEngine
+from repro.interpretations.counting import (
+    CountingEngine,
+    CountingUnsupportedError,
+    DeltaRule,
+)
+from repro.interpretations.maintainers import (
+    MAINTAINERS,
+    AdvancingMaintainer,
+    CacheMode,
+    CountingMaintainer,
+    InvalidatingMaintainer,
+    StateMaintainer,
+    create_maintainer,
+)
 from repro.interpretations.explanation import explain_event
 from repro.interpretations.naive import naive_changes
 from repro.interpretations.downward import (
@@ -31,14 +47,23 @@ from repro.interpretations.downward import (
 )
 
 __all__ = [
+    "AdvancingMaintainer",
+    "CacheMode",
     "CountingEngine",
+    "CountingMaintainer",
+    "CountingUnsupportedError",
+    "DeltaRule",
     "DownwardInterpreter",
     "DownwardOptions",
     "DownwardResult",
+    "InvalidatingMaintainer",
+    "MAINTAINERS",
+    "StateMaintainer",
     "Translation",
     "UpwardInterpreter",
     "UpwardOptions",
     "UpwardResult",
+    "create_maintainer",
     "explain_event",
     "forbid_delete",
     "forbid_insert",

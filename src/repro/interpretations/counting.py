@@ -9,25 +9,38 @@ need no re-derivability query, at the price of keeping the counts across
 transactions -- the classic space/time trade-off against the DRed-style
 hybrid strategy, measured by the SYN8 benchmark.
 
-The signed delta of one rule ``P(t) ← L1 ∧ ... ∧ Ln`` under a transaction
-is computed with the standard telescoping decomposition
+Each stratified rule ``P(t) ← L1 ∧ ... ∧ Ln`` is compiled **once, at
+schema time**, into one :class:`DeltaRule` per non-builtin body position
+``i``, carrying the standard telescoping decomposition
 
     Δ(L1...Ln) = Σ_i  L1^new ... L_{i-1}^new · ΔL_i · L_{i+1}^old ... L_n^old
 
 where ``ΔL_i`` is +1 on rows the event set adds to ``L_i``'s satisfaction
 and -1 on rows it removes (polarities flip for negative literals), and the
 prefix/suffix literals are evaluated in the new/old state respectively.
+Applying a transaction then only touches delta rules whose delta literal
+has events, so maintenance cost is proportional to |delta|, not |EDB|.
+
+Stratified negation is supported exactly: a negative literal contributes
+set-semantics satisfaction changes with flipped polarity, which is the
+[GMS93] semantics for non-recursive programs.  Should a derivation count
+ever go negative -- the counting invariant is breached, e.g. because the
+underlying database was mutated behind the engine's back -- predicates
+whose rules negate *derived* predicates (the negation boundary) are healed
+with a DRed-style full rederivation (:attr:`CountingEngine.rederive_count`
+observes this); elsewhere the breach raises :class:`SafetyError`.
+Recursive programs raise the typed :class:`CountingUnsupportedError`.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.datalog.builtins import evaluate_builtin, is_builtin
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.errors import SafetyError, StratificationError
-from repro.datalog.evaluation import BottomUpEvaluator
 from repro.datalog.rules import Literal, Rule
 from repro.datalog.stratify import dependency_graph
 from repro.datalog.terms import Constant
@@ -39,53 +52,160 @@ from repro.interpretations.upward import UpwardResult, _event_rows
 
 Row = tuple[Constant, ...]
 
+#: Staged-change kinds (see :meth:`CountingEngine.delta`).
+_DELTA = "delta"
+_REPLACE = "replace"
+
+#: predicate -> (kind, counter): either a signed count delta to add, or a
+#: full replacement counter from a rederivation.
+StagedCounts = dict[str, tuple[str, Counter]]
+
+
+class CountingUnsupportedError(StratificationError):
+    """The program is outside counting's scope (recursive views).
+
+    Counting-based maintenance is defined for non-recursive stratified
+    programs; recursive views need the DRed delete-rederive algorithm
+    proper.  Subclasses :class:`StratificationError` so existing callers
+    (and the wire error mapping) keep treating it as a stratification
+    problem.
+    """
+
+
+@dataclass(frozen=True)
+class DeltaRule:
+    """One telescoping term of one source rule, compiled at schema time.
+
+    ``literal`` is the delta position; ``prefix`` literals are evaluated
+    in the **new** state, ``suffix`` literals in the **old** state.
+    """
+
+    head: Literal
+    literal: Literal
+    prefix: tuple[Literal, ...]
+    suffix: tuple[Literal, ...]
+
+
+class _AdjustedSet:
+    """A set plus a pending (gained, lost) overlay, without copying."""
+
+    __slots__ = ("_base", "_gained", "_lost")
+
+    def __init__(self, base: set[Row], gained: set[Row], lost: set[Row]):
+        self._base = base
+        self._gained = gained
+        self._lost = lost
+
+    def __contains__(self, row: Row) -> bool:
+        if row in self._gained:
+            return True
+        return row in self._base and row not in self._lost
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self._base:
+            if row not in self._lost:
+                yield row
+        yield from self._gained
+
 
 class _StateView:
-    """Old or new state of base facts and (set-semantics) derived tuples."""
+    """Old or new state of base facts and (set-semantics) derived tuples.
 
-    def __init__(self, db: DeductiveDatabase, derived: Mapping[str, set[Row]],
+    Base predicates resolve through the database's column indexes (plus
+    the transaction's event overlay for the new state); derived
+    predicates resolve through the extension containers handed in --
+    plain sets for the old state, :class:`_AdjustedSet` overlays for the
+    new.  Nothing is copied per call.
+    """
+
+    __slots__ = ("_db", "_derived", "_events")
+
+    def __init__(self, db: DeductiveDatabase, derived: Mapping[str, object],
                  events: Mapping[str, set[Row]] | None):
         self._db = db
         self._derived = derived
         self._events = events  # None = old state; events applied = new state
 
-    def rows(self, predicate: str) -> frozenset[Row]:
-        if predicate in self._derived:
-            return frozenset(self._derived[predicate])
-        base = set(self._db.facts_of(predicate))
-        if self._events is not None:
-            base |= self._events.get(ins_name(predicate), set())
-            base -= self._events.get(del_name(predicate), set())
-        return frozenset(base)
-
     def holds(self, predicate: str, row: Row) -> bool:
-        return row in self.rows(predicate)
+        derived = self._derived.get(predicate)
+        if derived is not None:
+            return row in derived
+        if self._events is not None:
+            if row in self._events.get(del_name(predicate), ()):
+                return False
+            if row in self._events.get(ins_name(predicate), ()):
+                return True
+        return self._db.has_fact(predicate, *row)
+
+    def lookup(self, predicate: str, pattern: Sequence) -> Iterator[Row]:
+        derived = self._derived.get(predicate)
+        if derived is not None:
+            bound = [(i, t) for i, t in enumerate(pattern)
+                     if isinstance(t, Constant)]
+            for row in derived:
+                if all(row[i] == t for i, t in bound):
+                    yield row
+            return
+        if self._events is None:
+            yield from self._db.lookup(predicate, pattern)
+            return
+        del_rows = self._events.get(del_name(predicate), ())
+        for row in self._db.lookup(predicate, pattern):
+            if row not in del_rows:
+                yield row
+        # Normalised transactions only insert absent rows, so no dedup.
+        bound = [(i, t) for i, t in enumerate(pattern)
+                 if isinstance(t, Constant)]
+        for row in self._events.get(ins_name(predicate), ()):
+            if all(row[i] == t for i, t in bound):
+                yield row
+
+    def rows(self, predicate: str) -> frozenset[Row]:
+        return frozenset(self.lookup(predicate, ()))
 
 
 class CountingEngine:
     """Stateful counting-based maintenance over one database.
 
-    The engine owns derivation counts for every derived predicate; call
-    :meth:`apply` with each transaction *before* (or after -- the engine
-    applies it to its own view) committing it to the database through
-    :meth:`apply`, which both returns the induced events and advances the
-    internal state.  Recursive programs are rejected (counting is defined
-    for non-recursive views).
+    The engine owns derivation counts for every derived predicate.  The
+    one-shot :meth:`apply` computes the induced events of a transaction,
+    applies it to the database and advances the counts in a single call.
+    The two-phase form separates those steps: :meth:`delta` computes the
+    induced events and a staged count change *without* touching any
+    state, then -- after the caller has applied the base events to the
+    database -- :meth:`advance` folds the staged change into the counts.
+    That split is what lets a serving engine run the integrity check on
+    the delta, decide, and only then commit facts and counts together.
+
+    Recursive programs are rejected with the typed
+    :class:`CountingUnsupportedError` (counting is defined for
+    non-recursive views).
     """
 
     def __init__(self, db: DeductiveDatabase,
-                 program: TransitionProgram | None = None):
+                 program: TransitionProgram | None = None,
+                 on_rederive: Callable[[str], None] | None = None):
         self._db = db
         self._program = program or EventCompiler(simplify=True).compile(db)
         self._order = self._topological_derived()
         self._rules_of: dict[str, list[Rule]] = {}
         for rule in self._program.source_rules:
             self._rules_of.setdefault(rule.head.predicate, []).append(rule)
+        self._delta_rules = self._compile_delta_rules()
+        self._negation_boundary = frozenset(
+            rule.head.predicate
+            for rule in self._program.source_rules
+            for literal in rule.body
+            if not literal.positive
+            and literal.predicate in self._program.derived)
+        #: Number of DRed-style full rederivations performed so far.
+        self.rederive_count = 0
+        self.on_rederive = on_rederive
         self._counts: dict[str, Counter] = {}
         self._extensions: dict[str, set[Row]] = {}
         self._initialize_counts()
 
-    # -- setup -------------------------------------------------------------------
+    # -- setup -----------------------------------------------------------------
 
     def _topological_derived(self) -> list[str]:
         graph = dependency_graph(self._program.source_rules)
@@ -98,30 +218,61 @@ class CountingEngine:
                 recursive = len(component) > 1 or graph.has_edge(predicate,
                                                                  predicate)
                 if recursive:
-                    raise StratificationError(
+                    raise CountingUnsupportedError(
                         f"counting-based maintenance requires non-recursive "
                         f"views; {predicate} is recursive"
                     )
                 order.append(predicate)
         return order
 
+    def _compile_delta_rules(self) -> dict[str, list[DeltaRule]]:
+        compiled: dict[str, list[DeltaRule]] = {}
+        for rule in self._program.source_rules:
+            body = list(rule.body)
+            for index, literal in enumerate(body):
+                if is_builtin(literal.predicate):
+                    continue  # rigid: never a delta position
+                compiled.setdefault(rule.head.predicate, []).append(DeltaRule(
+                    head=rule.head,
+                    literal=literal,
+                    prefix=tuple(body[:index]),
+                    suffix=tuple(body[index + 1:]),
+                ))
+        return compiled
+
     def _initialize_counts(self) -> None:
-        evaluator = BottomUpEvaluator(self._db, self._program.source_rules)
-        evaluator.materialize()
         old_view = _StateView(self._db, self._extensions, None)
         for predicate in self._order:
-            counter: Counter = Counter()
-            for rule in self._rules_of.get(predicate, ()):
-                for bindings in self._join(list(rule.body), {}, old_view):
-                    row = tuple(resolve(t, bindings) for t in rule.head.args)
-                    counter[row] += 1
-            self._counts[predicate] = counter
-            self._extensions[predicate] = {r for r, c in counter.items() if c > 0}
-            # Sanity: counting supports exactly the computed extension.
-            assert frozenset(self._extensions[predicate]) == \
-                evaluator.extension(predicate)
+            self._counts[predicate] = counter = self._derive_counts(
+                predicate, old_view)
+            self._extensions[predicate] = {r for r, c in counter.items()
+                                           if c > 0}
 
-    # -- public API -----------------------------------------------------------------
+    def _derive_counts(self, predicate: str, view: _StateView) -> Counter:
+        """Derivation counts of *predicate* computed from scratch in *view*."""
+        counter: Counter = Counter()
+        for rule in self._rules_of.get(predicate, ()):
+            for bindings in self._join(list(rule.body), {}, view):
+                row = tuple(resolve(t, bindings) for t in rule.head.args)
+                counter[row] += 1
+        return counter
+
+    # -- public API ------------------------------------------------------------
+
+    @property
+    def order(self) -> tuple[str, ...]:
+        """Derived predicates in dependency (stratification) order."""
+        return tuple(self._order)
+
+    @property
+    def n_delta_rules(self) -> int:
+        """Number of compiled delta rules (telescoping terms)."""
+        return sum(len(rules) for rules in self._delta_rules.values())
+
+    @property
+    def negation_boundary(self) -> frozenset[str]:
+        """Predicates whose rules negate derived predicates."""
+        return self._negation_boundary
 
     def extension(self, predicate: str) -> frozenset[Row]:
         """Current (maintained) extension of a derived predicate."""
@@ -131,87 +282,141 @@ class CountingEngine:
         """Current derivation count of one derived tuple."""
         return self._counts.get(predicate, Counter()).get(row, 0)
 
+    def delta(self, transaction: Transaction) -> tuple[UpwardResult,
+                                                       StagedCounts]:
+        """Induced events of *transaction*, without changing any state.
+
+        Returns the full-coverage :class:`UpwardResult` plus the staged
+        count changes to hand to :meth:`advance` once the transaction
+        has actually been applied to the database.  The computation only
+        walks delta rules whose delta literal has events, so cost is
+        proportional to the transaction and its consequences.
+        """
+        transaction.check_base_only(self._db)
+        transaction = transaction.normalized(self._db)
+        events = _event_rows(transaction)
+        old_view = _StateView(self._db, self._extensions, None)
+        new_derived: dict[str, _AdjustedSet] = {}
+        new_view = _StateView(self._db, new_derived, events)
+        insertions: dict[str, frozenset[Row]] = {}
+        deletions: dict[str, frozenset[Row]] = {}
+        staged: StagedCounts = {}
+
+        for predicate in self._order:
+            delta_counter: Counter = Counter()
+            for delta_rule in self._delta_rules.get(predicate, ()):
+                self._apply_delta_rule(delta_rule, events, old_view, new_view,
+                                       delta_counter)
+            counter = self._counts[predicate]
+            gained: set[Row] = set()
+            lost: set[Row] = set()
+            replacement: Counter | None = None
+            for row, change in delta_counter.items():
+                if not change:
+                    continue
+                before = counter.get(row, 0)
+                after = before + change
+                if after < 0:
+                    # Invariant breach: counts are stale (e.g. the
+                    # database was mutated behind the engine's back).
+                    if predicate not in self._negation_boundary:
+                        raise SafetyError(
+                            f"counting invariant violated for "
+                            f"{predicate}{row}: {before} + {change}"
+                        )
+                    replacement = self._rederive(predicate, new_view)
+                    break
+                if before == 0 and after > 0:
+                    gained.add(row)
+                elif before > 0 and after == 0:
+                    lost.add(row)
+            if replacement is not None:
+                new_ext = {r for r, c in replacement.items() if c > 0}
+                old_ext = self._extensions[predicate]
+                gained = new_ext - old_ext
+                lost = old_ext - new_ext
+                staged[predicate] = (_REPLACE, replacement)
+            elif delta_counter:
+                staged[predicate] = (_DELTA, delta_counter)
+            if gained:
+                insertions[predicate] = frozenset(gained)
+                events[ins_name(predicate)] = gained
+            if lost:
+                deletions[predicate] = frozenset(lost)
+                events[del_name(predicate)] = lost
+            new_derived[predicate] = _AdjustedSet(
+                self._extensions[predicate], gained, lost)
+
+        result = UpwardResult(insertions, deletions, transaction,
+                              covered=frozenset(self._order))
+        return result, staged
+
+    def advance(self, staged: StagedCounts) -> None:
+        """Fold a staged count change from :meth:`delta` into the counts.
+
+        Call *after* the transaction's base events have been applied to
+        the database: facts and counts must move together.  Cost is
+        proportional to the number of changed (predicate, row) pairs.
+        """
+        for predicate, (kind, counter) in staged.items():
+            if kind == _REPLACE:
+                self._counts[predicate] = counter
+                self._extensions[predicate] = {r for r, c in counter.items()
+                                               if c > 0}
+                continue
+            counts = self._counts[predicate]
+            extension = self._extensions[predicate]
+            for row, change in counter.items():
+                if not change:
+                    continue
+                after = counts.get(row, 0) + change
+                if after < 0:
+                    raise SafetyError(
+                        f"stale staged delta for {predicate}{row}: "
+                        f"advance() must consume the delta() of the same "
+                        f"state")
+                if after == 0:
+                    del counts[row]
+                    extension.discard(row)
+                else:
+                    counts[row] = after
+                    extension.add(row)
+
     def apply(self, transaction: Transaction) -> UpwardResult:
         """Induced events of *transaction*; advances counts and the database.
 
         The transaction is applied to the underlying database as part of
         the call (the counts and the stored facts must move together).
         """
-        transaction.check_base_only(self._db)
-        transaction = transaction.normalized(self._db)
-        events = _event_rows(transaction)
-        old_view = _StateView(self._db, self._extensions, None)
-        new_view = _StateView(self._db, {}, events)  # derived filled below
-        insertions: dict[str, frozenset[Row]] = {}
-        deletions: dict[str, frozenset[Row]] = {}
-        new_extensions: dict[str, set[Row]] = {}
-        new_view._derived = new_extensions
-
-        for predicate in self._order:
-            delta: Counter = Counter()
-            for rule in self._rules_of.get(predicate, ()):
-                self._rule_delta(rule, events, old_view, new_view, delta)
-            counter = self._counts[predicate]
-            gained: set[Row] = set()
-            lost: set[Row] = set()
-            for row, change in delta.items():
-                if not change:
-                    continue
-                before = counter.get(row, 0)
-                after = before + change
-                if after < 0:
-                    raise SafetyError(
-                        f"counting invariant violated for {predicate}{row}: "
-                        f"{before} + {change}"
-                    )
-                counter[row] = after
-                if before == 0 and after > 0:
-                    gained.add(row)
-                elif before > 0 and after == 0:
-                    lost.add(row)
-                    del counter[row]
-            if gained:
-                insertions[predicate] = frozenset(gained)
-                events[ins_name(predicate)] = set(gained)
-            if lost:
-                deletions[predicate] = frozenset(lost)
-                events[del_name(predicate)] = set(lost)
-            new_extensions[predicate] = (set(self._extensions[predicate])
-                                         | gained) - lost
-
-        # Commit: base facts and cached extensions move together.
-        for event in transaction:
+        result, staged = self.delta(transaction)
+        for event in result.transaction:
             if event.is_insertion:
                 self._db.add_fact(event.predicate, *event.args)
             else:
                 self._db.remove_fact(event.predicate, *event.args)
-        self._extensions.update(new_extensions)
-        return UpwardResult(insertions, deletions, transaction,
-                            covered=frozenset(self._order))
+        self.advance(staged)
+        return result
 
-    # -- delta computation ---------------------------------------------------------------
+    # -- delta computation -----------------------------------------------------
 
-    def _rule_delta(self, rule: Rule, events: Mapping[str, set[Row]],
-                    old_view: _StateView, new_view: _StateView,
-                    delta: Counter) -> None:
-        body = list(rule.body)
-        for index, literal in enumerate(body):
-            if is_builtin(literal.predicate):
-                continue  # rigid: never a delta position
-            for row, sign in self._signed_delta(literal, events):
-                bindings = match_tuple(
-                    tuple(literal.args), row, {})
-                if bindings is None:
-                    continue
-                prefix = body[:index]
-                suffix = body[index + 1:]
-                for final in self._join_mixed(prefix, suffix, dict(bindings),
-                                              new_view, old_view):
-                    head_row = tuple(resolve(t, final) for t in rule.head.args)
-                    delta[head_row] += sign
+    def _apply_delta_rule(self, delta_rule: DeltaRule,
+                          events: Mapping[str, set[Row]],
+                          old_view: _StateView, new_view: _StateView,
+                          delta: Counter) -> None:
+        for row, sign in self._signed_delta(delta_rule.literal, events):
+            bindings = match_tuple(tuple(delta_rule.literal.args), row, {})
+            if bindings is None:
+                continue
+            tagged = ([(lit, new_view) for lit in delta_rule.prefix]
+                      + [(lit, old_view) for lit in delta_rule.suffix])
+            for final in self._join_tagged(tagged, dict(bindings)):
+                head_row = tuple(resolve(t, final)
+                                 for t in delta_rule.head.args)
+                delta[head_row] += sign
 
     def _signed_delta(self, literal: Literal,
-                      events: Mapping[str, set[Row]]) -> Iterator[tuple[Row, int]]:
+                      events: Mapping[str, set[Row]]) \
+            -> Iterator[tuple[Row, int]]:
         """Rows where the literal's satisfaction changed, with signs."""
         ins_rows = events.get(ins_name(literal.predicate), ())
         del_rows = events.get(del_name(literal.predicate), ())
@@ -226,50 +431,63 @@ class CountingEngine:
             for row in ins_rows:
                 yield row, -1
 
-    def _join_mixed(self, prefix: Sequence[Literal], suffix: Sequence[Literal],
-                    bindings: Substitution, new_view: _StateView,
-                    old_view: _StateView) -> Iterator[Substitution]:
-        """Join prefix literals in the new state, suffix in the old."""
-        tagged = [(lit, new_view) for lit in prefix] + \
-                 [(lit, old_view) for lit in suffix]
-        yield from self._join_tagged(tagged, dict(bindings))
+    def _rederive(self, predicate: str, new_view: _StateView) -> Counter:
+        """DRed-style heal: recount *predicate* from scratch in the new state.
+
+        Only reached across negation boundaries when the incremental
+        count invariant is breached; everything the predicate depends on
+        is already final in ``new_view`` (topological order).
+        """
+        self.rederive_count += 1
+        if self.on_rederive is not None:
+            self.on_rederive(predicate)
+        return self._derive_counts(predicate, new_view)
+
+    # -- joins -----------------------------------------------------------------
 
     def _join(self, body: Sequence[Literal], bindings: Substitution,
               view: _StateView) -> Iterator[Substitution]:
         yield from self._join_tagged([(lit, view) for lit in body],
                                      dict(bindings))
 
-    def _join_tagged(self, pending: list, subst: dict) -> Iterator[Substitution]:
+    def _join_tagged(self, pending: list, subst: dict) \
+            -> Iterator[Substitution]:
         if not pending:
             yield subst
             return
-        # Pick: ground first, else first positive non-builtin.
+        # Pick: any ground literal first (constant-time check), else the
+        # most-bound positive non-builtin (indexed scan).
         choice = None
+        ground = False
+        best_bound = -1
+        patterns: list[tuple] = []
         for index, (literal, _) in enumerate(pending):
-            if all(isinstance(resolve(t, subst), Constant)
-                   for t in literal.args):
+            pattern = tuple(resolve(t, subst) for t in literal.args)
+            patterns.append(pattern)
+            if all(isinstance(t, Constant) for t in pattern):
                 choice = index
+                ground = True
                 break
-        if choice is None:
-            for index, (literal, _) in enumerate(pending):
-                if literal.positive and not is_builtin(literal.predicate):
+            if literal.positive and not is_builtin(literal.predicate):
+                n_bound = sum(isinstance(t, Constant) for t in pattern)
+                if n_bound > best_bound:
+                    best_bound = n_bound
                     choice = index
-                    break
         if choice is None:
             unresolved = " & ".join(str(lit) for lit, _ in pending)
             raise SafetyError(f"cannot evaluate: {unresolved}")
         literal, view = pending[choice]
+        pattern = patterns[choice]
         rest = pending[:choice] + pending[choice + 1:]
-        pattern = tuple(resolve(t, subst) for t in literal.args)
-        if is_builtin(literal.predicate):
-            if evaluate_builtin(literal.predicate, pattern) == literal.positive:
+        if ground:
+            if is_builtin(literal.predicate):
+                satisfied = evaluate_builtin(literal.predicate, pattern)
+            else:
+                satisfied = view.holds(literal.predicate, pattern)
+            if satisfied == literal.positive:
                 yield from self._join_tagged(rest, subst)
             return
-        if literal.positive:
-            for row in view.rows(literal.predicate):
-                extended = match_tuple(pattern, row, subst)
-                if extended is not None:
-                    yield from self._join_tagged(rest, dict(extended))
-        else:
-            if pattern not in view.rows(literal.predicate):
-                yield from self._join_tagged(rest, subst)
+        for row in view.lookup(literal.predicate, pattern):
+            extended = match_tuple(pattern, row, subst)
+            if extended is not None:
+                yield from self._join_tagged(rest, dict(extended))

@@ -1,0 +1,353 @@
+"""State maintainers: one name per strategy for keeping derived state warm.
+
+The serving engine used to hard-code ``if cache_mode == ...`` branches for
+its two cache strategies.  This module turns the strategy into a first-class
+object: a :class:`StateMaintainer` owns the derived state of one
+:class:`~repro.core.processor.UpdateProcessor` and exposes a uniform
+protocol --
+
+- :meth:`StateMaintainer.bootstrap` -- materialise whatever standing state
+  the strategy needs (counts, cached extensions); optional for the lazy
+  strategies;
+- :meth:`StateMaintainer.apply` -- one-shot library entry point: compute the
+  full-coverage :class:`~repro.interpretations.upward.UpwardResult` of a
+  transaction, apply its base events to the database and advance the
+  maintained state;
+- :meth:`StateMaintainer.extension` -- the current extension of a derived
+  predicate as maintained by this strategy;
+- :meth:`StateMaintainer.reset` -- drop all maintained state (it rebuilds on
+  next use).
+
+For the serving engine's staged commit protocol (check first, decide, then
+apply facts and caches together) the base class adds the finer-grained hooks
+:meth:`check` / :meth:`check_full` / :meth:`interpret` / :meth:`advance`;
+the default implementations express the conservative strategy (check
+through the processor, re-derive from scratch next time).
+
+Implementations register themselves by name in :data:`MAINTAINERS` via
+``__init_subclass__``; :func:`create_maintainer` is the registry lookup the
+engine uses, and :class:`CacheMode` is the typed spelling of those names
+(legacy lowercase strings remain accepted).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from enum import Enum
+from typing import TYPE_CHECKING, Callable, ClassVar
+
+from repro.datalog.database import GLOBAL_IC, DeductiveDatabase
+from repro.datalog.errors import DatalogError
+from repro.events.events import Transaction
+from repro.interpretations.counting import CountingEngine
+from repro.interpretations.upward import UpwardResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.core.processor import UpdateProcessor
+    from repro.problems.ic_checking import ICCheckResult
+
+
+class CacheMode(str, Enum):
+    """How a serving engine keeps derived state warm across commits.
+
+    The values are the wire/CLI spellings; the legacy lowercase strings
+    ``"advance"`` and ``"invalidate"`` (and ``"counting"``) are accepted
+    anywhere a :class:`CacheMode` is, via :meth:`of`.
+    """
+
+    #: Re-derive by upward interpretation, then patch cached extensions.
+    ADVANCE = "advance"
+    #: Drop caches on every write; re-materialise on next use.
+    INVALIDATE = "invalidate"
+    #: Maintain derivation counts incrementally during the commit.
+    COUNTING = "counting"
+
+    @classmethod
+    def of(cls, value: "CacheMode | str") -> "CacheMode":
+        """Coerce an enum member or legacy string to a :class:`CacheMode`."""
+        if isinstance(value, CacheMode):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value.lower())
+            except ValueError:
+                pass
+        known = ", ".join(repr(mode.value) for mode in cls)
+        raise ValueError(f"unknown cache_mode: {value!r} (expected one of "
+                         f"{known})")
+
+    def __str__(self) -> str:  # json/logs show the wire spelling
+        return self.value
+
+
+#: Registry of maintainer implementations, keyed by CacheMode value.
+MAINTAINERS: dict[str, type["StateMaintainer"]] = {}
+
+
+def create_maintainer(mode: CacheMode | str,
+                      processor: "UpdateProcessor") -> "StateMaintainer":
+    """Instantiate the registered maintainer for *mode*."""
+    return MAINTAINERS[CacheMode.of(mode).value](processor)
+
+
+class StateMaintainer(ABC):
+    """Strategy object owning the derived state of one processor."""
+
+    #: Registry key; subclasses set it to a CacheMode value.
+    name: ClassVar[str] = ""
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.name:
+            MAINTAINERS[cls.name] = cls
+
+    def __init__(self, processor: "UpdateProcessor"):
+        self._processor = processor
+        #: Observability hook: called with an event kind ("bootstrap",
+        #: "rederive", ...) when the strategy does notable work.
+        self.on_event: Callable[[str], None] | None = None
+
+    # -- shared plumbing -------------------------------------------------------
+
+    @property
+    def processor(self) -> "UpdateProcessor":
+        return self._processor
+
+    @property
+    def db(self) -> DeductiveDatabase:
+        return self._processor.db
+
+    def _event(self, kind: str) -> None:
+        if self.on_event is not None:
+            self.on_event(kind)
+
+    def _apply_base(self, transaction: Transaction) -> None:
+        """Apply a (normalised) transaction's base events to the database."""
+        for event in transaction:
+            if event.is_insertion:
+                self.db.add_fact(event.predicate, *event.args)
+            else:
+                self.db.remove_fact(event.predicate, *event.args)
+
+    # -- the StateMaintainer protocol ------------------------------------------
+
+    def bootstrap(self, db: DeductiveDatabase | None = None) -> None:
+        """Materialise the strategy's standing state.
+
+        Maintainers are bound to their processor's database; *db* exists
+        for protocol symmetry and, when given, must be that same object.
+        Lazy strategies may treat this as a no-op.
+        """
+        if db is not None and db is not self.db:
+            raise ValueError("a StateMaintainer is bound to its processor's "
+                             "database; bootstrap(db) must pass that object")
+
+    @abstractmethod
+    def apply(self, transaction: Transaction) -> UpwardResult:
+        """Compute induced events, apply the transaction, advance state."""
+
+    def extension(self, predicate: str) -> frozenset:
+        """Current extension of a derived predicate."""
+        return self._processor.extension(predicate)
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Drop all maintained state; it rebuilds on next use."""
+
+    # -- engine hooks (staged commit protocol) ---------------------------------
+
+    def check(self, transaction: Transaction) -> "ICCheckResult":
+        """Integrity verdict for one transaction against the current state."""
+        return self._processor.check(transaction)
+
+    def check_full(self, transaction: Transaction) \
+            -> tuple["ICCheckResult", UpwardResult | None]:
+        """Verdict plus, when the strategy can, a full-coverage result
+        to later hand to :meth:`advance`."""
+        return self._processor.check(transaction), None
+
+    def interpret(self, transaction: Transaction) -> UpwardResult | None:
+        """Full-coverage induced events for an unchecked commit, or ``None``
+        when the strategy has nothing warm to advance."""
+        return None
+
+    def advance(self, result: UpwardResult | None) -> None:
+        """Advance maintained state across an applied transaction.
+
+        *result* must come from :meth:`check_full` / :meth:`interpret` on
+        the state the transaction was applied to; ``None`` (or a stale
+        result) degrades to :meth:`reset`.
+        """
+        self.reset()
+
+
+class InvalidatingMaintainer(StateMaintainer):
+    """Baseline strategy: caches are dropped on every write."""
+
+    name = CacheMode.INVALIDATE.value
+
+    def apply(self, transaction: Transaction) -> UpwardResult:
+        result = self._processor.upward(transaction)
+        self._apply_base(result.transaction)
+        self.reset()
+        return result
+
+    def reset(self) -> None:
+        self._processor.invalidate_state_caches()
+
+
+class AdvancingMaintainer(StateMaintainer):
+    """Patch warm interpreter caches with the induced events."""
+
+    name = CacheMode.ADVANCE.value
+
+    def apply(self, transaction: Transaction) -> UpwardResult:
+        result = self._processor.upward(transaction)
+        self._apply_base(result.transaction)
+        self.advance(result)
+        return result
+
+    def reset(self) -> None:
+        self._processor.invalidate_state_caches()
+
+    def check_full(self, transaction: Transaction) \
+            -> tuple["ICCheckResult", UpwardResult | None]:
+        return self._processor.check_full(transaction)
+
+    def interpret(self, transaction: Transaction) -> UpwardResult | None:
+        if not self._processor.has_warm_state:
+            return None
+        try:
+            return self._processor.upward(transaction)
+        except DatalogError:
+            return None
+
+    def advance(self, result: UpwardResult | None) -> None:
+        if result is None:
+            self.reset()
+            return
+        try:
+            self._processor.advance_state_caches(result)
+        except ValueError:
+            # Partial coverage: fall back to full invalidation.
+            self._processor.invalidate_state_caches()
+
+
+class CountingMaintainer(StateMaintainer):
+    """Maintain per-tuple derivation counts during the commit ([GMS93]).
+
+    The counting engine computes induced events from delta rules in time
+    proportional to the transaction, keeps the integrity-constraint
+    extension standing (so the consistency precondition is O(1)), and
+    stages count changes between :meth:`check_full`/:meth:`interpret`
+    and :meth:`advance` so facts and counts commit together.
+    """
+
+    name = CacheMode.COUNTING.value
+
+    def __init__(self, processor: "UpdateProcessor"):
+        super().__init__(processor)
+        self._engine: CountingEngine | None = None
+        self._staged: tuple[UpwardResult, dict] | None = None
+
+    @property
+    def active(self) -> bool:
+        """Whether counts are currently materialised."""
+        return self._engine is not None
+
+    def counting_engine(self) -> CountingEngine:
+        """The underlying engine, bootstrapping counts on first use."""
+        if self._engine is None:
+            self._engine = CountingEngine(
+                self.db, program=self._processor.program,
+                on_rederive=lambda predicate: self._event("rederive"))
+            self._event("bootstrap")
+        return self._engine
+
+    def bootstrap(self, db: DeductiveDatabase | None = None) -> None:
+        super().bootstrap(db)
+        self._engine = None
+        self._staged = None
+        self.counting_engine()
+
+    def apply(self, transaction: Transaction) -> UpwardResult:
+        result = self.counting_engine().apply(transaction)
+        self._advance_interpreters(result)
+        return result
+
+    def extension(self, predicate: str) -> frozenset:
+        return self.counting_engine().extension(predicate)
+
+    def reset(self) -> None:
+        self._engine = None
+        self._staged = None
+        self._processor.invalidate_state_caches()
+
+    # -- engine hooks ----------------------------------------------------------
+
+    def _checked_delta(self, transaction: Transaction) \
+            -> tuple[UpwardResult, dict]:
+        from repro.problems.base import StateError
+        engine = self.counting_engine()
+        if engine.extension(GLOBAL_IC):
+            raise StateError(
+                "cannot check a transaction against an inconsistent state: "
+                f"{GLOBAL_IC} holds before the update")
+        return engine.delta(transaction)
+
+    def _verdict(self, result: UpwardResult) -> "ICCheckResult":
+        from repro.problems.ic_checking import ICCheckResult
+        constraint_predicates = {rule.head.predicate
+                                 for rule in self.db.constraints}
+        violations = {
+            predicate: rows
+            for predicate, rows in result.insertions.items()
+            if predicate in constraint_predicates and rows
+        }
+        return ICCheckResult(ok=not result.insertions_of(GLOBAL_IC),
+                             violations=violations,
+                             transaction=result.transaction)
+
+    def check(self, transaction: Transaction) -> "ICCheckResult":
+        result, _ = self._checked_delta(transaction)
+        return self._verdict(result)
+
+    def check_full(self, transaction: Transaction) \
+            -> tuple["ICCheckResult", UpwardResult | None]:
+        result, staged = self._checked_delta(transaction)
+        self._staged = (result, staged)
+        return self._verdict(result), result
+
+    def interpret(self, transaction: Transaction) -> UpwardResult | None:
+        result, staged = self.counting_engine().delta(transaction)
+        self._staged = (result, staged)
+        return result
+
+    def advance(self, result: UpwardResult | None) -> None:
+        staged = self._staged
+        self._staged = None
+        if (result is None or staged is None or staged[0] is not result
+                or self._engine is None):
+            # Stale or missing staging: conservative full reset.
+            self.reset()
+            return
+        self._engine.advance(staged[1])
+        self._advance_interpreters(result)
+
+    def _advance_interpreters(self, result: UpwardResult) -> None:
+        """Keep any warm read-side interpreter caches moving too."""
+        try:
+            self._processor.advance_state_caches(result)
+        except ValueError:
+            self._processor.invalidate_state_caches()
+
+
+__all__ = [
+    "AdvancingMaintainer",
+    "CacheMode",
+    "CountingMaintainer",
+    "InvalidatingMaintainer",
+    "MAINTAINERS",
+    "StateMaintainer",
+    "create_maintainer",
+]

@@ -67,6 +67,12 @@ from repro.core.durable import DurableDatabase, transaction_digest
 from repro.core.processor import UpdateProcessor
 from repro.datalog.errors import DatalogError, TransactionError
 from repro.events.events import Transaction
+from repro.interpretations.maintainers import (
+    CacheMode,
+    CountingMaintainer,
+    StateMaintainer,
+    create_maintainer,
+)
 from repro.obs import tracer as obs
 from repro.problems import ICCheckResult
 from repro.problems.base import StateError
@@ -334,37 +340,52 @@ class DatabaseEngine:
         default commit policy (``reject`` / ``maintain`` / ``ignore``);
         individual commits may override it.
     cache_mode:
-        what happens to the memoised derived state on a fast-path commit:
-        ``advance`` (default) patches it with the commit's own induced
-        events (the upward interpretation the integrity check already
-        computes), so interleaved readers keep a warm cache; ``invalidate``
-        always drops it, forcing the next read to re-materialise -- the
+        the :class:`~repro.interpretations.maintainers.StateMaintainer`
+        strategy (a :class:`CacheMode` or its string spelling) for the
+        memoised derived state on a fast-path commit: ``advance``
+        (default) patches it with the commit's own induced events (the
+        upward interpretation the integrity check already computes), so
+        interleaved readers keep a warm cache; ``invalidate`` always
+        drops it, forcing the next read to re-materialise -- the
         pre-delta-maintenance behaviour, kept as a baseline and escape
-        hatch.  Slow-path commits, unchecked commits and checkpoints
-        always invalidate, whatever the mode.
+        hatch; ``counting`` maintains per-tuple derivation counts
+        incrementally *during* the commit, so check + maintenance cost
+        scales with the transaction instead of the database (see
+        docs/IVM.md; requires a non-recursive program).  Slow-path
+        commits, unchecked commits and checkpoints always reset the
+        maintainer, whatever the mode.
     """
 
     def __init__(self, store: DurableDatabase, *, max_batch: int = 64,
                  on_violation: str = "reject", simplify: bool = True,
                  metrics: MetricsRegistry | None = None,
-                 cache_mode: str = "advance"):
+                 cache_mode: CacheMode | str = CacheMode.ADVANCE):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if on_violation not in ("reject", "maintain", "ignore"):
             raise ValueError(f"unknown on_violation policy: {on_violation!r}")
-        if cache_mode not in ("advance", "invalidate"):
-            raise ValueError(f"unknown cache_mode: {cache_mode!r}")
         self._store = store
         self._processor = UpdateProcessor(store.db, simplify=simplify)
         self._max_batch = max_batch
         self._policy = on_violation
-        self._cache_mode = cache_mode
+        self._cache_mode = CacheMode.of(cache_mode)
         #: Bumped on every full cache invalidation; readers can compare
         #: epochs across ``stats`` calls to see whether their reads stayed
         #: on warm state.
         self._cache_epoch = 0
         self.metrics = metrics or MetricsRegistry()
         self._processor.on_cache_event = self._record_cache_event
+        self._maintainer = create_maintainer(self._cache_mode,
+                                             self._processor)
+        self._maintainer.on_event = self._record_ivm_event
+        if isinstance(self._maintainer, CountingMaintainer):
+            # Eager bootstrap: pay the one-time count materialisation at
+            # open (and fail fast on recursive programs), then record the
+            # compiled delta-rule count for observability.
+            self._maintainer.bootstrap()
+            self.metrics.increment(
+                "ivm.delta_rules",
+                self._maintainer.counting_engine().n_delta_rules)
         self._rwlock = RWLock()
         self._interp_lock = threading.Lock()
         self._batch_lock = threading.Lock()
@@ -396,6 +417,11 @@ class DatabaseEngine:
         if kind == "invalidate":
             self._cache_epoch += 1
 
+    def _record_ivm_event(self, kind: str) -> None:
+        """Maintainer hook -> ``ivm.*`` metrics (bootstrap, rederive...)."""
+        self.metrics.increment(f"ivm.{kind}")
+        obs.add(f"ivm.{kind}")
+
     @classmethod
     def open(cls, directory, initial=None, *,
              dedup_capacity: int | None = None, **kwargs) -> "DatabaseEngine":
@@ -423,6 +449,16 @@ class DatabaseEngine:
     def processor(self) -> UpdateProcessor:
         """The shared update processor (serialise access when threading)."""
         return self._processor
+
+    @property
+    def cache_mode(self) -> CacheMode:
+        """The configured derived-state maintenance strategy."""
+        return self._cache_mode
+
+    @property
+    def maintainer(self) -> StateMaintainer:
+        """The state maintainer selected by ``cache_mode``."""
+        return self._maintainer
 
     def _ensure_open(self) -> None:
         if self._closed:
@@ -485,7 +521,7 @@ class DatabaseEngine:
                 "log_length": self._store.log_length(),
                 "max_batch": self._max_batch,
                 "on_violation": self._policy,
-                "cache_mode": self._cache_mode,
+                "cache_mode": self._cache_mode.value,
                 "cache_epoch": self._cache_epoch,
                 "dedup_size": len(self._store.txns),
                 "dedup_capacity": self._store.txns.capacity,
@@ -519,7 +555,8 @@ class DatabaseEngine:
                 "directory": str(self._store.directory),
                 "log_length": self._store.log_length(),
             },
-            "cache": {"mode": self._cache_mode, "epoch": self._cache_epoch},
+            "cache": {"mode": self._cache_mode.value,
+                      "epoch": self._cache_epoch},
             "dedup": {"size": len(self._store.txns),
                       "capacity": self._store.txns.capacity},
             "in_doubt": sorted(self._prepared),
@@ -796,7 +833,7 @@ class DatabaseEngine:
             check: ICCheckResult | None = None
             if self.db.constraints:
                 try:
-                    check = self._processor.check(transaction)
+                    check = self._maintainer.check(transaction)
                 except StateError:
                     check = None  # inconsistent old state: commit unchecked
             if check is not None and not check.ok:
@@ -850,12 +887,24 @@ class DatabaseEngine:
                     f"commit decision for txn {txn_id!r}, but this shard "
                     "holds no prepared vote or recorded outcome for it")
             if decision == "commit":
+                # Stage the induced deltas before the facts move, then let
+                # the maintainer fold them in (counting applies counted
+                # deltas; advance patches warm extensions; invalidate and
+                # any staging failure reset).
+                try:
+                    staged_result = self._maintainer.interpret(
+                        prepared.transaction)
+                except DatalogError:
+                    staged_result = None
                 effective = self._store.commit(
                     prepared.transaction, sync=True,
                     txn=(txn_id, prepared.digest))
                 outcome = CommitOutcome(True, prepared.transaction,
                                         effective).to_dict()
-                self._processor.invalidate_state_caches()
+                if staged_result is not None:
+                    self._maintainer.advance(staged_result)
+                else:
+                    self._maintainer.reset()
                 self.metrics.increment("twopc.committed")
             else:
                 self._store.log_txn_outcome(txn_id, prepared.digest,
@@ -978,6 +1027,7 @@ class DatabaseEngine:
         # rejection -- a crash could still lose.  If sync_log raises,
         # _drain fails every unfinished entry.
         to_ack: list[tuple[_Pending, CommitOutcome]] = []
+        applied_any = False
         for entry in valid:
             try:
                 outcome = checked_commit(
@@ -990,6 +1040,7 @@ class DatabaseEngine:
             except DatalogError as error:
                 self._finish(entry, error=error)
                 continue
+            applied_any = applied_any or outcome.applied
             if (outcome.applied and outcome.check is None
                     and entry.policy != "ignore" and db.constraints):
                 # checked_commit skipped the check (inconsistent old state).
@@ -1008,6 +1059,11 @@ class DatabaseEngine:
                 to_ack.append((entry, outcome))
             else:
                 self._finish(entry, outcome=outcome)
+        if applied_any:
+            # checked_commit invalidated the interpreter caches per entry;
+            # stateful maintainers (counting) must drop their standing
+            # state too, since facts moved without delta maintenance.
+            self._maintainer.reset()
         if to_ack:
             self._sync_log()
             faults.failpoint(FP_PRE_ACK)
@@ -1032,13 +1088,17 @@ class DatabaseEngine:
         reused across the whole batch -- that, plus the single fsync, is
         the amortisation group commit pays for.
 
-        In ``advance`` cache mode the merged check runs with *full*
-        predicate coverage, and after the batch is applied its induced
-        events patch the memoised derived extensions in place
-        (:meth:`UpdateProcessor.advance_state_caches`): the view
-        maintenance the paper reads out of the event rules, applied to our
-        own serving cache.  Unchecked commits (inconsistent old state) and
-        any advance failure fall back to full invalidation.
+        Derived-state maintenance is delegated to the configured
+        :class:`StateMaintainer`: in ``advance`` mode the merged check
+        runs with *full* predicate coverage and after the batch is
+        applied its induced events patch the memoised derived extensions
+        in place (:meth:`UpdateProcessor.advance_state_caches`); in
+        ``counting`` mode the check itself *is* the delta-rule
+        evaluation, and the staged derivation counts are folded in after
+        the batch is applied -- the view maintenance the paper reads out
+        of the event rules, applied to our own serving cache.  Unchecked
+        commits (inconsistent old state) and any advance failure fall
+        back to a full maintainer reset.
         """
         db = self.db
         if any(entry.policy != "reject" for entry in batch):
@@ -1052,23 +1112,19 @@ class DatabaseEngine:
             # same fact) -- cannot happen for disjoint batches, but keep the
             # fast path honest.
             return False
-        advancing = self._cache_mode == "advance"
+        maintainer = self._maintainer
         checks: dict[int, ICCheckResult] = {}
         advance_result = None
         if db.constraints:
             try:
-                if advancing:
-                    merged_verdict, advance_result = \
-                        self._processor.check_full(merged)
-                else:
-                    merged_verdict = self._processor.check(merged)
+                merged_verdict, advance_result = maintainer.check_full(merged)
                 if not merged_verdict.ok:
                     return False
                 if len(batch) == 1:
                     checks[0] = merged_verdict
                 else:
                     for index, entry in enumerate(batch):
-                        verdict = self._processor.check(entry.transaction)
+                        verdict = maintainer.check(entry.transaction)
                         if not verdict.ok:
                             return False
                         checks[index] = verdict
@@ -1078,11 +1134,12 @@ class DatabaseEngine:
                 checks = {}
                 advance_result = None
                 self._note_unchecked(len(batch))
-        elif advancing and self._processor.has_warm_state:
-            # No constraints, so no check ran -- but a reader warmed the
-            # cache; one incremental pass keeps it warm.
+        else:
+            # No constraints, so no check ran -- a maintainer with warm
+            # state still computes the batch's induced events so its
+            # caches keep moving instead of resetting.
             try:
-                advance_result = self._processor.upward(merged)
+                advance_result = maintainer.interpret(merged)
             except DatalogError:
                 advance_result = None
         faults.failpoint(FP_POST_CHECK_PRE_ACK, batch_size=len(batch))
@@ -1105,12 +1162,9 @@ class DatabaseEngine:
         # consistent even when sync_log fails below.
         if advance_result is not None:
             faults.failpoint(FP_MID_CACHE_ADVANCE)
-            try:
-                self._processor.advance_state_caches(advance_result)
-            except ValueError:
-                self._processor.invalidate_state_caches()
+            maintainer.advance(advance_result)
         else:
-            self._processor.invalidate_state_caches()
+            maintainer.reset()
         if synced:
             self._sync_log()
         faults.failpoint(FP_PRE_ACK)
@@ -1144,8 +1198,8 @@ class DatabaseEngine:
                 self._interp_lock:
             self._store.checkpoint()
             # Snapshot/recovery boundaries rebuild from disk: conservative
-            # full invalidation rather than trusting the warm state.
-            self._processor.invalidate_state_caches()
+            # full maintainer reset rather than trusting the warm state.
+            self._maintainer.reset()
 
     def close(self, checkpoint: bool = True) -> None:
         """Refuse further requests; optionally checkpoint the WAL."""

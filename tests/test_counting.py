@@ -134,3 +134,161 @@ class TestAgainstOracle:
         result = engine.apply(Transaction([insert("E", "B", "B")]))
         assert result.insertions == expected.insertions
         assert engine.count("Self", (Constant("B"),)) == 1
+
+
+class TestTwoPhase:
+    """The staged delta()/advance() split used by the serving engine."""
+
+    def test_delta_leaves_state_untouched(self):
+        db = DeductiveDatabase.from_source("Q(A). P(x) <- Q(x).")
+        engine = CountingEngine(db)
+        result, staged = engine.delta(Transaction([delete("Q", "A")]))
+        assert result.deletions_of("P") == rows("A")
+        # Nothing moved: neither the database nor the counts.
+        assert db.has_fact("Q", "A")
+        assert engine.extension("P") == rows("A")
+        assert engine.count("P", (Constant("A"),)) == 1
+
+    def test_advance_after_manual_apply(self):
+        db = DeductiveDatabase.from_source("Q(A). P(x) <- Q(x).")
+        engine = CountingEngine(db)
+        result, staged = engine.delta(Transaction([delete("Q", "A")]))
+        for event in result.transaction:
+            db.remove_fact(event.predicate, *event.args)
+        engine.advance(staged)
+        assert engine.extension("P") == frozenset()
+        assert engine.count("P", (Constant("A"),)) == 0
+
+    def test_double_advance_is_rejected(self):
+        from repro.datalog.errors import SafetyError
+
+        db = DeductiveDatabase.from_source("Q(A). P(x) <- Q(x).")
+        engine = CountingEngine(db)
+        result, staged = engine.delta(Transaction([delete("Q", "A")]))
+        db.remove_fact("Q", "A")
+        engine.advance(staged)
+        with pytest.raises(SafetyError):
+            engine.advance(staged)  # stale: would drive the count negative
+
+    def test_apply_is_delta_plus_advance(self):
+        db = employment_database(20, seed=11)
+        twin = db.copy()
+        engine = CountingEngine(db)
+        twin_engine = CountingEngine(twin)
+        transaction = random_transaction(db, n_events=3, seed=2)
+        result, staged = engine.delta(transaction)
+        applied = engine.apply(transaction)
+        assert applied.insertions == result.insertions
+        assert applied.deletions == result.deletions
+        one_shot = twin_engine.apply(transaction)
+        assert one_shot.insertions == applied.insertions
+        assert one_shot.deletions == applied.deletions
+
+
+class TestDeltaRules:
+    def test_delta_rules_compiled_per_body_position(self):
+        db = DeductiveDatabase.from_source("""
+            Q(A). R(A).
+            P(x) <- Q(x) & R(x).
+        """)
+        engine = CountingEngine(db)
+        # One delta rule per non-builtin body literal.
+        assert engine.n_delta_rules == 2
+
+    def test_builtin_positions_are_rigid(self):
+        db = DeductiveDatabase.from_source("""
+            Q(A). Q(B).
+            Pair(x, y) <- Q(x) & Q(y) & Neq(x, y).
+        """)
+        engine = CountingEngine(db)
+        assert engine.n_delta_rules == 2  # Neq is never a delta position
+
+    def test_delete_both_supports_in_one_transaction(self):
+        # Refcount regression: the same tuple derived through two rules,
+        # both supports removed by a single transaction -> exactly one
+        # deletion event, count exactly zero (not negative).
+        db = DeductiveDatabase.from_source("""
+            Q(A). R(A).
+            P(x) <- Q(x).
+            P(x) <- R(x).
+        """)
+        engine = CountingEngine(db)
+        result = engine.apply(
+            Transaction([delete("Q", "A"), delete("R", "A")]))
+        assert result.deletions_of("P") == rows("A")
+        assert engine.count("P", (Constant("A"),)) == 0
+        assert engine.extension("P") == frozenset()
+
+
+class TestNegationBoundary:
+    def test_boundary_is_negation_over_derived(self):
+        db = DeductiveDatabase.from_source("""
+            Q(A). S(A). R(A).
+            V(x) <- Q(x).
+            P(x) <- S(x) & not V(x).
+            W(x) <- S(x) & not R(x).
+        """)
+        engine = CountingEngine(db)
+        # P negates the derived V; W only negates the base R.
+        assert engine.negation_boundary == frozenset({"P"})
+
+    def test_rederive_heals_stale_counts_across_boundary(self):
+        db = DeductiveDatabase.from_source("""
+            Q(A). S(A). S(B).
+            V(x) <- Q(x).
+            P(x) <- S(x) & not V(x).
+        """)
+        healed = []
+        engine = CountingEngine(db, on_rederive=healed.append)
+        assert engine.extension("P") == rows("B")
+        # Corrupt the counts behind the engine's back: the next decrement
+        # breaches the invariant, and P (a negation boundary) must heal
+        # by DRed-style rederivation instead of raising.
+        engine._counts["P"].clear()
+        result = engine.apply(Transaction([delete("S", "B")]))
+        assert result.deletions_of("P") == rows("B")
+        assert engine.extension("P") == frozenset()
+        assert engine.rederive_count == 1
+        assert healed == ["P"]
+
+    def test_breach_off_boundary_raises(self):
+        from repro.datalog.errors import SafetyError
+
+        db = DeductiveDatabase.from_source("Q(A). W(x) <- Q(x).")
+        engine = CountingEngine(db)
+        engine._counts["W"].clear()  # corrupt: no rederive escape for W
+        with pytest.raises(SafetyError):
+            engine.apply(Transaction([delete("Q", "A")]))
+
+    def test_recursion_error_is_typed(self):
+        from repro.interpretations.counting import CountingUnsupportedError
+
+        db = DeductiveDatabase.from_source("""
+            Edge(A, B).
+            Path(x, y) <- Edge(x, y).
+            Path(x, y) <- Edge(x, z) & Path(z, y).
+        """)
+        assert issubclass(CountingUnsupportedError, StratificationError)
+        with pytest.raises(CountingUnsupportedError):
+            CountingEngine(db)
+
+    def test_stratified_negation_sequence_agrees_with_oracle(self):
+        db = DeductiveDatabase.from_source("""
+            B(A). B(C). S(A). S(C). S(D).
+            V(x) <- B(x).
+            P(x) <- S(x) & not V(x).
+            W(x) <- P(x) & S(x).
+        """)
+        engine = CountingEngine(db)
+        steps = [
+            Transaction([delete("B", "A")]),
+            Transaction([insert("B", "D")]),
+            Transaction([insert("S", "E"), delete("S", "C")]),
+            Transaction([delete("B", "D"), insert("B", "A")]),
+        ]
+        for step, transaction in enumerate(steps):
+            expected = naive_changes(db, transaction)
+            result = engine.apply(transaction)
+            assert result.insertions == expected.insertions, f"step {step}"
+            assert result.deletions == expected.deletions, f"step {step}"
+        assert engine.rederive_count == 0  # exact counting, no healing

@@ -215,12 +215,53 @@ def test_crash_unwinds_commit_many_and_fails_waiters(tmp_path):
         engine.commit_many(transactions, raise_errors=True)
 
 
-def test_invalidate_cache_mode_recovers_too(tmp_path):
-    """The matrix holds in the baseline cache mode as well."""
-    engine = fresh_engine(tmp_path, cache_mode="invalidate")
+@pytest.mark.parametrize("cache_mode", ["invalidate", "counting"])
+def test_alternate_cache_modes_recover_too(tmp_path, cache_mode):
+    """The matrix holds in the non-default cache modes as well.
+
+    Recovery re-opens in the same mode, so for ``counting`` the oracle
+    check in :func:`faultkit.check_derived_oracle` also compares the
+    re-bootstrapped maintained extensions against the naive rebuild.
+    """
+    engine = fresh_engine(tmp_path, cache_mode=cache_mode)
     faults.arm(engine_mod.FP_PRE_ACK, "crash", skip=1, times=1)
     report, recovered = faultkit.crash_and_recover(
-        engine, tmp_path / "db", steps=20, seed=17)
+        engine, tmp_path / "db", steps=20, seed=17,
+        engine_kwargs={"cache_mode": cache_mode})
+    try:
+        assert report.crashed
+        assert recovered.stats()["engine"]["cache_mode"] == cache_mode
+    finally:
+        recovered.close()
+
+
+@pytest.mark.parametrize("point", COMMIT_POINTS)
+def test_commit_crash_counting_mode(tmp_path, point):
+    """The full commit-path crash matrix in counting mode.
+
+    Counts live only in memory; every crash point must recover to a
+    state whose re-bootstrapped counts equal the naive oracle, with the
+    acked-prefix invariants intact.
+    """
+    engine = fresh_engine(tmp_path, cache_mode="counting")
+    faults.arm(point, "crash", skip=1, times=1)
+    report, recovered = faultkit.crash_and_recover(
+        engine, tmp_path / "db", steps=25, seed=3,
+        engine_kwargs={"cache_mode": "counting"})
+    try:
+        assert report.crashed, f"{point} never fired in counting mode"
+        assert recovered.maintainer.active
+    finally:
+        recovered.close()
+
+
+def test_counting_mode_batched_crash(tmp_path):
+    """Group-commit batches under counting maintenance survive a crash."""
+    engine = fresh_engine(tmp_path, cache_mode="counting", max_batch=8)
+    faults.arm(engine_mod.FP_MID_CACHE_ADVANCE, "crash", skip=1, times=1)
+    report, recovered = faultkit.crash_and_recover(
+        engine, tmp_path / "db", steps=25, seed=5, batch=4,
+        engine_kwargs={"cache_mode": "counting"})
     try:
         assert report.crashed
     finally:

@@ -365,12 +365,15 @@ class TestUpwardDownwardRoundTrip:
 
 
 class TestEngineModeDifferential:
-    """Advance-mode engine ≡ invalidate-mode engine ≡ naive oracle.
+    """Advance ≡ invalidate ≡ counting engine ≡ naive oracle.
 
     The delta-maintained serving cache must be observationally identical
     to the invalidate-everything baseline and to a from-scratch oracle,
     after every commit of a random workload -- the differential form of
-    the cache-advance correctness argument.
+    the cache-advance correctness argument.  The counting engine's
+    *maintained extensions* (not just its query answers) are compared
+    too: its per-tuple derivation counts must track the set semantics
+    commit after commit, including through the negation in V2/V3.
     """
 
     @staticmethod
@@ -399,6 +402,8 @@ class TestEngineModeDifferential:
                 f"{scratch}/a", initial=db, cache_mode="advance")
             invalidate = DatabaseEngine.open(
                 f"{scratch}/i", initial=db, cache_mode="invalidate")
+            counting = DatabaseEngine.open(
+                f"{scratch}/c", initial=db, cache_mode="counting")
             oracle = db.copy()
             try:
                 for seed in seeds:
@@ -419,18 +424,32 @@ class TestEngineModeDifferential:
 
                     assert advance.commit(transaction).applied
                     assert invalidate.commit(transaction).applied
+                    assert counting.commit(transaction).applied
                     oracle = transaction.apply_to(oracle)
 
                     assert set(advance.db.iter_facts()) \
                         == set(invalidate.db.iter_facts()) \
+                        == set(counting.db.iter_facts()) \
                         == set(oracle.iter_facts())
-                    for goal in goals:
+                    for goal, predicate in zip(goals,
+                                               sorted(db.schema.derived)):
                         answers = oracle.query(goal)
                         assert advance.query(goal) == answers
                         assert invalidate.query(goal) == answers
+                        assert counting.query(goal) == answers
+                        # Counting-vs-naive differential: the maintained
+                        # extension itself, not a fresh evaluation.
+                        extension = {
+                            tuple(constant.value for constant in row)
+                            for row in counting.maintainer.extension(
+                                predicate)}
+                        assert extension == set(map(tuple, answers)), (
+                            f"counting extension of {predicate} diverged "
+                            f"after commit")
             finally:
                 advance.close()
                 invalidate.close()
+                counting.close()
 
 
 _CONTRADICTION_NOTE = """

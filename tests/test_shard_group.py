@@ -271,3 +271,48 @@ class TestGroupRecovery:
         for engine in group.engines:
             faultkit.check_derived_oracle(engine)
         group.close()
+
+
+class TestCountingMode:
+    """Each EngineGroup member runs its own counting maintainer; 2PC
+    decide applies counted deltas instead of invalidating."""
+
+    def test_members_run_counting_maintainers(self, tmp_path):
+        group = open_group(tmp_path, cache_mode="counting")
+        try:
+            for engine in group.engines:
+                assert engine.stats()["engine"]["cache_mode"] == "counting"
+                assert engine.maintainer.active
+        finally:
+            group.close()
+
+    def test_cross_shard_commit_applies_counted_deltas(self, tmp_path):
+        group = open_group(tmp_path, cache_mode="counting")
+        try:
+            a, b = cross_shard_names(group)
+            outcome = group.commit(parse_transaction(
+                f"insert La({a}), insert U_benefit({a}), "
+                f"insert La({b}), insert U_benefit({b})"))
+            assert outcome.applied
+            assert group.metrics.counter("router.cross_shard_commits") == 1
+            assert group.query(f"Unemp({a})") == [()]
+            # Every member's maintained extensions equal its own naive
+            # rebuild -- the decide path advanced counts, not just facts.
+            for engine in group.engines:
+                faultkit.check_derived_oracle(engine)
+                assert engine.metrics.counter("cache.invalidate") == 0
+        finally:
+            group.close()
+
+    def test_cross_shard_veto_leaves_counts_intact(self, tmp_path):
+        group = open_group(tmp_path, cache_mode="counting")
+        try:
+            a, b = cross_shard_names(group)
+            # Unemployed without a benefit on both shards: vetoed.
+            outcome = group.commit(parse_transaction(
+                f"insert La({a}), insert La({b})"))
+            assert not outcome.applied
+            for engine in group.engines:
+                faultkit.check_derived_oracle(engine)
+        finally:
+            group.close()
