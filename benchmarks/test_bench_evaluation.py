@@ -45,6 +45,48 @@ def test_bench_syn6_evaluation(benchmark, length, semi_naive):
           f"literals_matched={evaluator.stats.literals_matched}")
 
 
+def test_bench_syn6_engine_comparison(benchmark, measure):
+    """Compiled closure-chain plans vs. the tuple-at-a-time interpreter.
+
+    Same perfect model, same semi-naive iteration structure; the compiled
+    engine batches each rule into a closure chain with hash-join index
+    probes.  Records the before/after into ``BENCH_eval.json``.
+    """
+    from benchmarks.conftest import record_bench_eval
+
+    section: dict = {}
+    for length in LENGTHS:
+        db = _chain(length)
+
+        def run(engine):
+            evaluator = BottomUpEvaluator(db, db.all_rules(), engine=engine)
+            evaluator.materialize()
+            return evaluator
+
+        interpreted_time = measure(lambda: run("interpreted"))
+        compiled_time = measure(lambda: run("compiled"))
+        interpreted = run("interpreted")
+        compiled = run("compiled")
+        assert compiled.extension("Path") == interpreted.extension("Path")
+        ratio = (interpreted_time / compiled_time if compiled_time
+                 else float("inf"))
+        print(f"\nSYN6 length={length}  interpreted={interpreted_time * 1e3:7.2f} ms  "
+              f"compiled={compiled_time * 1e3:7.2f} ms  speedup={ratio:4.1f}x")
+        section[f"length_{length}"] = {
+            "interpreted_ms": round(interpreted_time * 1e3, 3),
+            "compiled_ms": round(compiled_time * 1e3, 3),
+            "speedup": round(ratio, 2),
+        }
+
+    db = _chain(LENGTHS[-1])
+    benchmark.pedantic(lambda: BottomUpEvaluator(
+        db, db.all_rules(), engine="compiled").materialize(),
+        rounds=3, iterations=1)
+    record_bench_eval("syn6_chain_transitive_closure", section)
+    # No-regression floor: compiled must not lose to the interpreter.
+    assert section[f"length_{LENGTHS[-1]}"]["speedup"] >= 1.0
+
+
 def test_bench_syn6_work_ratio(benchmark):
     """Shape check: semi-naive matches asymptotically fewer literals."""
     db = _chain(60)

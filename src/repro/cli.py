@@ -216,6 +216,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                  max_batch=args.max_batch,
                                  on_violation=args.on_violation,
                                  cache_mode=args.cache_mode,
+                                 eval_engine=args.eval_engine,
                                  dedup_capacity=args.dedup_capacity)
     if args.routing:
         # A shard of a partitioned group: the routing table is the durable
@@ -261,6 +262,7 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
                              max_batch=args.max_batch,
                              on_violation=args.on_violation,
                              cache_mode=args.cache_mode,
+                             eval_engine=args.eval_engine,
                              dedup_capacity=args.dedup_capacity)
     run(group, host=args.host, port=args.port, port_file=args.port_file,
         max_connections=args.max_connections,
@@ -510,6 +512,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "advance (default) patches warm caches, "
                             "invalidate drops them, counting maintains "
                             "derivation counts incrementally (docs/IVM.md)")
+    serve.add_argument("--eval-engine", default=None,
+                       choices=["compiled", "interpreted"],
+                       help="bottom-up evaluation engine for checks and "
+                            "interpretations: compiled join plans (default) "
+                            "or the tuple-at-a-time interpreter "
+                            "(docs/EVALUATION.md)")
     serve.add_argument("--no-checkpoint", action="store_true",
                        help="skip the WAL checkpoint on shutdown")
     serve.add_argument("--trace", action="store_true",
@@ -546,6 +554,8 @@ def build_parser() -> argparse.ArgumentParser:
                              choices=["reject", "maintain", "ignore"])
     shard_serve.add_argument("--cache-mode", default="advance",
                              choices=["advance", "invalidate", "counting"])
+    shard_serve.add_argument("--eval-engine", default=None,
+                             choices=["compiled", "interpreted"])
     shard_serve.add_argument("--no-checkpoint", action="store_true")
     shard_serve.add_argument("--trace", action="store_true")
     shard_serve.add_argument("--slow-op-threshold", type=float,

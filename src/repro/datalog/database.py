@@ -36,18 +36,22 @@ Row = tuple[Constant, ...]
 class Relation:
     """A stored base relation: a set of constant tuples plus column indexes.
 
-    Indexes are built lazily per column on first indexed lookup and discarded
-    on mutation; for the workloads in this repository (bulk load, then many
-    lookups) this is the right trade-off.
+    Indexes are built lazily per column on first indexed lookup and then
+    maintained **incrementally** on add/discard: a single-row mutation
+    patches the affected bucket of every live index instead of discarding
+    them all, so the serving path's commit loop no longer forces an
+    O(|relation|) rebuild on the next lookup.  :attr:`index_builds` counts
+    from-scratch builds (steady state: one per probed column, ever).
     """
 
-    __slots__ = ("name", "arity", "_rows", "_indexes")
+    __slots__ = ("name", "arity", "_rows", "_indexes", "index_builds")
 
     def __init__(self, name: str, arity: int):
         self.name = name
         self.arity = arity
         self._rows: set[Row] = set()
         self._indexes: dict[int, dict[Constant, set[Row]]] = {}
+        self.index_builds = 0
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -71,14 +75,20 @@ class Relation:
         if row in self._rows:
             return False
         self._rows.add(row)
-        self._indexes.clear()
+        for column, index in self._indexes.items():
+            index.setdefault(row[column], set()).add(row)
         return True
 
     def discard(self, row: Row) -> bool:
         """Delete a tuple; returns True when it was present."""
         if row in self._rows:
             self._rows.discard(row)
-            self._indexes.clear()
+            for column, index in self._indexes.items():
+                bucket = index.get(row[column])
+                if bucket is not None:
+                    bucket.discard(row)
+                    if not bucket:
+                        del index[row[column]]
             return True
         return False
 
@@ -98,6 +108,7 @@ class Relation:
             for row in self._rows:
                 index.setdefault(row[column], set()).add(row)
             self._indexes[column] = index
+            self.index_builds += 1
         candidates = index.get(key, ())
         if len(bound) == 1:
             yield from candidates
@@ -383,6 +394,21 @@ class DeductiveDatabase:
         if relation is None:
             return iter(())
         return relation.lookup(pattern)
+
+    def count_of(self, predicate: str) -> int:
+        """Stored tuple count (planner size estimates, no snapshot copy)."""
+        relation = self._relations.get(predicate)
+        return len(relation) if relation is not None else 0
+
+    def index_build_count(self) -> int:
+        """Total from-scratch column-index builds across all relations.
+
+        Steady state under the incremental index maintenance of
+        :class:`Relation` is one build per (relation, column) ever probed;
+        commits must not bump this (see the planner's index-stats
+        counters for the compiled engine's equivalent).
+        """
+        return sum(rel.index_builds for rel in self._relations.values())
 
     def base_predicates_with_facts(self) -> list[str]:
         """Names of relations that currently store at least one tuple."""

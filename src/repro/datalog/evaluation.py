@@ -19,7 +19,13 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Protocol, Sequence
 
 from repro.datalog.builtins import evaluate_builtin, is_builtin
-from repro.datalog.errors import SafetyError
+from repro.datalog.compile_plan import (
+    ENGINE_COMPILED,
+    PlanStats,
+    ProgramPlan,
+    resolve_engine,
+)
+from repro.datalog.errors import ArityError, SafetyError
 from repro.obs import tracer as obs
 from repro.datalog.rules import Atom, Literal, Rule
 from repro.datalog.stratify import Stratification, stratify
@@ -40,16 +46,31 @@ class FactSource(Protocol):
 
 
 class ExtensionalStore:
-    """A plain dict-backed :class:`FactSource`, used for transition states."""
+    """A plain dict-backed :class:`FactSource`, used for transition states.
+
+    The first tuple stored for a predicate fixes its arity; later
+    mismatched inserts and mismatched lookup patterns raise
+    :class:`ArityError` (mirroring :class:`~repro.datalog.database.
+    Relation`) instead of silently truncating the comparison.
+    """
 
     def __init__(self, facts: Mapping[str, Iterable[Row]] | None = None):
         self._facts: dict[str, set[Row]] = {}
+        self._arities: dict[str, int] = {}
         if facts:
             for predicate, rows in facts.items():
-                self._facts[predicate] = set(rows)
+                for row in rows:
+                    self.add(predicate, row)
+
+    def _check_arity(self, predicate: str, length: int) -> None:
+        arity = self._arities.setdefault(predicate, length)
+        if length != arity:
+            raise ArityError(
+                f"{predicate}: tuple of length {length}, arity is {arity}")
 
     def add(self, predicate: str, row: Row) -> bool:
         """Insert a tuple; True when new."""
+        self._check_arity(predicate, len(row))
         rows = self._facts.setdefault(predicate, set())
         if row in rows:
             return False
@@ -68,9 +89,17 @@ class ExtensionalStore:
         """All tuples of *predicate*."""
         return frozenset(self._facts.get(predicate, ()))
 
+    def count_of(self, predicate: str) -> int:
+        """Stored tuple count (join-order size estimates, no copying)."""
+        return len(self._facts.get(predicate, ()))
+
     def lookup(self, predicate: str, pattern: Sequence[Term]) -> Iterator[Row]:
         """Linear filtered scan (these stores are small per-transition sets)."""
-        for row in self._facts.get(predicate, ()):
+        rows = self._facts.get(predicate)
+        if not rows:
+            return
+        self._check_arity(predicate, len(pattern))
+        for row in rows:
             if all(not isinstance(t, Constant) or t == v
                    for t, v in zip(pattern, row)):
                 yield row
@@ -158,28 +187,53 @@ class BottomUpEvaluator:
         recursive stratum; when False use naive fixpoint iteration.  Both
         compute the same perfect model; the difference is measured by the
         SYN6 ablation benchmark.
+    engine:
+        ``"compiled"`` materialises through
+        :class:`~repro.datalog.compile_plan.ProgramPlan` (closure-chain
+        join plans, indexed derived extensions, batched semi-naive);
+        ``"interpreted"`` keeps the tuple-at-a-time AST walk and serves
+        as the differential oracle.  ``None`` (default) resolves to
+        compiled for semi-naive evaluation unless the
+        ``REPRO_EVAL_ENGINE`` environment variable overrides it; naive
+        iteration always runs interpreted (the compiled engine is
+        inherently semi-naive).  Goal solving (:meth:`solve`,
+        :meth:`answers`, :meth:`holds`) always runs over the
+        materialised model, whichever engine produced it.
     """
 
     def __init__(self, facts: FactSource, rules: Sequence[Rule],
                  semi_naive: bool = True,
-                 stratification: Stratification | None = None):
+                 stratification: Stratification | None = None,
+                 engine: str | None = None):
         self._facts = facts
         self._rules = list(rules)
         self._semi_naive = semi_naive
+        self._engine = resolve_engine(engine, semi_naive)
         self._derived_predicates = {r.head.predicate for r in self._rules}
         self._stratification = stratification or stratify(self._rules)
         self._extensions: dict[str, set[Row]] | None = None
         self.stats = EvaluationStats()
+        self.plan_stats = PlanStats()
 
     # -- public API ----------------------------------------------------------
 
+    @property
+    def engine(self) -> str:
+        """The resolved evaluation engine (``"compiled"``/``"interpreted"``)."""
+        return self._engine
+
     def materialize(self) -> Materialization:
-        """Compute (and cache) the extension of every derived predicate."""
+        """Compute (and cache) the extension of every derived predicate.
+
+        The returned :class:`Materialization` is a stable snapshot: its
+        extensions are frozen and its stats are a copy taken now, not a
+        live alias of :attr:`stats`.
+        """
         if self._extensions is None:
             self._extensions = self._compute()
         return Materialization(
             {p: frozenset(rows) for p, rows in self._extensions.items()},
-            self.stats,
+            self.stats.snapshot(),
         )
 
     def answers(self, query: Atom) -> list[Substitution]:
@@ -356,6 +410,19 @@ class BottomUpEvaluator:
     def _compute(self) -> dict[str, set[Row]]:
         """Stratum-by-stratum fixpoint computation of the perfect model."""
         extensions: dict[str, set[Row]] = {p: set() for p in self._derived_predicates}
+        compiled = self._engine == ENGINE_COMPILED
+        plan = None
+        if compiled:
+            # The plan shares (and indexes) the very extension sets above,
+            # so live_extensions/apply_delta keep working unchanged.
+            plan = ProgramPlan(self._rules, self._facts, extensions,
+                               self.stats, self.plan_stats)
+        if compiled:
+            mode = "compiled"
+        elif self._semi_naive:
+            mode = "semi-naive"
+        else:
+            mode = "naive"
         with obs.span("eval.materialize") as root:
             for index, stratum in enumerate(self._stratification.strata):
                 # Stratum 0 is normally rule-free (base predicates), but ground
@@ -367,14 +434,17 @@ class BottomUpEvaluator:
                 with obs.span("eval.stratum") as span:
                     traced = obs.enabled()
                     if traced:
-                        span.set(index=index,
-                                 mode="semi-naive" if self._semi_naive
-                                 else "naive",
+                        span.set(index=index, mode=mode,
                                  predicates=sorted(
                                      stratum & self._derived_predicates))
                         span.add("rules", len(stratum_rules))
                         before = self.stats.snapshot()
-                    if self._semi_naive:
+                    if compiled:
+                        assert plan is not None
+                        plan.evaluate_stratum(stratum, [
+                            i for i, r in enumerate(self._rules)
+                            if r.head.predicate in stratum])
+                    elif self._semi_naive:
                         self._evaluate_stratum_semi_naive(
                             stratum_rules, stratum, extensions)
                     else:
@@ -386,8 +456,11 @@ class BottomUpEvaluator:
                             for p in stratum & self._derived_predicates))
             if obs.enabled():
                 root.set(strata=len(self._stratification.strata),
-                         rules=len(self._rules))
+                         rules=len(self._rules), engine=self._engine)
                 self.stats.record_to(root)
+                for counter, amount in self.plan_stats.to_counters().items():
+                    if amount:
+                        root.add(counter, amount)
         return extensions
 
     def _evaluate_stratum_naive(self, stratum_rules: list[Rule],

@@ -28,10 +28,11 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.datalog.builtins import is_builtin
-from repro.datalog.errors import SafetyError
+from repro.datalog.errors import ArityError, SafetyError
 from repro.datalog.evaluation import BottomUpEvaluator, FactSource
 from repro.datalog.rules import Atom, Literal, Rule
 from repro.datalog.terms import Constant, Term, Variable
+from repro.datalog.unification import match_tuple
 
 MAGIC_PREFIX = "magic$"
 ADORN_SEPARATOR = "@"
@@ -83,8 +84,20 @@ class _SeededSource:
             return frozenset({self._row})
         return self._base.facts_of(predicate)
 
+    def count_of(self, predicate: str) -> int:
+        if predicate == self._predicate:
+            return 1
+        counter = getattr(self._base, "count_of", None)
+        if counter is not None:
+            return counter(predicate)
+        return len(self._base.facts_of(predicate))
+
     def lookup(self, predicate: str, pattern: Sequence[Term]):
         if predicate == self._predicate:
+            if len(pattern) != len(self._row):
+                raise ArityError(
+                    f"{predicate}: pattern of length {len(pattern)}, "
+                    f"arity is {len(self._row)}")
             if all(not isinstance(t, Constant) or t == v
                    for t, v in zip(pattern, self._row)):
                 return iter([self._row])
@@ -170,20 +183,30 @@ def magic_rewrite(rules: Sequence[Rule], query: Atom) -> MagicProgram:
 
 
 def magic_answers(facts: FactSource, rules: Sequence[Rule], query: Atom,
-                  stats_out: list | None = None) -> set[Row]:
+                  stats_out: list | None = None,
+                  engine: str | None = None) -> set[Row]:
     """Answer *query* goal-directedly via magic rewriting.
 
-    Returns the full rows of the query predicate matching the query's
-    constants.  ``stats_out``, if given, receives the evaluator's
-    :class:`~repro.datalog.evaluation.EvaluationStats`.
+    Returns the full rows of the query predicate matching the query atom
+    -- its constants *and* its repeated-variable equalities (``Self(x, x)``
+    only admits rows whose two columns coincide; the adorned program keeps
+    the rules' distinct variables, so this filter carries the query's
+    equality constraints).  ``stats_out``, if given, receives the
+    evaluator's :class:`~repro.datalog.evaluation.EvaluationStats`;
+    ``engine`` selects the evaluation engine (compiled/interpreted) for
+    the rewritten program.
     """
     program = magic_rewrite(rules, query)
     evaluator = BottomUpEvaluator(program.seed_source(facts),
-                                  list(program.rules))
+                                  list(program.rules), engine=engine)
+    pattern = tuple(query.args)
     answers = set()
     for row in evaluator.extension(program.answer_predicate):
-        if all(not isinstance(t, Constant) or t == v
-               for t, v in zip(query.args, row)):
+        if len(row) != len(pattern):
+            raise ArityError(
+                f"{program.answer_predicate}: answer row of length "
+                f"{len(row)}, query arity is {len(pattern)}")
+        if match_tuple(pattern, row, {}) is not None:
             answers.add(row)
     if stats_out is not None:
         stats_out.append(evaluator.stats)

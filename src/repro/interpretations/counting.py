@@ -35,10 +35,11 @@ Recursive programs raise the typed :class:`CountingUnsupportedError`.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.datalog.builtins import evaluate_builtin, is_builtin
+from repro.datalog.compile_plan import order_body
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.errors import SafetyError, StratificationError
 from repro.datalog.rules import Literal, Rule
@@ -78,12 +79,18 @@ class DeltaRule:
 
     ``literal`` is the delta position; ``prefix`` literals are evaluated
     in the **new** state, ``suffix`` literals in the **old** state.
+    ``order`` is the static join order over the concatenated
+    prefix+suffix, chosen once by the shared planner
+    (:func:`repro.datalog.compile_plan.order_body`) with the delta
+    literal's variables as the bound seed -- execution follows it instead
+    of re-scoring every pending literal at every join step.
     """
 
     head: Literal
     literal: Literal
     prefix: tuple[Literal, ...]
     suffix: tuple[Literal, ...]
+    order: tuple[int, ...] = field(default=(), compare=False)
 
 
 class _AdjustedSet:
@@ -191,6 +198,9 @@ class CountingEngine:
         self._rules_of: dict[str, list[Rule]] = {}
         for rule in self._program.source_rules:
             self._rules_of.setdefault(rule.head.predicate, []).append(rule)
+        self._counts: dict[str, Counter] = {}
+        self._extensions: dict[str, set[Row]] = {}
+        self._body_orders: dict[Rule, tuple[int, ...]] = {}
         self._delta_rules = self._compile_delta_rules()
         self._negation_boundary = frozenset(
             rule.head.predicate
@@ -201,8 +211,6 @@ class CountingEngine:
         #: Number of DRed-style full rederivations performed so far.
         self.rederive_count = 0
         self.on_rederive = on_rederive
-        self._counts: dict[str, Counter] = {}
-        self._extensions: dict[str, set[Row]] = {}
         self._initialize_counts()
 
     # -- setup -----------------------------------------------------------------
@@ -232,13 +240,31 @@ class CountingEngine:
             for index, literal in enumerate(body):
                 if is_builtin(literal.predicate):
                     continue  # rigid: never a delta position
+                prefix = tuple(body[:index])
+                suffix = tuple(body[index + 1:])
                 compiled.setdefault(rule.head.predicate, []).append(DeltaRule(
                     head=rule.head,
                     literal=literal,
-                    prefix=tuple(body[:index]),
-                    suffix=tuple(body[index + 1:]),
+                    prefix=prefix,
+                    suffix=suffix,
+                    order=order_body(prefix + suffix,
+                                     bound=literal.variables(),
+                                     size_of=self._size_of),
                 ))
         return compiled
+
+    def _size_of(self, predicate: str) -> int:
+        """Extension-size estimate for the planner's join-order tie-breaks."""
+        if predicate in self._program.derived:
+            return len(self._extensions.get(predicate, ()))
+        return self._db.count_of(predicate)
+
+    def _order_for(self, rule: Rule) -> tuple[int, ...]:
+        order = self._body_orders.get(rule)
+        if order is None:
+            order = order_body(rule.body, size_of=self._size_of)
+            self._body_orders[rule] = order
+        return order
 
     def _initialize_counts(self) -> None:
         old_view = _StateView(self._db, self._extensions, None)
@@ -252,7 +278,8 @@ class CountingEngine:
         """Derivation counts of *predicate* computed from scratch in *view*."""
         counter: Counter = Counter()
         for rule in self._rules_of.get(predicate, ()):
-            for bindings in self._join(list(rule.body), {}, view):
+            pairs = [(rule.body[i], view) for i in self._order_for(rule)]
+            for bindings in self._run_ordered(pairs, {}):
                 row = tuple(resolve(t, bindings) for t in rule.head.args)
                 counter[row] += 1
         return counter
@@ -403,13 +430,15 @@ class CountingEngine:
                           events: Mapping[str, set[Row]],
                           old_view: _StateView, new_view: _StateView,
                           delta: Counter) -> None:
+        tagged = ([(lit, new_view) for lit in delta_rule.prefix]
+                  + [(lit, old_view) for lit in delta_rule.suffix])
+        # Execution follows the static order chosen at schema time.
+        pairs = [tagged[i] for i in delta_rule.order]
         for row, sign in self._signed_delta(delta_rule.literal, events):
             bindings = match_tuple(tuple(delta_rule.literal.args), row, {})
             if bindings is None:
                 continue
-            tagged = ([(lit, new_view) for lit in delta_rule.prefix]
-                      + [(lit, old_view) for lit in delta_rule.suffix])
-            for final in self._join_tagged(tagged, dict(bindings)):
+            for final in self._run_ordered(pairs, dict(bindings)):
                 head_row = tuple(resolve(t, final)
                                  for t in delta_rule.head.args)
                 delta[head_row] += sign
@@ -445,49 +474,33 @@ class CountingEngine:
 
     # -- joins -----------------------------------------------------------------
 
-    def _join(self, body: Sequence[Literal], bindings: Substitution,
-              view: _StateView) -> Iterator[Substitution]:
-        yield from self._join_tagged([(lit, view) for lit in body],
-                                     dict(bindings))
+    def _run_ordered(self, pairs: Sequence[tuple[Literal, _StateView]],
+                     subst: dict) -> Iterator[Substitution]:
+        """Execute a conjunction in the planner's fixed order.
 
-    def _join_tagged(self, pending: list, subst: dict) \
-            -> Iterator[Substitution]:
-        if not pending:
+        The static order guarantees negative and built-in literals are
+        ground when reached, so each step is either a constant-time test
+        or an indexed scan of the most-bound positive literal -- no
+        per-step re-scoring of the pending tail.
+        """
+        if not pairs:
             yield subst
             return
-        # Pick: any ground literal first (constant-time check), else the
-        # most-bound positive non-builtin (indexed scan).
-        choice = None
-        ground = False
-        best_bound = -1
-        patterns: list[tuple] = []
-        for index, (literal, _) in enumerate(pending):
-            pattern = tuple(resolve(t, subst) for t in literal.args)
-            patterns.append(pattern)
-            if all(isinstance(t, Constant) for t in pattern):
-                choice = index
-                ground = True
-                break
-            if literal.positive and not is_builtin(literal.predicate):
-                n_bound = sum(isinstance(t, Constant) for t in pattern)
-                if n_bound > best_bound:
-                    best_bound = n_bound
-                    choice = index
-        if choice is None:
-            unresolved = " & ".join(str(lit) for lit, _ in pending)
-            raise SafetyError(f"cannot evaluate: {unresolved}")
-        literal, view = pending[choice]
-        pattern = patterns[choice]
-        rest = pending[:choice] + pending[choice + 1:]
-        if ground:
+        literal, view = pairs[0]
+        rest = pairs[1:]
+        pattern = tuple(resolve(t, subst) for t in literal.args)
+        if all(isinstance(t, Constant) for t in pattern):
             if is_builtin(literal.predicate):
                 satisfied = evaluate_builtin(literal.predicate, pattern)
             else:
                 satisfied = view.holds(literal.predicate, pattern)
             if satisfied == literal.positive:
-                yield from self._join_tagged(rest, subst)
+                yield from self._run_ordered(rest, subst)
             return
+        if not literal.positive or is_builtin(literal.predicate):
+            # order_body never emits a non-groundable test literal.
+            raise SafetyError(f"cannot evaluate: {literal}")
         for row in view.lookup(literal.predicate, pattern):
             extended = match_tuple(pattern, row, subst)
             if extended is not None:
-                yield from self._join_tagged(rest, dict(extended))
+                yield from self._run_ordered(rest, dict(extended))

@@ -78,6 +78,9 @@ class DownwardOptions:
     #: (repairing k independent violations with a choices each is a^k), so
     #: blowing past this raises ComplexityLimitExceeded instead of hanging.
     max_disjuncts: int = 20000
+    #: Evaluation engine for the old-state evaluator:
+    #: "compiled"/"interpreted", or None for the evaluator default.
+    engine: str | None = None
 
 
 @dataclass(frozen=True)
@@ -288,7 +291,8 @@ class DownwardInterpreter:
         self._db = db
         self._options = options or DownwardOptions()
         self._program = program or EventCompiler(simplify=simplify).compile(db)
-        self._old = BottomUpEvaluator(db, self._program.source_rules)
+        self._old = BottomUpEvaluator(db, self._program.source_rules,
+                                      engine=self._options.engine)
         self._domain: frozenset[Constant] | None = None
         self._request_constants: frozenset[Constant] = frozenset()
         self.stats = DownwardStats()

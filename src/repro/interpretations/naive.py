@@ -29,18 +29,21 @@ def naive_changes(db: DeductiveDatabase, transaction: Transaction,
     """Events induced by *transaction* on every derived predicate of *db*.
 
     Materialises both states in full; cost is proportional to the database,
-    not to the transaction.
+    not to the transaction.  Evaluation is pinned to the *interpreted*
+    engine so this stays an independent oracle for the compiled one.
     """
     transaction.check_base_only(db)
     if normalize:
         transaction = transaction.normalized(db)
     rules = db.rules_with_global_ic()
-    old_evaluator = BottomUpEvaluator(db, rules, semi_naive=semi_naive)
+    old_evaluator = BottomUpEvaluator(db, rules, semi_naive=semi_naive,
+                                      engine="interpreted")
     old_state = old_evaluator.materialize()
 
     new_db = transaction.apply_to(db)
     new_evaluator = BottomUpEvaluator(new_db, new_db.rules_with_global_ic(),
-                                      semi_naive=semi_naive)
+                                      semi_naive=semi_naive,
+                                      engine="interpreted")
     new_state = new_evaluator.materialize()
 
     insertions: dict[str, frozenset] = {}

@@ -86,6 +86,9 @@ class UpwardOptions:
     normalize: bool = True
     #: Semi-naive evaluation inside bottom-up fixpoints.
     semi_naive: bool = True
+    #: Evaluation engine for those fixpoints: "compiled"/"interpreted",
+    #: or None for the evaluator default (see docs/EVALUATION.md).
+    engine: str | None = None
 
 
 @dataclass
@@ -408,6 +411,7 @@ class UpwardInterpreter:
             self._old_evaluator = BottomUpEvaluator(
                 self._db, self._program.source_rules,
                 semi_naive=self._options.semi_naive,
+                engine=self._options.engine,
             )
             materialization = self._old_evaluator.materialize()
             if obs.enabled():
@@ -431,6 +435,7 @@ class UpwardInterpreter:
             source, list(self._program.upward_rules),
             semi_naive=self._options.semi_naive,
             stratification=stratification,
+            engine=self._options.engine,
         )
         insertions: dict[str, frozenset[Row]] = {}
         deletions: dict[str, frozenset[Row]] = {}
@@ -587,7 +592,8 @@ class UpwardInterpreter:
         scc_rules = [r for r in self._program.source_rules
                      if r.head.predicate in scc]
         evaluator = BottomUpEvaluator(
-            new_view, scc_rules, semi_naive=self._options.semi_naive
+            new_view, scc_rules, semi_naive=self._options.semi_naive,
+            engine=self._options.engine,
         )
         scc_ins: dict[str, set[Row]] = {}
         scc_del: dict[str, set[Row]] = {}

@@ -65,8 +65,11 @@ from typing import Callable, Iterable
 from repro import faults
 from repro.core.durable import DurableDatabase, transaction_digest
 from repro.core.processor import UpdateProcessor
+from repro.datalog.compile_plan import resolve_engine
 from repro.datalog.errors import DatalogError, TransactionError
 from repro.events.events import Transaction
+from repro.interpretations.downward import DownwardOptions
+from repro.interpretations.upward import UpwardOptions
 from repro.interpretations.maintainers import (
     CacheMode,
     CountingMaintainer,
@@ -354,18 +357,30 @@ class DatabaseEngine:
         docs/IVM.md; requires a non-recursive program).  Slow-path
         commits, unchecked commits and checkpoints always reset the
         maintainer, whatever the mode.
+    eval_engine:
+        evaluation engine for every bottom-up fixpoint the engine runs
+        (integrity checks, upward/downward interpretations, query
+        materialisation): ``"compiled"`` (closure-chain join plans, the
+        default) or ``"interpreted"`` (the tuple-at-a-time oracle); see
+        docs/EVALUATION.md.
     """
 
     def __init__(self, store: DurableDatabase, *, max_batch: int = 64,
                  on_violation: str = "reject", simplify: bool = True,
                  metrics: MetricsRegistry | None = None,
-                 cache_mode: CacheMode | str = CacheMode.ADVANCE):
+                 cache_mode: CacheMode | str = CacheMode.ADVANCE,
+                 eval_engine: str | None = None):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if on_violation not in ("reject", "maintain", "ignore"):
             raise ValueError(f"unknown on_violation policy: {on_violation!r}")
+        # Resolve now so a bad name fails at open, not mid-commit.
+        self._eval_engine = resolve_engine(eval_engine)
         self._store = store
-        self._processor = UpdateProcessor(store.db, simplify=simplify)
+        self._processor = UpdateProcessor(
+            store.db, simplify=simplify,
+            upward_options=UpwardOptions(engine=eval_engine),
+            downward_options=DownwardOptions(engine=eval_engine))
         self._max_batch = max_batch
         self._policy = on_violation
         self._cache_mode = CacheMode.of(cache_mode)
@@ -460,6 +475,11 @@ class DatabaseEngine:
         """The state maintainer selected by ``cache_mode``."""
         return self._maintainer
 
+    @property
+    def eval_engine(self) -> str:
+        """The resolved evaluation engine (``"compiled"``/``"interpreted"``)."""
+        return self._eval_engine
+
     def _ensure_open(self) -> None:
         if self._closed:
             raise EngineClosedError("engine is closed")
@@ -522,6 +542,7 @@ class DatabaseEngine:
                 "max_batch": self._max_batch,
                 "on_violation": self._policy,
                 "cache_mode": self._cache_mode.value,
+                "eval_engine": self._eval_engine,
                 "cache_epoch": self._cache_epoch,
                 "dedup_size": len(self._store.txns),
                 "dedup_capacity": self._store.txns.capacity,

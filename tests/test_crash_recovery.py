@@ -255,6 +255,42 @@ def test_commit_crash_counting_mode(tmp_path, point):
         recovered.close()
 
 
+@pytest.mark.parametrize("point", COMMIT_POINTS)
+def test_commit_crash_compiled_engine(tmp_path, point):
+    """The commit-path crash matrix under the compiled evaluation engine.
+
+    Select this slice with ``-k compiled``.  The compiled planner keeps
+    in-memory join indexes over base and derived extensions; every crash
+    point must recover (re-opening with ``eval_engine="compiled"``) to a
+    state whose derived predicates equal the naive rebuild.
+    """
+    engine = fresh_engine(tmp_path, eval_engine="compiled")
+    faults.arm(point, "crash", skip=1, times=1)
+    report, recovered = faultkit.crash_and_recover(
+        engine, tmp_path / "db", steps=25, seed=11,
+        engine_kwargs={"eval_engine": "compiled"})
+    try:
+        assert report.crashed, f"{point} never fired with the compiled engine"
+        assert recovered.stats()["engine"]["eval_engine"] == "compiled"
+    finally:
+        recovered.close()
+
+
+@pytest.mark.parametrize("eval_engine", ["compiled", "interpreted"])
+def test_eval_engine_survives_recovery(tmp_path, eval_engine):
+    """Recovery re-opens with the same evaluation engine selection."""
+    engine = fresh_engine(tmp_path, eval_engine=eval_engine)
+    faults.arm(engine_mod.FP_PRE_ACK, "crash", skip=1, times=1)
+    report, recovered = faultkit.crash_and_recover(
+        engine, tmp_path / "db", steps=20, seed=23,
+        engine_kwargs={"eval_engine": eval_engine})
+    try:
+        assert report.crashed
+        assert recovered.stats()["engine"]["eval_engine"] == eval_engine
+    finally:
+        recovered.close()
+
+
 def test_counting_mode_batched_crash(tmp_path):
     """Group-commit batches under counting maintenance survive a crash."""
     engine = fresh_engine(tmp_path, cache_mode="counting", max_batch=8)

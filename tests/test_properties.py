@@ -365,7 +365,7 @@ class TestUpwardDownwardRoundTrip:
 
 
 class TestEngineModeDifferential:
-    """Advance ≡ invalidate ≡ counting engine ≡ naive oracle.
+    """Advance ≡ invalidate ≡ counting ≡ interpreted-eval ≡ naive oracle.
 
     The delta-maintained serving cache must be observationally identical
     to the invalidate-everything baseline and to a from-scratch oracle,
@@ -404,6 +404,12 @@ class TestEngineModeDifferential:
                 f"{scratch}/i", initial=db, cache_mode="invalidate")
             counting = DatabaseEngine.open(
                 f"{scratch}/c", initial=db, cache_mode="counting")
+            # Same workload through the tuple-at-a-time evaluator: the
+            # compiled engine (the default of the three above) must be
+            # observationally identical to it after every commit.
+            interpreted = DatabaseEngine.open(
+                f"{scratch}/e", initial=db, cache_mode="advance",
+                eval_engine="interpreted")
             oracle = db.copy()
             try:
                 for seed in seeds:
@@ -416,20 +422,25 @@ class TestEngineModeDifferential:
                     # derived-state caches across the commit below.
                     up_advance = advance.upward(transaction)
                     up_invalidate = invalidate.upward(transaction)
+                    up_interpreted = interpreted.upward(transaction)
                     expected = naive_changes(oracle, transaction)
                     assert up_advance.insertions == expected.insertions
                     assert up_advance.deletions == expected.deletions
                     assert up_invalidate.insertions == expected.insertions
                     assert up_invalidate.deletions == expected.deletions
+                    assert up_interpreted.insertions == expected.insertions
+                    assert up_interpreted.deletions == expected.deletions
 
                     assert advance.commit(transaction).applied
                     assert invalidate.commit(transaction).applied
                     assert counting.commit(transaction).applied
+                    assert interpreted.commit(transaction).applied
                     oracle = transaction.apply_to(oracle)
 
                     assert set(advance.db.iter_facts()) \
                         == set(invalidate.db.iter_facts()) \
                         == set(counting.db.iter_facts()) \
+                        == set(interpreted.db.iter_facts()) \
                         == set(oracle.iter_facts())
                     for goal, predicate in zip(goals,
                                                sorted(db.schema.derived)):
@@ -437,6 +448,7 @@ class TestEngineModeDifferential:
                         assert advance.query(goal) == answers
                         assert invalidate.query(goal) == answers
                         assert counting.query(goal) == answers
+                        assert interpreted.query(goal) == answers
                         # Counting-vs-naive differential: the maintained
                         # extension itself, not a fresh evaluation.
                         extension = {
@@ -450,6 +462,7 @@ class TestEngineModeDifferential:
                 advance.close()
                 invalidate.close()
                 counting.close()
+                interpreted.close()
 
 
 _CONTRADICTION_NOTE = """
