@@ -348,7 +348,60 @@ def _request_params(args: argparse.Namespace) -> dict:
             raise DatalogError("downward needs requests (-r or positional, "
                                "';'-separated)")
         params["requests"] = requests
+    elif args.op == "subscribe":
+        goals = list(getattr(args, "goals", None) or [])
+        if args.argument:
+            goals.append(args.argument)
+        if not goals:
+            raise DatalogError("subscribe needs goals (-g or positional), "
+                               "e.g.: repro call subscribe Unemp")
+        params["goals"] = goals
+    elif args.op == "unsubscribe":
+        if not args.argument:
+            raise DatalogError("unsubscribe needs a subscription id, e.g.: "
+                               "repro call unsubscribe sub-1")
+        params["subscription_id"] = args.argument
     return params
+
+
+def _cmd_call_follow(args: argparse.Namespace, params: dict,
+                     resilient: bool) -> int:
+    """``repro call subscribe --follow``: stream frames as JSON lines.
+
+    The resilient path re-subscribes across reconnects and surfaces seq
+    gaps as synthetic resync frames; the plain path prints the raw pushed
+    payloads (including ``seq``) until the limit or the connection ends.
+    """
+    goals = params["goals"]
+    limit = args.max_frames
+    printed = 0
+    try:
+        if resilient:
+            from repro.server.resilient import ResilientClient
+
+            with ResilientClient(
+                    args.host, args.port,
+                    max_attempts=(args.retries if args.retries is not None
+                                  else 5),
+                    deadline=args.deadline) as client:
+                for frame in client.subscribe(goals):
+                    print(json.dumps(frame), flush=True)
+                    printed += 1
+                    if limit is not None and printed >= limit:
+                        break
+        else:
+            from repro.server.client import DatabaseClient
+
+            with DatabaseClient(args.host, args.port,
+                                handshake=False) as client:
+                info = client.subscribe(goals)
+                print(json.dumps(info), flush=True)
+                while limit is None or printed < limit:
+                    print(json.dumps(client.next_frame()), flush=True)
+                    printed += 1
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _cmd_call(args: argparse.Namespace) -> int:
@@ -356,6 +409,8 @@ def _cmd_call(args: argparse.Namespace) -> int:
     params = _request_params(args)
     resilient = (args.retries is not None or args.deadline is not None
                  or args.router)
+    if args.op == "subscribe" and getattr(args, "follow", False):
+        return _cmd_call_follow(args, params, resilient)
     if resilient:
         # The self-healing path: reconnects, jittered backoff, a deadline
         # budget the server enforces too, and auto txn_id stamping so
@@ -587,7 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
     call.add_argument("op", choices=[
         "ping", "hello", "query", "upward", "check", "monitor", "downward",
         "repair", "commit", "prepare", "decide", "stats", "checkpoint",
-        "health", "shutdown"])
+        "health", "shutdown", "subscribe", "unsubscribe"])
     call.add_argument("argument", nargs="?",
                       help="query goal / transaction / ';'-separated requests")
     call.add_argument("--host", default="127.0.0.1")
@@ -613,6 +668,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="the target is a shard router: use the resilient "
                            "client so transient 'unavailable' shards are "
                            "retried")
+    call.add_argument("-g", "--goals", action="append", metavar="GOAL",
+                      help="subscription goal, a derived predicate or bound "
+                           "atom like 'Unemp(Maria)' (repeatable)")
+    call.add_argument("--follow", action="store_true",
+                      help="with subscribe: keep the connection open and "
+                           "print each pushed frame as a JSON line")
+    call.add_argument("--max-frames", type=int, default=None, metavar="N",
+                      help="with --follow: exit after N frames")
     call.set_defaults(run=_cmd_call)
 
     trace = commands.add_parser(

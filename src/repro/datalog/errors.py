@@ -78,6 +78,17 @@ class UnavailableError(DatalogError):
     """
 
 
+class SubscriptionError(DatalogError):
+    """Raised when a standing-query subscription cannot be registered.
+
+    Covers malformed goals, goals over base or unknown predicates (the
+    change feed carries *induced* deltas, so only derived predicates can
+    be watched), unknown subscription ids, and subscribe requests issued
+    on a transport that cannot carry a push feed (see
+    :mod:`repro.server.feed`).
+    """
+
+
 class ComplexityLimitExceeded(DatalogError):
     """Raised when a DNF grows past its configured size bound.
 

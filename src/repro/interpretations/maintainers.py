@@ -96,6 +96,13 @@ class StateMaintainer(ABC):
     #: Registry key; subclasses set it to a CacheMode value.
     name: ClassVar[str] = ""
 
+    #: Whether the strategy computes each commit's induced delta on the
+    #: fast path (``check_full``/``interpret`` return an UpwardResult).
+    #: The change feed (docs/SUBSCRIPTIONS.md) emits those deltas for
+    #: free; strategies without them force the feed onto a before/after
+    #: diff of the watched predicates, which scales with the database.
+    sources_deltas: ClassVar[bool] = False
+
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
         if cls.name:
@@ -200,6 +207,7 @@ class AdvancingMaintainer(StateMaintainer):
     """Patch warm interpreter caches with the induced events."""
 
     name = CacheMode.ADVANCE.value
+    sources_deltas = True
 
     def apply(self, transaction: Transaction) -> UpwardResult:
         result = self._processor.upward(transaction)
@@ -244,6 +252,7 @@ class CountingMaintainer(StateMaintainer):
     """
 
     name = CacheMode.COUNTING.value
+    sources_deltas = True
 
     def __init__(self, processor: "UpdateProcessor"):
         super().__init__(processor)

@@ -451,6 +451,82 @@ class DecideRequest(UpdateRequest):
 
 
 @dataclass
+class SubscribeRequest(UpdateRequest):
+    """Register a standing query; the server pushes change-feed frames.
+
+    ``goals`` are derived-predicate goals, each a bare predicate name or
+    an atom with constants at bound positions (``"Unemp(Maria)"``).  The
+    subscription is bound to the *connection* that sent it: the server
+    intercepts this op at the session layer and pushes frames down the
+    same socket (see docs/SUBSCRIPTIONS.md), so executing it through the
+    plain dispatcher -- which can only return one response -- is a typed
+    error rather than a silently frame-less success.
+    """
+
+    op: ClassVar[str] = "subscribe"
+    goals: tuple[str, ...] = ()
+    #: Shard-internal: push a frame for every commit even when this
+    #: subscription's restriction is empty, so a router's merger can tell
+    #: a complete 2PC frame set from a still-incomplete one.
+    emit_empty: bool = False
+
+    def __post_init__(self) -> None:
+        self.goals = tuple(self.goals)
+
+    def params(self) -> dict:
+        payload: dict = {"goals": list(self.goals)}
+        if self.emit_empty:
+            payload["emit_empty"] = True
+        return payload
+
+    @classmethod
+    def from_params(cls, params: dict) -> "SubscribeRequest":
+        from repro.server.feed import parse_goals
+
+        raw = params.get("goals")
+        if isinstance(raw, str):
+            raw = [raw]
+        if (not isinstance(raw, list) or not raw
+                or not all(isinstance(g, str) for g in raw)):
+            raise WireFormatError(
+                "'goals' must be a non-empty list of goal strings "
+                "(e.g. [\"Unemp\", \"Emp(x, Sales)\"])")
+        parse_goals(raw)  # malformed filters fail at decode, typed
+        return cls(goals=tuple(raw),
+                   emit_empty=bool(params.get("emit_empty", False)))
+
+    def execute(self, engine: "DatabaseEngine") -> dict:
+        from repro.datalog.errors import SubscriptionError
+
+        # Validate eagerly so a non-streaming host still yields the most
+        # specific error (unknown/base predicates beat transport shape).
+        check_goals = getattr(engine, "_check_goals", None)
+        if check_goals is not None:
+            check_goals(list(self.goals))
+        raise SubscriptionError(
+            "subscribe is only available on a streaming server "
+            "connection; this transport cannot deliver feed frames")
+
+
+@dataclass
+class UnsubscribeRequest(UpdateRequest):
+    """Deregister a standing query by its subscription id."""
+
+    op: ClassVar[str] = "unsubscribe"
+    subscription_id: str = ""
+
+    def params(self) -> dict:
+        return {"subscription_id": self.subscription_id}
+
+    @classmethod
+    def from_params(cls, params: dict) -> "UnsubscribeRequest":
+        return cls(subscription_id=_wire_string(params, "subscription_id"))
+
+    def execute(self, engine: "DatabaseEngine") -> dict:
+        return engine.feed_unsubscribe(self.subscription_id)
+
+
+@dataclass
 class StatsRequest(UpdateRequest):
     """Engine + metrics (+ tracing aggregates, when enabled) snapshot."""
 
@@ -502,6 +578,8 @@ __all__ = [
     "REQUEST_TYPES",
     "RepairRequest",
     "StatsRequest",
+    "SubscribeRequest",
+    "UnsubscribeRequest",
     "UpdateRequest",
     "UpwardRequest",
     "WireFormatError",

@@ -8,7 +8,9 @@ the wire error type.
 
 from __future__ import annotations
 
+import json
 import socket
+from collections import deque
 from typing import Iterable
 
 from repro.datalog.errors import DatalogError
@@ -42,6 +44,17 @@ class ConnectionLostError(DatalogError, ConnectionError):
     """
 
 
+def _as_feed_frame(line: bytes) -> dict | None:
+    """The pushed feed payload in *line*, or ``None`` for a response line."""
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None  # let decode_response raise the protocol error
+    if isinstance(payload, dict) and "feed" in payload and "ok" not in payload:
+        return payload
+    return None
+
+
 class DatabaseClient:
     """A blocking client for one server connection.
 
@@ -57,6 +70,7 @@ class DatabaseClient:
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
         self._broken: str | None = None
+        self._frames: deque[dict] = deque()
         self.server_info: dict | None = None
         if handshake:
             try:
@@ -84,14 +98,13 @@ class DatabaseClient:
         try:
             self._file.write(request.to_json().encode("utf-8") + b"\n")
             self._file.flush()
-            line = self._file.readline()
+            line = self._read_response_line()
+        except ConnectionLostError:
+            raise
         except OSError as error:  # timeouts (socket.timeout) included
             self._mark_broken(f"{type(error).__name__}: {error}")
             raise ConnectionLostError(
                 f"connection lost mid-call ({op}): {error}") from error
-        if not line:
-            self._mark_broken("server closed the connection")
-            raise ConnectionLostError("server closed the connection")
         response = protocol.decode_response(line)
         if not response.ok:
             error = response.error or {}
@@ -107,6 +120,23 @@ class DatabaseClient:
                 f"request id {self._next_id!r}")
         return response.result or {}
 
+    def _read_response_line(self) -> bytes:
+        """Read lines until a response arrives, buffering pushed feed frames.
+
+        A connection holding subscriptions can receive feed frames (lines
+        with a ``feed`` key instead of ``ok``) interleaved with responses;
+        they are queued for :meth:`next_frame` rather than misparsed.
+        """
+        while True:
+            line = self._file.readline()
+            if not line:
+                self._mark_broken("server closed the connection")
+                raise ConnectionLostError("server closed the connection")
+            frame = _as_feed_frame(line)
+            if frame is None:
+                return line
+            self._frames.append(frame)
+
     def _mark_broken(self, reason: str) -> None:
         self._broken = reason
         try:
@@ -118,6 +148,54 @@ class DatabaseClient:
     def broken(self) -> str | None:
         """Why the connection is unusable (``None`` while healthy)."""
         return self._broken
+
+    def next_frame(self, timeout: float | None = None) -> dict:
+        """Block until the server pushes the next feed frame.
+
+        Returns the pushed payload, e.g. ``{"v": 1, "feed": "sub-1",
+        "seq": 3, "frame": {"kind": "delta", ...}}``.  Frames that arrived
+        interleaved with earlier responses are returned first.  *timeout*
+        (seconds) overrides the connection timeout for this one wait; on
+        expiry the stream position is unknowable, so the connection is
+        marked broken, like any other mid-read failure.
+        """
+        if self._frames:
+            return self._frames.popleft()
+        if self._broken is not None:
+            raise ConnectionLostError(
+                f"connection is unusable after an earlier failure "
+                f"({self._broken}); open a new client")
+        previous = self._sock.gettimeout()
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            line = self._file.readline()
+        except OSError as error:
+            self._mark_broken(f"{type(error).__name__}: {error}")
+            raise ConnectionLostError(
+                f"connection lost waiting for a feed frame: {error}"
+            ) from error
+        finally:
+            if timeout is not None and self._broken is None:
+                try:
+                    self._sock.settimeout(previous)
+                except OSError:
+                    pass
+        if not line:
+            self._mark_broken("server closed the connection")
+            raise ConnectionLostError("server closed the connection")
+        frame = _as_feed_frame(line)
+        if frame is None:  # a response with no request in flight: desync
+            self._mark_broken("unexpected response while waiting for a frame")
+            raise ConnectionLostError(
+                "received a response line while waiting for a feed frame; "
+                "the stream is desynchronised")
+        return frame
+
+    @property
+    def pending_frames(self) -> int:
+        """Feed frames buffered and waiting for :meth:`next_frame`."""
+        return len(self._frames)
 
     def send(self, request: UpdateRequest) -> dict:
         """Send one typed :class:`~repro.requests.UpdateRequest`."""
@@ -192,6 +270,19 @@ class DatabaseClient:
 
     def health(self) -> dict:
         return self.call("health")
+
+    def subscribe(self, goals: str | Iterable[str], *,
+                  emit_empty: bool = False) -> dict:
+        """Register a standing query; frames arrive via :meth:`next_frame`."""
+        if isinstance(goals, str):
+            goals = [goals]
+        params: dict = {"goals": list(goals)}
+        if emit_empty:
+            params["emit_empty"] = True
+        return self.call("subscribe", **params)
+
+    def unsubscribe(self, subscription_id: str) -> dict:
+        return self.call("unsubscribe", subscription_id=subscription_id)
 
     def checkpoint(self) -> dict:
         return self.call("checkpoint")

@@ -76,9 +76,11 @@ from repro.interpretations.maintainers import (
     StateMaintainer,
     create_maintainer,
 )
+from repro.datalog.errors import SubscriptionError
 from repro.obs import tracer as obs
 from repro.problems import ICCheckResult
 from repro.problems.base import StateError
+from repro.server.feed import BoundGoal, FeedBus, parse_goals
 from repro.server.metrics import MetricsRegistry
 
 logger = logging.getLogger("repro.server.engine")
@@ -99,6 +101,12 @@ FP_PRE_ACK = faults.register(
     "engine.pre_ack",
     "after the WAL fsync, before waiters are acknowledged (crash: the "
     "batch is durable but no client ever saw an ack)")
+FP_FEED_PUBLISH = faults.register(
+    "engine.feed_publish",
+    "change feed: commit durable, before its frame is handed to the "
+    "subscription bus (crash: the commit survives recovery but no "
+    "subscriber ever saw a frame for it -- they must resync, never see "
+    "a phantom or duplicate)")
 FP_PREPARE_WRITTEN = faults.register(
     "twopc.prepare_written",
     "2PC participant: prepared line fsynced, before the yes-vote returns "
@@ -389,6 +397,9 @@ class DatabaseEngine:
         #: on warm state.
         self._cache_epoch = 0
         self.metrics = metrics or MetricsRegistry()
+        #: Standing-query subscriptions over derived predicates; commits
+        #: publish their induced deltas here (see docs/SUBSCRIPTIONS.md).
+        self.feed = FeedBus(self.metrics)
         self._processor.on_cache_event = self._record_cache_event
         self._maintainer = create_maintainer(self._cache_mode,
                                              self._processor)
@@ -547,6 +558,9 @@ class DatabaseEngine:
                 "dedup_size": len(self._store.txns),
                 "dedup_capacity": self._store.txns.capacity,
                 "in_doubt": len(self._prepared),
+                "feed_subscriptions": self.feed.active,
+                "feed_sourcing": ("delta" if self._maintainer.sources_deltas
+                                  else "diff"),
             }
         snapshot = {"engine": engine, **self.metrics.snapshot()}
         tracer = obs.get_tracer()
@@ -581,6 +595,7 @@ class DatabaseEngine:
             "dedup": {"size": len(self._store.txns),
                       "capacity": self._store.txns.capacity},
             "in_doubt": sorted(self._prepared),
+            "feed": {"subscriptions": self.feed.active},
             "counters": {name: self.metrics.counter(name)
                          for name in self._HEALTH_COUNTERS},
         }
@@ -593,6 +608,141 @@ class DatabaseEngine:
             if isinstance(extra, dict):
                 payload.update(extra)
         return payload
+
+    # -- change-feed subscriptions ---------------------------------------------
+
+    def feed_subscribe(self, goals, callback: Callable[[dict], None], *,
+                       emit_empty: bool = False) -> dict:
+        """Register a standing query; *callback* receives each frame.
+
+        *goals* is a list of goal strings -- bare derived predicate names
+        or atoms with constants at bound positions (``"Unemp(Maria)"``).
+        Goals over base or unknown predicates raise
+        :class:`SubscriptionError`: the feed carries *induced* deltas, so
+        only derived predicates can be watched.  Returns the subscription
+        description (``subscription_id``, goals, predicates, the current
+        cache epoch).
+
+        The callback runs on committing threads and must be cheap and
+        non-blocking; a callback that raises is silently unsubscribed.
+        """
+        self._ensure_open()
+        parsed = self._check_goals(goals)
+        sub = self.feed.subscribe(parsed, callback, emit_empty=emit_empty)
+        return {**sub.describe(), "epoch": self._cache_epoch}
+
+    def feed_unsubscribe(self, subscription_id: str) -> dict:
+        """Deregister a subscription; unknown ids raise a typed error."""
+        self._ensure_open()
+        if not isinstance(subscription_id, str) or not subscription_id:
+            raise SubscriptionError(
+                "unsubscribe requires a subscription_id string")
+        if not self.feed.unsubscribe(subscription_id):
+            raise SubscriptionError(
+                f"unknown subscription_id: {subscription_id!r}")
+        return {"unsubscribed": subscription_id}
+
+    def _check_goals(self, goals) -> tuple[BoundGoal, ...]:
+        """Parse and validate goal strings against the live schema."""
+        parsed = parse_goals(goals)
+        with self._rwlock.read():
+            schema = self.db.schema
+            for goal in parsed:
+                if schema.is_base(goal.predicate):
+                    raise SubscriptionError(
+                        f"cannot subscribe to base predicate "
+                        f"{goal.predicate!r}: the change feed carries "
+                        "induced deltas of derived predicates")
+                if not schema.is_derived(goal.predicate):
+                    raise SubscriptionError(
+                        f"unknown predicate: {goal.predicate!r}")
+                if (goal.arity is not None
+                        and goal.arity != schema.arity(goal.predicate)):
+                    raise SubscriptionError(
+                        f"goal arity {goal.arity} does not match "
+                        f"{goal.predicate!r} (arity "
+                        f"{schema.arity(goal.predicate)})")
+        return parsed
+
+    def _feed_extents(self, predicates) -> dict[str, frozenset] | None:
+        """Full extensions of the watched predicates, or None on failure.
+
+        This is the diff-fallback sourcing path (``invalidate`` mode, and
+        any commit whose maintainer produced no delta): it re-materialises
+        through the maintainer's read path, so its cost scales with the
+        database, not the transaction -- exactly why the counting-sourced
+        feed exists (see benchmarks/test_bench_subscriptions.py).
+        """
+        out: dict[str, frozenset] = {}
+        for predicate in predicates:
+            try:
+                out[predicate] = frozenset(
+                    self._maintainer.extension(predicate))
+            except DatalogError:
+                return None
+        return out
+
+    def _feed_publish_delta(self, *, txn_id: str | None, result,
+                            before: dict[str, frozenset] | None) -> None:
+        """Push one frame for an applied commit (never fails the commit).
+
+        Sourcing is maintainer-aware: when *result* (an ``UpwardResult``
+        from the counting/advance fast path) is present its induced events
+        are the frame; otherwise the *before* snapshot taken pre-apply is
+        diffed against a fresh post-apply materialisation.  When neither
+        is available the subscribers get a ``resync`` marker instead of a
+        silently wrong delta.
+        """
+        if not self.feed.active:
+            return
+        faults.failpoint(FP_FEED_PUBLISH, txn_id=txn_id)
+        epoch = self._cache_epoch
+        try:
+            if result is not None:
+                covered = getattr(result, "covered", None)
+                if (covered is not None
+                        and not self.feed.watched_predicates() <= covered):
+                    self.feed.publish_resync(epoch=epoch,
+                                             reason="partial-coverage")
+                    return
+                self.feed.publish_delta(txn_id=txn_id, epoch=epoch,
+                                        inserted=result.insertions,
+                                        deleted=result.deletions)
+                return
+            if before is None:
+                self.feed.publish_resync(epoch=epoch,
+                                         reason="uncovered-commit")
+                return
+            after = self._feed_extents(before.keys())
+            if after is None:
+                self.feed.publish_resync(epoch=epoch,
+                                         reason="rematerialise-failed")
+                return
+            self.feed.publish_delta(
+                txn_id=txn_id, epoch=epoch,
+                inserted={p: after[p] - before[p] for p in before},
+                deleted={p: before[p] - after[p] for p in before})
+        except Exception:
+            logger.exception("change-feed publish failed")
+
+    def _feed_before_snapshot(self, result) -> dict[str, frozenset] | None:
+        """Pre-apply extents of the watched predicates, when a diff will
+        be needed (no maintainer-sourced delta)."""
+        if result is not None or not self.feed.active:
+            return None
+        predicates = self.feed.watched_predicates()
+        if not predicates:
+            return None
+        return self._feed_extents(predicates)
+
+    def _feed_resync(self, reason: str) -> None:
+        """Tell subscribers delta coverage was lost (never raises)."""
+        if not self.feed.active:
+            return
+        try:
+            self.feed.publish_resync(epoch=self._cache_epoch, reason=reason)
+        except Exception:
+            logger.exception("change-feed resync publish failed")
 
     # -- write requests --------------------------------------------------------
 
@@ -917,6 +1067,7 @@ class DatabaseEngine:
                         prepared.transaction)
                 except DatalogError:
                     staged_result = None
+                feed_before = self._feed_before_snapshot(staged_result)
                 effective = self._store.commit(
                     prepared.transaction, sync=True,
                     txn=(txn_id, prepared.digest))
@@ -927,6 +1078,8 @@ class DatabaseEngine:
                 else:
                     self._maintainer.reset()
                 self.metrics.increment("twopc.committed")
+                self._feed_publish_delta(txn_id=txn_id, result=staged_result,
+                                         before=feed_before)
             else:
                 self._store.log_txn_outcome(txn_id, prepared.digest,
                                             applied=False, sync=True,
@@ -1085,6 +1238,9 @@ class DatabaseEngine:
             # stateful maintainers (counting) must drop their standing
             # state too, since facts moved without delta maintenance.
             self._maintainer.reset()
+            # The feed has no per-commit deltas for a serial batch; tell
+            # subscribers to re-pull rather than guess.
+            self._feed_resync("slow-path")
         if to_ack:
             self._sync_log()
             faults.failpoint(FP_PRE_ACK)
@@ -1164,6 +1320,10 @@ class DatabaseEngine:
             except DatalogError:
                 advance_result = None
         faults.failpoint(FP_POST_CHECK_PRE_ACK, batch_size=len(batch))
+        # Diff-fallback feed sourcing needs the pre-apply extents (the
+        # maintainer produced no delta -- invalidate mode, unchecked
+        # commits, cold caches); snapshot before any fact moves.
+        feed_before = self._feed_before_snapshot(advance_result)
         outcomes: list[tuple[_Pending, CommitOutcome]] = []
         synced = False
         for index, entry in enumerate(batch):
@@ -1188,6 +1348,13 @@ class DatabaseEngine:
             maintainer.reset()
         if synced:
             self._sync_log()
+        # Publish strictly after the fsync: a frame for a commit a crash
+        # could still lose would be a phantom.  A crash here (or inside
+        # the publish failpoint) leaves the commit durable with its frame
+        # unsent -- subscribers resync, they never see duplicates.
+        self._feed_publish_delta(
+            txn_id=(batch[0].txn_id if len(batch) == 1 else None),
+            result=advance_result, before=feed_before)
         faults.failpoint(FP_PRE_ACK)
         # Acknowledge strictly after the fsync: a waiter woken earlier
         # could see a successful commit a crash then loses.  If sync_log
@@ -1221,6 +1388,7 @@ class DatabaseEngine:
             # Snapshot/recovery boundaries rebuild from disk: conservative
             # full maintainer reset rather than trusting the warm state.
             self._maintainer.reset()
+            self._feed_resync("checkpoint")
 
     def close(self, checkpoint: bool = True) -> None:
         """Refuse further requests; optionally checkpoint the WAL."""

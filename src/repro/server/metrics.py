@@ -24,6 +24,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._requests: dict[str, dict] = {}
         self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
 
     def observe(self, op: str, seconds: float, error: bool = False) -> None:
         """Record one request of type *op* taking *seconds*."""
@@ -58,6 +59,15 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time level (queue depths, active subscribers...)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0) -> float:
+        with self._lock:
+            return self._gauges.get(name, default)
+
     def snapshot(self) -> dict:
         """A JSON-ready view of every counter and histogram.
 
@@ -72,4 +82,8 @@ class MetricsRegistry:
                 for op, entry in sorted(self._requests.items())
             }
             counters = dict(sorted(self._counters.items()))
-        return {"requests": requests, "counters": counters}
+            gauges = dict(sorted(self._gauges.items()))
+        payload = {"requests": requests, "counters": counters}
+        if gauges:
+            payload["gauges"] = gauges
+        return payload

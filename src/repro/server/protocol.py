@@ -13,7 +13,15 @@ The request types map 1:1 onto the Table 4.1 problems exposed by
 :class:`~repro.core.processor.UpdateProcessor`; each is a typed
 :class:`~repro.requests.UpdateRequest` subclass (see :mod:`repro.requests`
 for the op table).  ``shutdown`` is the one control op the server
-intercepts before dispatch.
+intercepts before dispatch; ``subscribe``/``unsubscribe`` are typed
+requests but also session-handled, because a subscription is bound to
+the connection that registers it.  A connection holding subscriptions
+additionally receives pushed *feed frames* -- lines carrying a ``feed``
+key instead of ``ok``::
+
+    {"v": 1, "feed": "sub-1", "seq": 3, "frame": {"kind": "delta", ...}}
+
+(see docs/SUBSCRIPTIONS.md for frame kinds and ordering guarantees).
 
 :func:`dispatch` deserialises one decoded request into its typed form and
 executes it against a :class:`~repro.server.engine.DatabaseEngine`; the
@@ -36,6 +44,7 @@ from repro.datalog.errors import (
     RoutingError,
     SafetyError,
     StratificationError,
+    SubscriptionError,
     TransactionError,
     UnavailableError,
     UnknownPredicateError,
@@ -165,6 +174,7 @@ _ERROR_TYPES: tuple[tuple[type[BaseException], str], ...] = (
     (ConflictDeferralTimeout, "conflict-timeout"),
     (IdempotencyError, "idempotency"),
     (RoutingError, "routing"),
+    (SubscriptionError, "subscription"),
     (UnavailableError, "unavailable"),
     (TxnConflictError, "txn-conflict"),
     (TxnStateError, "txn-state"),

@@ -253,3 +253,101 @@ class ResilientClient:
 
     def health(self) -> dict:
         return self.call("health")
+
+    # -- standing-query subscriptions ------------------------------------------
+
+    def subscribe(self, goals, *, frame_timeout: float | None = None,
+                  reconnect: bool = True):
+        """Stream feed frames for a standing query (a generator).
+
+        Opens a *dedicated* connection (frames are pushed to the session
+        that subscribed, and this client's request connection must stay
+        request/response), subscribes to *goals*, and yields frame dicts
+        (``{"kind": "delta"|"resync"|"closed", ...}``) as the server
+        pushes them.
+
+        Per-subscription ``seq`` numbers are checked to be consecutive:
+        a gap means a frame was lost in flight, so a synthetic
+        ``{"kind": "resync", "reason": "gap"}`` is yielded before the
+        out-of-sequence frame -- consumers must re-pull the materialised
+        extension exactly as for a server-sent resync.  A lost connection
+        or a server-side ``closed`` frame (e.g. ``feed_overflow``) yields
+        ``{"kind": "resync", "reason": "reconnect"}`` and re-subscribes on
+        a fresh connection (unless *reconnect* is false, in which case the
+        generator raises or returns).  Redials follow the client's normal
+        backoff schedule and give up after ``max_attempts`` consecutive
+        failures.
+        """
+        failures = 0
+        last: BaseException | None = None
+        while True:
+            if failures >= self._max_attempts:
+                self._count("retry.give_up")
+                raise RetriesExhausted(
+                    f"subscribe failed after {failures} attempts: {last}",
+                    last if last is not None else ConnectionLostError(
+                        "subscription connection lost"))
+            if failures:
+                self._count("retry.attempts")
+                self._backoff(failures - 1,
+                              getattr(last, "retry_after", None), None)
+            try:
+                client = DatabaseClient(
+                    self._host, self._port, timeout=self._timeout)
+            except (ConnectionLostError, OSError) as error:
+                failures += 1
+                last = error
+                continue
+            except ServerError as error:
+                if error.type not in RETRYABLE_ERROR_TYPES:
+                    raise
+                failures += 1
+                last = error
+                continue
+            resubscribe = False
+            try:
+                try:
+                    info = client.subscribe(goals)
+                except ServerError as error:
+                    if error.type not in RETRYABLE_ERROR_TYPES:
+                        raise  # e.g. a typed "subscription" error: not ours
+                    failures += 1
+                    last = error
+                    continue
+                failures = 0
+                sub_id = info["subscription_id"]
+                expected = 1
+                while True:
+                    try:
+                        pushed = client.next_frame(timeout=frame_timeout)
+                    except ConnectionLostError as error:
+                        last = error
+                        resubscribe = True
+                        break
+                    if pushed.get("feed") != sub_id:
+                        continue  # a stale frame from a prior subscription
+                    seq = pushed.get("seq")
+                    frame = pushed.get("frame") or {}
+                    if seq != expected:
+                        self._count("feed.gaps")
+                        yield {"kind": "resync", "reason": "gap"}
+                    expected = (seq if isinstance(seq, int) else expected) + 1
+                    yield frame
+                    if frame.get("kind") == "closed":
+                        self._count("feed.closed")
+                        resubscribe = True
+                        break
+            finally:
+                try:
+                    client.close()
+                except OSError:
+                    pass
+            if not resubscribe:
+                return
+            if not reconnect:
+                if isinstance(last, ConnectionLostError):
+                    raise last
+                return
+            self._count("retry.reconnects")
+            failures += 1
+            yield {"kind": "resync", "reason": "reconnect"}

@@ -20,14 +20,17 @@ examples, notebooks).
 from __future__ import annotations
 
 import asyncio
+import collections
 import concurrent.futures
 import contextlib
+import json
 import logging
 import threading
 import time
 from pathlib import Path
 
 from repro import faults
+from repro.datalog.errors import DatalogError
 from repro.obs import tracer as obs
 from repro.server import protocol
 from repro.server.engine import DatabaseEngine
@@ -42,6 +45,184 @@ FP_SEND_FRAME = faults.register(
     "server.send_frame",
     "outbound response frame: 'drop' discards the ack, 'torn' sends a "
     "partial frame and closes -- a flaky network, simulated")
+FP_FEED_FRAME = faults.register(
+    "server.feed_frame",
+    "outbound change-feed frame: 'drop' loses one pushed frame (the "
+    "subscriber must detect the seq gap and resync), 'torn' sends a "
+    "partial frame and closes")
+
+#: Session-level ops: a subscription is bound to the connection that
+#: registers it, so these never reach the thread-pool dispatcher.
+FEED_OPS = ("subscribe", "unsubscribe")
+
+
+class _SubState:
+    """Per-subscription delivery state (wire id + monotone sequence)."""
+
+    __slots__ = ("sub_id", "seq")
+
+    def __init__(self) -> None:
+        self.sub_id: str | None = None
+        self.seq = 0
+
+
+class _FeedChannel:
+    """One connection's bounded change-feed queue and its drain task.
+
+    Commit threads enqueue frames through the engine's
+    :class:`~repro.server.feed.FeedBus` callbacks; enqueueing is a lock,
+    an append and a ``call_soon_threadsafe`` -- it never blocks, so the
+    commit path cannot stall on a slow subscriber.  The drain task on the
+    event loop writes queued frames down the socket.  When the queue hits
+    its capacity (the server's ``max_inflight`` admission budget) the
+    subscriber is dropped: the queue is cleared, every subscription gets
+    a terminal ``closed`` frame with ``error_type="feed_overflow"``, and
+    the engine-side subscriptions are removed.
+    """
+
+    def __init__(self, server: "DatabaseServer",
+                 writer: asyncio.StreamWriter):
+        self._server = server
+        self._writer = writer
+        self._loop = asyncio.get_running_loop()
+        self._lock = threading.Lock()
+        self._queue: collections.deque = collections.deque()
+        self._wake = asyncio.Event()
+        self._drainer: asyncio.Task | None = None
+        self._overflowed = False
+        self._closed = False
+        #: sub_id -> _SubState for every live subscription on this session.
+        self.subs: dict[str, _SubState] = {}
+
+    @property
+    def capacity(self) -> int:
+        return self._server.max_inflight
+
+    # -- session-op handlers (event loop) --------------------------------------
+
+    def subscribe(self, goals, emit_empty: bool = False) -> dict:
+        engine = self._server.engine
+        state = _SubState()
+        # The callback captures the state cell; between bus registration
+        # and the sub_id assignment below there is no await, so the drain
+        # task cannot observe a frame before the id is known.
+        info = engine.feed_subscribe(
+            list(goals), lambda frame: self._enqueue(state, frame),
+            emit_empty=emit_empty)
+        state.sub_id = info["subscription_id"]
+        self.subs[state.sub_id] = state
+        if self._drainer is None or self._drainer.done():
+            self._drainer = self._loop.create_task(self._drain())
+        self._server.engine.metrics.increment("feed.subscribed")
+        return {**info, "capacity": self.capacity}
+
+    def unsubscribe(self, subscription_id: str) -> dict:
+        result = self._server.engine.feed_unsubscribe(subscription_id)
+        self.subs.pop(subscription_id, None)
+        self._server.engine.metrics.increment("feed.unsubscribed")
+        return result
+
+    def close(self) -> None:
+        """Session teardown: deregister everything, stop the drain task."""
+        with self._lock:
+            self._closed = True
+            self._queue.clear()
+        for sub_id in list(self.subs):
+            with contextlib.suppress(DatalogError):
+                self._server.engine.feed_unsubscribe(sub_id)
+        self.subs.clear()
+        if self._drainer is not None:
+            self._drainer.cancel()
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # -- delivery --------------------------------------------------------------
+
+    def _enqueue(self, state: _SubState, frame: dict) -> None:
+        """Bus callback; runs on committing threads.  Never blocks."""
+        with self._lock:
+            if self._closed or self._overflowed:
+                return
+            if len(self._queue) >= self.capacity:
+                self._overflowed = True
+                self._queue.clear()
+                depth = 0
+            else:
+                state.seq += 1
+                self._queue.append((state, state.seq, frame))
+                depth = len(self._queue)
+        metrics = self._server.engine.metrics
+        metrics.set_gauge("feed.queue_depth", depth)
+        if self._overflowed:
+            metrics.increment("feed.overflow")
+        with contextlib.suppress(RuntimeError):  # loop already closed
+            self._loop.call_soon_threadsafe(self._wake.set)
+
+    async def _drain(self) -> None:
+        try:
+            while True:
+                await self._wake.wait()
+                self._wake.clear()
+                while True:
+                    with self._lock:
+                        item = (self._queue.popleft() if self._queue
+                                else None)
+                    if item is None:
+                        break
+                    state, seq, frame = item
+                    await self._write_frame(state.sub_id, seq, frame)
+                if self._overflowed:
+                    await self._close_overflowed()
+                with self._lock:
+                    if self._closed:
+                        return
+        except (asyncio.CancelledError, ConnectionError, OSError):
+            pass
+
+    async def _close_overflowed(self) -> None:
+        """Drop every subscription after an overflow (typed close)."""
+        from repro.server.feed import closed_frame
+
+        engine = self._server.engine
+        final = closed_frame(
+            "feed_overflow",
+            f"subscriber fell more than {self.capacity} frames behind "
+            "(the server's max_inflight budget); dropped -- resubscribe "
+            "and re-pull")
+        for sub_id, state in list(self.subs.items()):
+            with contextlib.suppress(DatalogError):
+                engine.feed_unsubscribe(sub_id)
+            state.seq += 1
+            with contextlib.suppress(Exception):
+                await self._write_frame(sub_id, state.seq, final)
+        self.subs.clear()
+        engine.metrics.increment("feed.dropped_subscribers")
+        with self._lock:
+            self._overflowed = False
+            self._queue.clear()
+        engine.metrics.set_gauge("feed.queue_depth", 0)
+
+    async def _write_frame(self, sub_id: str | None, seq: int,
+                           frame: dict) -> None:
+        payload = {"v": protocol.PROTOCOL_VERSION, "feed": sub_id,
+                   "seq": seq, "frame": frame}
+        data = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+        action = faults.failpoint(FP_FEED_FRAME, sub_id=sub_id, seq=seq)
+        if action is not None:
+            if action.kind == "drop":
+                return  # the frame is lost; the seq gap tells the client
+            if action.kind == "torn":
+                fraction = action.param if action.param is not None else 0.5
+                cut = max(1, min(int(len(data) * fraction), len(data) - 1))
+                self._writer.write(data[:cut])
+                await self._writer.drain()
+                self._writer.close()
+                return
+        self._writer.write(data)
+        await self._writer.drain()
+        self._server.engine.metrics.increment("feed.frames_sent")
 
 
 class DatabaseServer:
@@ -91,6 +272,8 @@ class DatabaseServer:
         self._inflight = 0
         self._shutdown_event = asyncio.Event()
         self._finished = False
+        #: Live per-connection feed channels (for the health gauge).
+        self._feed_channels: set[_FeedChannel] = set()
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -110,6 +293,7 @@ class DatabaseServer:
     def _health_extra(self) -> dict:
         with self._inflight_lock:
             inflight = self._inflight
+        channels = list(self._feed_channels)
         return {"server": {
             "active_connections": self._active_connections,
             "max_connections": self.max_connections,
@@ -118,6 +302,11 @@ class DatabaseServer:
             "shed": self.engine.metrics.counter("server.shed"),
             "deadline_rejected":
                 self.engine.metrics.counter("server.deadline_rejected"),
+            "feed": {
+                "subscriptions": sum(len(c.subs) for c in channels),
+                "queue_depth": sum(c.queue_depth() for c in channels),
+                "queue_capacity": self.max_inflight,
+            },
         }}
 
     def _retry_after(self) -> float:
@@ -184,6 +373,8 @@ class DatabaseServer:
             return
         self._active_connections += 1
         self.engine.metrics.increment("server.connections")
+        channel = _FeedChannel(self, writer)
+        self._feed_channels.add(channel)
         try:
             while not self._shutdown_event.is_set():
                 try:
@@ -196,13 +387,15 @@ class DatabaseServer:
                     return  # client closed
                 if not line.strip():
                     continue
-                if not await self._serve_one(line, writer):
+                if not await self._serve_one(line, writer, channel):
                     return
         finally:
+            self._feed_channels.discard(channel)
+            channel.close()
             self._active_connections -= 1
 
-    async def _serve_one(self, line: bytes,
-                         writer: asyncio.StreamWriter) -> bool:
+    async def _serve_one(self, line: bytes, writer: asyncio.StreamWriter,
+                         channel: "_FeedChannel | None" = None) -> bool:
         """Handle one request line; False ends the session."""
         try:
             request = protocol.decode_request(line)
@@ -215,6 +408,9 @@ class DatabaseServer:
             self.engine.metrics.increment("server.shutdown_requests")
             self._shutdown_event.set()
             return False
+        if request.op in FEED_OPS:
+            await self._serve_feed_op(request, writer, channel)
+            return True
         # Retry/deadline metadata stamped by ResilientClient travels as
         # params but is the server's to consume, not the typed request's.
         deadline_s, meta_error = self._consume_meta(request)
@@ -282,6 +478,41 @@ class DatabaseServer:
                 error_type="internal")
         await self._send(writer, response)
         return True
+
+    async def _serve_feed_op(self, request: protocol.Request,
+                             writer: asyncio.StreamWriter,
+                             channel: "_FeedChannel | None") -> None:
+        """Handle subscribe/unsubscribe on the session's feed channel.
+
+        Runs inline on the event loop (registration is a registry insert,
+        not engine work) so the subscription is live before the response
+        is acked -- a commit racing the ack can only add frames *after*
+        it, never in an unobservable gap.
+        """
+        from repro.requests import UpdateRequest
+
+        try:
+            typed = UpdateRequest.of(request.op, request.params)
+            if channel is None:
+                raise DatalogError(
+                    "subscriptions need a live session")  # pragma: no cover
+            if request.op == "subscribe":
+                result = channel.subscribe(typed.goals,
+                                           emit_empty=typed.emit_empty)
+            else:
+                result = channel.unsubscribe(typed.subscription_id)
+        except DatalogError as error:
+            await self._send(writer, protocol.error_response(
+                request.id, error))
+            return
+        except Exception as error:  # noqa: BLE001 - the wire must answer
+            logger.exception("feed op failure")
+            await self._send(writer, protocol.error_response(
+                request.id, f"internal server error: {error}",
+                error_type="internal"))
+            return
+        await self._send(writer, protocol.Response(
+            ok=True, id=request.id, result=result))
 
     def _consume_meta(self, request: protocol.Request
                       ) -> tuple[float | None, protocol.Response | None]:

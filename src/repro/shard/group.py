@@ -30,17 +30,20 @@ raise a typed :class:`RoutingError` on a multi-shard one.
 
 from __future__ import annotations
 
+import itertools
+import threading
 import uuid
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Callable, Iterable
 
 from repro.datalog.database import DeductiveDatabase
-from repro.datalog.errors import DatalogError, RoutingError
+from repro.datalog.errors import DatalogError, RoutingError, SubscriptionError
 from repro.events.events import Transaction
 from repro.interpretations.upward import UpwardResult
 from repro.problems import ICCheckResult
 from repro.server.engine import CommitOutcome, DatabaseEngine
+from repro.server.feed import FeedMerger
 from repro.server.metrics import MetricsRegistry
 from repro.shard.coordinator import (
     DECISIONS_NAME,
@@ -81,6 +84,9 @@ class EngineGroup:
             Participant(f"shard-{index}", engine.prepare, engine.decide)
             for index, engine in enumerate(engines)
         ]
+        self._feed_lock = threading.Lock()
+        self._feeds: dict[str, dict] = {}
+        self._feed_ids = itertools.count(1)
         self._closed = False
 
     # -- lifecycle -------------------------------------------------------------
@@ -331,6 +337,7 @@ class EngineGroup:
                 "facts": facts,
                 "in_doubt": in_doubt,
                 "decisions": len(self.decisions),
+                "feed_subscriptions": len(self._feeds),
             },
             "shards": {str(index): results.get(index)
                        for index in range(self.n_shards)},
@@ -372,6 +379,68 @@ class EngineGroup:
                        for index, error in errors.items()},
         }
 
+    # -- change-feed subscriptions ---------------------------------------------
+
+    def feed_subscribe(self, goals, callback: Callable[[dict], None], *,
+                       emit_empty: bool = False) -> dict:
+        """Register one standing query across every shard.
+
+        Each shard engine gets an ``emit_empty`` subscription -- a
+        coordinated commit then yields a frame from *every* participant,
+        so the per-subscription :class:`FeedMerger` knows when a 2PC
+        transaction's frame set is complete -- and the merger folds those
+        per-shard frames into one subscriber stream: exactly one merged
+        frame per cross-shard commit, emitted in commit decision order.
+        (*emit_empty* on the merged stream itself is not supported; empty
+        merged frames are dropped.)
+        """
+        del emit_empty
+        merger = FeedMerger(callback)
+        per_shard: list[tuple[DatabaseEngine, str]] = []
+        epoch = 0
+        info: dict = {}
+        try:
+            for index, engine in enumerate(self._engines):
+                info = engine.feed_subscribe(
+                    goals,
+                    lambda frame, shard=index: merger.on_frame(shard, frame),
+                    emit_empty=True)
+                per_shard.append((engine, info["subscription_id"]))
+                epoch = max(epoch, info.get("epoch", 0))
+        except BaseException:
+            for engine, shard_sub in per_shard:
+                try:
+                    engine.feed_unsubscribe(shard_sub)
+                except DatalogError:
+                    pass
+            raise
+        with self._feed_lock:
+            sub_id = f"sub-{next(self._feed_ids)}"
+            self._feeds[sub_id] = {"merger": merger, "per_shard": per_shard}
+        self.metrics.increment("feed.subscriptions")
+        return {"subscription_id": sub_id, "goals": info["goals"],
+                "predicates": info["predicates"], "epoch": epoch}
+
+    def feed_unsubscribe(self, subscription_id: str) -> dict:
+        """Deregister a group subscription; unknown ids raise typed."""
+        entry = None
+        if isinstance(subscription_id, str) and subscription_id:
+            with self._feed_lock:
+                entry = self._feeds.pop(subscription_id, None)
+        if entry is None:
+            raise SubscriptionError(
+                f"unknown subscription_id: {subscription_id!r}")
+        for engine, shard_sub in entry["per_shard"]:
+            try:
+                engine.feed_unsubscribe(shard_sub)
+            except DatalogError:
+                pass
+        return {"unsubscribed": subscription_id}
+
+    def _feed_mergers(self) -> list[FeedMerger]:
+        with self._feed_lock:
+            return [entry["merger"] for entry in self._feeds.values()]
+
     # -- writes ----------------------------------------------------------------
 
     def commit(self, transaction: Transaction,
@@ -396,8 +465,27 @@ class EngineGroup:
         self.metrics.increment("router.fanout", len(parts))
         pairs = [(self._participants[index], sub)
                  for index, sub in sorted(parts.items())]
-        with self.metrics.time("commit"):
-            return self._coordinator.commit(pairs, txn_id, transaction)
+        # Mergers must know the participant set *before* phase two: frames
+        # a shard pushes while applying the decision are buffered against
+        # the transaction, then emitted as one merged frame on commit (or
+        # discarded on abort).
+        mergers = self._feed_mergers()
+        shard_ids = sorted(parts)
+        for merger in mergers:
+            merger.begin(txn_id, shard_ids)
+        try:
+            with self.metrics.time("commit"):
+                outcome = self._coordinator.commit(pairs, txn_id, transaction)
+        except BaseException:
+            for merger in mergers:
+                merger.abort(txn_id)
+            raise
+        for merger in mergers:
+            if outcome.applied:
+                merger.commit(txn_id)
+            else:
+                merger.abort(txn_id)
+        return outcome
 
     def commit_many(self, transactions: Iterable[Transaction],
                     on_violation: str | None = None,

@@ -24,16 +24,23 @@ exactly when shards are flapping.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable
 
-from repro.datalog.errors import DatalogError, RoutingError, UnavailableError
+from repro.datalog.errors import (
+    DatalogError,
+    RoutingError,
+    SubscriptionError,
+    UnavailableError,
+)
 from repro.events.events import Transaction
 from repro.interpretations.upward import UpwardResult
 from repro.problems import ICCheckResult
-from repro.server.client import ConnectionLostError
+from repro.server.client import ConnectionLostError, DatabaseClient
 from repro.server.engine import CommitOutcome
+from repro.server.feed import FeedMerger, resync_frame
 from repro.server.metrics import MetricsRegistry
 from repro.server.resilient import (
     DeadlineExceeded,
@@ -46,6 +53,66 @@ from repro.shard.coordinator import (
     TwoPhaseCoordinator,
 )
 from repro.shard.routing import RoutingTable
+
+
+class _FeedTap:
+    """One dedicated streaming connection to a shard server's feed.
+
+    A tap holds its own :class:`DatabaseClient` (the router's pooled
+    clients are strictly request/response) plus a daemon reader thread
+    pumping pushed frames into the subscription's merger.  Backend ``seq``
+    numbers are checked: a gap, a ``closed`` frame or a lost connection
+    all surface as a ``resync`` on the merged stream -- the subscriber
+    re-pulls, which is always safe.
+    """
+
+    def __init__(self, shard: int, host: str, port: int, goals,
+                 merger: FeedMerger, *, timeout: float = 30.0):
+        self.shard = shard
+        self._merger = merger
+        self._stopped = False
+        self._client = DatabaseClient(host, port, timeout=timeout)
+        try:
+            self.info = self._client.subscribe(goals, emit_empty=True)
+        except BaseException:
+            self._client.close()
+            raise
+        self._sub_id = self.info["subscription_id"]
+        self._thread = threading.Thread(
+            target=self._run, daemon=True,
+            name=f"feed-tap-{shard}-{self._sub_id}")
+        self._thread.start()
+
+    def _run(self) -> None:
+        expected = 1
+        while not self._stopped:
+            try:
+                pushed = self._client.next_frame()
+            except DatalogError:
+                if not self._stopped:
+                    self._merger.on_frame(
+                        self.shard, resync_frame(0, "tap-lost"))
+                return
+            if pushed.get("feed") != self._sub_id:
+                continue
+            if pushed.get("seq") != expected:
+                self._merger.on_frame(self.shard, resync_frame(0, "gap"))
+            seq = pushed.get("seq")
+            expected = (seq if isinstance(seq, int) else expected) + 1
+            frame = pushed.get("frame") or {}
+            if frame.get("kind") == "closed":
+                self._merger.on_frame(
+                    self.shard, resync_frame(0, "tap-closed"))
+                return
+            self._merger.on_frame(self.shard, frame)
+
+    def close(self) -> None:
+        self._stopped = True
+        try:
+            self._client.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5.0)
 
 
 class ShardRouter:
@@ -98,6 +165,10 @@ class ShardRouter:
             )
             for index in range(len(self._clients))
         ]
+        self._feed_lock = threading.Lock()
+        self._feeds: dict[str, dict] = {}
+        self._feed_ids = itertools.count(1)
+        self._client_timeout = float(client_options.get("timeout", 30.0))
         self._closed = False
 
     # -- backend plumbing ------------------------------------------------------
@@ -170,6 +241,11 @@ class ShardRouter:
         if self._closed:
             return
         self._closed = True
+        with self._feed_lock:
+            feeds, self._feeds = dict(self._feeds), {}
+        for entry in feeds.values():
+            for tap in entry["taps"]:
+                tap.close()
         try:
             for client in self._clients:
                 client.close()
@@ -315,6 +391,60 @@ class ShardRouter:
             },
         }
 
+    # -- change-feed subscriptions ---------------------------------------------
+
+    def feed_subscribe(self, goals, callback: Callable[[dict], None], *,
+                       emit_empty: bool = False) -> dict:
+        """Register one standing query across every shard server.
+
+        Opens a dedicated streaming tap per shard (``emit_empty`` on the
+        backend, so every coordinated commit yields a frame from every
+        participant) and merges the per-shard frames into *callback*:
+        exactly one frame per cross-shard commit, in decision order.  A
+        tap that loses its backend degrades to a ``resync`` on the merged
+        stream rather than silently missing deltas.
+        """
+        del emit_empty  # empty merged frames are always dropped
+        merger = FeedMerger(callback)
+        taps: list[_FeedTap] = []
+        try:
+            for shard, (host, port) in enumerate(self._endpoints):
+                try:
+                    taps.append(_FeedTap(shard, host, port, goals, merger,
+                                         timeout=self._client_timeout))
+                except (ConnectionLostError, OSError) as error:
+                    raise UnavailableError(
+                        f"shard {shard} ({host}:{port}) is unavailable "
+                        f"for subscribe: {error}") from error
+        except BaseException:
+            for tap in taps:
+                tap.close()
+            raise
+        with self._feed_lock:
+            sub_id = f"sub-{next(self._feed_ids)}"
+            self._feeds[sub_id] = {"merger": merger, "taps": taps}
+        self.metrics.increment("feed.subscriptions")
+        info = taps[-1].info
+        return {"subscription_id": sub_id, "goals": info["goals"],
+                "predicates": info["predicates"],
+                "epoch": max(tap.info.get("epoch", 0) for tap in taps)}
+
+    def feed_unsubscribe(self, subscription_id: str) -> dict:
+        entry = None
+        if isinstance(subscription_id, str) and subscription_id:
+            with self._feed_lock:
+                entry = self._feeds.pop(subscription_id, None)
+        if entry is None:
+            raise SubscriptionError(
+                f"unknown subscription_id: {subscription_id!r}")
+        for tap in entry["taps"]:
+            tap.close()
+        return {"unsubscribed": subscription_id}
+
+    def _feed_mergers(self) -> list[FeedMerger]:
+        with self._feed_lock:
+            return [entry["merger"] for entry in self._feeds.values()]
+
     # -- writes ----------------------------------------------------------------
 
     def commit(self, transaction: Transaction,
@@ -347,8 +477,25 @@ class ShardRouter:
         self.metrics.increment("router.fanout", len(parts))
         pairs = [(self._participants[index], sub)
                  for index, sub in sorted(parts.items())]
-        with self.metrics.time("commit"):
-            return self._coordinator.commit(pairs, txn_id, transaction)
+        # Mergers buffer frames the shards push while applying phase two,
+        # then emit one merged frame per decided transaction.
+        mergers = self._feed_mergers()
+        shard_ids = sorted(parts)
+        for merger in mergers:
+            merger.begin(txn_id, shard_ids)
+        try:
+            with self.metrics.time("commit"):
+                outcome = self._coordinator.commit(pairs, txn_id, transaction)
+        except BaseException:
+            for merger in mergers:
+                merger.abort(txn_id)
+            raise
+        for merger in mergers:
+            if outcome.applied:
+                merger.commit(txn_id)
+            else:
+                merger.abort(txn_id)
+        return outcome
 
     def prepare(self, transaction: Transaction, txn_id: str) -> dict:
         if self.n_shards == 1:

@@ -323,6 +323,114 @@ def check_derived_oracle(recovered: DatabaseEngine) -> None:
                 f"naive rebuild after recovery")
 
 
+def derived_arities(host) -> dict[str, int]:
+    """Every derived predicate of an engine-shaped host, with arity."""
+    db = getattr(host, "db", None)
+    if db is None:  # an EngineGroup: all shards share the schema
+        db = host.engines[0].db
+    schema = db.schema
+    return {predicate: schema.arity(predicate)
+            for predicate in sorted(schema.derived)}
+
+
+class SubscriptionOracle:
+    """Differential subscription oracle: the feed must rebuild the state.
+
+    Maintains a *shadow* extension of the watched derived predicates by
+    applying delta frames as they arrive; a ``resync`` frame re-pulls the
+    materialised state instead, exactly as a real subscriber must.
+    :meth:`check` then asserts the shadow equals a fresh materialisation
+    pull -- i.e. the feed's frames compose to precisely the before/after
+    diff of every commit, with no duplicate, missing or phantom rows
+    (duplicate inserts and phantom deletes fail eagerly in
+    :meth:`drain`).  Call it at quiescence (no in-flight commits).
+
+    Pass ``subscribe=False`` to drive the oracle from an external frame
+    source (a wire stream) via :meth:`observe`; *host* is then only used
+    to pull materialised state through ``host.query``.
+    """
+
+    def __init__(self, host, predicates: dict[str, int] | None = None, *,
+                 subscribe: bool = True):
+        self.host = host
+        self.arities = (dict(predicates) if predicates is not None
+                        else derived_arities(host))
+        self.frames: list[dict] = []
+        self.deltas = 0
+        self.resyncs = 0
+        self.info: dict | None = None
+        if subscribe:
+            self.info = host.feed_subscribe(
+                sorted(self.arities), self.observe)
+        self.shadow = self.pull()
+
+    def observe(self, frame: dict) -> None:
+        """Receive one frame (the subscription callback)."""
+        self.frames.append(frame)
+
+    def goal(self, predicate: str) -> str:
+        arity = self.arities[predicate]
+        if not arity:
+            return predicate
+        return f"{predicate}({', '.join(f'x{i}' for i in range(arity))})"
+
+    def pull(self) -> dict[str, set[tuple]]:
+        """The host's materialised extensions of the watched predicates."""
+        return {predicate: {tuple(row)
+                            for row in self.host.query(self.goal(predicate))}
+                for predicate in self.arities}
+
+    def drain(self) -> None:
+        """Fold every buffered frame into the shadow state."""
+        while self.frames:
+            frame = self.frames.pop(0)
+            kind = frame.get("kind")
+            if kind == "delta":
+                self.deltas += 1
+                self._apply(frame)
+            elif kind == "resync":
+                # Coverage was lost; buffered successors are already
+                # reflected in the state a re-pull sees, so drop them.
+                self.resyncs += 1
+                self.frames.clear()
+                self.shadow = self.pull()
+            elif kind == "closed":
+                raise AssertionError(f"feed unexpectedly closed: {frame}")
+            else:
+                raise AssertionError(f"unknown frame kind: {frame}")
+
+    def _apply(self, frame: dict) -> None:
+        for predicate, rows in (frame.get("inserted") or {}).items():
+            target = self.shadow.setdefault(predicate, set())
+            for row in rows:
+                row = tuple(row)
+                assert row not in target, (
+                    f"feed delivered a duplicate insert of "
+                    f"{predicate}{row}")
+                target.add(row)
+        for predicate, rows in (frame.get("deleted") or {}).items():
+            target = self.shadow.setdefault(predicate, set())
+            for row in rows:
+                row = tuple(row)
+                assert row in target, (
+                    f"feed delivered a phantom delete of {predicate}{row}")
+                target.discard(row)
+
+    def check(self) -> None:
+        """Drain and assert shadow == a fresh materialisation pull."""
+        self.drain()
+        actual = self.pull()
+        assert self.shadow == actual, (
+            "subscription feed diverges from the materialised state:\n"
+            + "\n".join(
+                f"  {predicate}: feed-only="
+                f"{sorted(self.shadow.get(predicate, set()) - rows)} "
+                f"state-only="
+                f"{sorted(rows - self.shadow.get(predicate, set()))}"
+                for predicate, rows in sorted(actual.items())
+                if self.shadow.get(predicate, set()) != rows))
+
+
 def crash_and_recover(engine: DatabaseEngine, directory: Path | str,
                       engine_kwargs: dict | None = None,
                       **workload_kwargs) -> tuple[CrashReport, DatabaseEngine]:

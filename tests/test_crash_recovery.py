@@ -53,6 +53,13 @@ TWOPC_POINTS = (
     coordinator_mod.FP_PRE_DECISION,
     coordinator_mod.FP_DECISION_WRITTEN,
 )
+#: Change-feed points; their fault matrix lives in test_subscriptions.py
+#: (they only fire while a subscription is registered, so the generic
+#: subscriber-less workloads here can never reach them).
+FEED_POINTS = (
+    engine_mod.FP_FEED_PUBLISH,
+    server_mod.FP_FEED_FRAME,
+)
 
 
 def fresh_engine(tmp_path, **kwargs) -> DatabaseEngine:
@@ -69,7 +76,8 @@ def fresh_engine(tmp_path, **kwargs) -> DatabaseEngine:
 def test_every_failpoint_is_exercised():
     """New failpoints must be added to a covered list (and get a test)."""
     covered = (set(COMMIT_POINTS) | set(CHECKPOINT_POINTS)
-               | set(SERVER_POINTS) | set(TWOPC_POINTS))
+               | set(SERVER_POINTS) | set(TWOPC_POINTS)
+               | set(FEED_POINTS))
     registered = {name for name in faults.names()
                   if not name.startswith("test.")}
     assert covered == registered, (

@@ -250,6 +250,95 @@ class TestServerFuzz:
                     assert "Traceback" not in response["error"]["message"]
 
 
+# -- the subscription surface --------------------------------------------------
+
+
+@pytest.fixture
+def feed_server(tmp_path, employment_db):
+    """A single-engine server plus its engine, for feed-state assertions."""
+    engine = DatabaseEngine.open(tmp_path / "feedfuzz", initial=employment_db)
+    with ServerThread(engine, max_line_bytes=4096) as bound:
+        yield engine, bound
+
+
+#: (params, expected wire error type; None = any typed error).
+SUBSCRIBE_JUNK = [
+    ({}, "protocol"),                             # goals missing entirely
+    ({"goals": 7}, "protocol"),
+    ({"goals": []}, "protocol"),
+    ({"goals": [7]}, "protocol"),
+    ({"goals": {"Unemp": 1}}, "protocol"),
+    ({"goals": ["La"]}, "subscription"),          # base, not derived
+    ({"goals": ["Works"]}, "subscription"),       # declared base
+    ({"goals": ["Ghost"]}, "subscription"),       # unknown predicate
+    ({"goals": ["Unemp("]}, None),                # malformed filter
+    ({"goals": ["Unemp(x, y)"]}, "subscription"),  # wrong arity
+    ({"goals": ["Unemp(A) & not Works(A)"]}, None),  # a rule, not a goal
+    ({"goals": ["Unemp", "Ghost"]}, "subscription"),  # one bad spoils all
+    ({"goals": ["\x00\xff"]}, None),
+]
+
+
+class TestSubscriptionFuzz:
+    """Hostile subscribe/unsubscribe payloads: always a typed error, the
+    session and every other subscriber keep working."""
+
+    @pytest.mark.parametrize("params,expected", SUBSCRIBE_JUNK,
+                             ids=lambda v: repr(v)[:40])
+    def test_junk_subscribe_is_typed(self, feed_server, params, expected):
+        engine, port = feed_server
+        frame = (json.dumps({"v": 1, "op": "subscribe", "params": params})
+                 + "\n").encode()
+        lines = raw_exchange(port, frame)
+        assert lines, "server closed without answering"
+        assert_typed_error(lines[0], expected)
+        assert engine.feed.active == 0, "rejected subscribe leaked state"
+
+    @pytest.mark.parametrize("params", [
+        {},
+        {"subscription_id": ""},
+        {"subscription_id": 7},
+        {"subscription_id": ["sub-1"]},
+        {"subscription_id": "sub-424242"},        # unknown id
+        {"subscription_id": "../../etc/passwd"},
+    ], ids=lambda p: repr(sorted(p.items()))[:40])
+    def test_junk_unsubscribe_is_typed(self, feed_server, params):
+        _, port = feed_server
+        frame = (json.dumps({"v": 1, "op": "unsubscribe", "params": params})
+                 + "\n").encode()
+        lines = raw_exchange(port, frame)
+        assert lines, "server closed without answering"
+        assert_typed_error(lines[0])
+
+    def test_unknown_unsubscribe_is_subscription_error(self, feed_server):
+        _, port = feed_server
+        frame = frame_of("unsubscribe", subscription_id="sub-424242")
+        lines = raw_exchange(port, frame)
+        assert_typed_error(lines[0], "subscription")
+
+    def test_subscribe_then_flood_feed_survives(self, feed_server):
+        """A subscriber whose session is flooded with garbage afterwards
+        keeps its subscription: every junk frame answers typed, and a
+        commit still pushes a delta down the same socket."""
+        from repro.server.client import DatabaseClient
+
+        engine, port = feed_server
+        with DatabaseClient(port=port) as sub:
+            info = sub.subscribe("Unemp")
+            assert engine.feed.active == 1
+            for params, _ in SUBSCRIBE_JUNK:
+                with pytest.raises(DatalogError):
+                    sub.call("subscribe", **params)
+            with pytest.raises(DatalogError):
+                sub.call("unsubscribe", subscription_id="sub-424242")
+            assert engine.feed.active == 1, "flood killed the subscription"
+            with DatabaseClient(port=port) as writer:
+                writer.commit("insert La(Fz), insert U_benefit(Fz)")
+            pushed = sub.next_frame(timeout=10)
+            assert pushed["feed"] == info["subscription_id"]
+            assert pushed["frame"]["kind"] == "delta"
+
+
 # -- the sharded endpoint ------------------------------------------------------
 
 

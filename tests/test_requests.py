@@ -34,7 +34,7 @@ class TestRegistry:
         assert set(REQUEST_TYPES) == {
             "hello", "ping", "query", "upward", "check", "monitor",
             "downward", "repair", "commit", "stats", "checkpoint", "health",
-            "prepare", "decide"}
+            "prepare", "decide", "subscribe", "unsubscribe"}
 
     def test_unknown_op_raises(self):
         with pytest.raises(WireFormatError, match="unknown op"):

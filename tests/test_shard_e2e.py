@@ -233,6 +233,58 @@ class TestRouterEndToEnd:
             shutdown_all((router, router_port),
                          *((p, port) for p, port in shards))
 
+    def test_router_subscription_merges_2pc_frames(self, tmp_path):
+        """A standing query through the router topology: a cross-shard 2PC
+        commit pushes exactly one merged frame; an atomically vetoed one
+        pushes none (proven by the next frame being the next commit)."""
+        env = cli_env()
+        group_dir, shards, (router, router_port) = \
+            start_router_topology(tmp_path, env)
+        follow = None
+        try:
+            a, b, c = names_per_shard(group_dir)
+            follow = subprocess.Popen(
+                [sys.executable, "-m", "repro", "call", "subscribe",
+                 "Unemp", "--follow", "--max-frames", "2",
+                 "--port", str(router_port)],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+            info = json.loads(follow.stdout.readline())
+            assert info["subscription_id"].startswith("sub-")
+            assert info["predicates"] == ["Unemp"]
+
+            # One 2PC commit touching two shards -> exactly one frame.
+            outcome = call(
+                router_port, "commit", "--router", "-t",
+                f"insert La({a}), insert U_benefit({a}), "
+                f"insert La({b}), insert U_benefit({b})")
+            assert outcome["applied"] is True
+            first = json.loads(follow.stdout.readline())
+            assert first["feed"] == info["subscription_id"]
+            assert first["frame"]["kind"] == "delta"
+            assert first["frame"]["inserted"]["Unemp"] == sorted(
+                [[a], [b]])
+
+            # A vetoed cross-shard commit (no benefits: Ic1 fires on both
+            # shards) must push nothing...
+            vetoed = call(router_port, "commit", "--router", "-t",
+                          f"insert La({a}2), insert La({b}2)", check=False)
+            assert vetoed["applied"] is False
+            # ...so the next frame on the stream is the next applied
+            # commit, not a leak from the abort.
+            outcome = call(router_port, "commit", "--router", "-t",
+                           f"insert La({c}), insert U_benefit({c})")
+            assert outcome["applied"] is True
+            second = json.loads(follow.stdout.readline())
+            assert second["frame"]["inserted"]["Unemp"] == [[c]]
+            assert second["seq"] == first["seq"] + 1
+            assert follow.wait(timeout=30) == 0  # --max-frames reached
+        finally:
+            if follow is not None and follow.poll() is None:
+                follow.kill()
+                follow.wait()
+            shutdown_all((router, router_port),
+                         *((p, port) for p, port in shards))
+
     def test_router_chaos_commits_exactly_once(self, tmp_path):
         """Each shard drops a run of response frames mid-workload; the
         resilient path through the router still yields exactly-once
